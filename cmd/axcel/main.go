@@ -1,0 +1,161 @@
+// Command axcel is the Accelerator: it augments a TNS codefile with
+// optimized RISC code, the PMap, and translation statistics — invoked
+// explicitly, after compilation, requiring no information from the user
+// (hints are optional tuning).
+//
+// Usage:
+//
+//	axcel [flags] prog.tns
+//
+//	-level stmtdebug|default|fast   translation level (default "default")
+//	-o out.tns                      output path (default: in place)
+//	-lib file.tns                   system-library codefile for summaries
+//	-space 0|1                      code space of this file (1 = library)
+//	-hint name=words                ReturnValSize hint (repeatable)
+//	-report                         print the analysis report and exit
+//	-stats                          print translation statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tnsr/internal/codefile"
+	"tnsr/internal/core"
+	"tnsr/internal/millicode"
+)
+
+type hintList []string
+
+func (h *hintList) String() string     { return strings.Join(*h, ",") }
+func (h *hintList) Set(s string) error { *h = append(*h, s); return nil }
+
+func main() {
+	level := flag.String("level", "default", "stmtdebug, default, or fast")
+	out := flag.String("o", "", "output codefile (default: rewrite input)")
+	libPath := flag.String("lib", "", "system-library codefile (summaries)")
+	space := flag.Int("space", 0, "code space (0 user, 1 library)")
+	report := flag.Bool("report", false, "print the analysis report only")
+	stats := flag.Bool("stats", false, "print translation statistics")
+	var hints hintList
+	flag.Var(&hints, "hint", "ReturnValSize hint, name=words")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: axcel [flags] prog.tns")
+		os.Exit(2)
+	}
+
+	f := mustRead(flag.Arg(0))
+	opts := core.Options{Space: uint8(*space)}
+	switch strings.ToLower(*level) {
+	case "stmtdebug", "statementdebug":
+		opts.Level = codefile.LevelStmtDebug
+	case "default":
+		opts.Level = codefile.LevelDefault
+	case "fast":
+		opts.Level = codefile.LevelFast
+	default:
+		fmt.Fprintf(os.Stderr, "axcel: unknown level %q\n", *level)
+		os.Exit(2)
+	}
+	if *space == 1 {
+		opts.CodeBase = millicode.LibCodeBase
+	}
+	if *libPath != "" {
+		lib := mustRead(*libPath)
+		opts.LibSummaries = map[uint16]int8{}
+		for i, p := range lib.Procs {
+			opts.LibSummaries[uint16(i)] = p.ResultWords
+		}
+	}
+	if len(hints) > 0 {
+		opts.Hints.ReturnValSize = map[string]int8{}
+		for _, h := range hints {
+			parts := strings.SplitN(h, "=", 2)
+			if len(parts) != 2 {
+				fmt.Fprintf(os.Stderr, "axcel: bad hint %q\n", h)
+				os.Exit(2)
+			}
+			n, err := strconv.Atoi(parts[1])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "axcel: bad hint %q: %v\n", h, err)
+				os.Exit(2)
+			}
+			opts.Hints.ReturnValSize[parts[0]] = int8(n)
+		}
+	}
+
+	if *report {
+		rep, err := core.Analyze(f, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "axcel:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("procedures: %d (%d with known result sizes)\n", rep.Procs, rep.KnownResults)
+		fmt.Printf("instructions: %d (+%d table words)\n", rep.Instrs, rep.Tables)
+		fmt.Printf("overflow traps possible: %v\n", rep.TrapsPossible)
+		fmt.Printf("calls needing run-time RP checks: %d\n", rep.CheckedCalls)
+		if len(rep.GuessedProcs) > 0 {
+			// The Accelerator "points out subroutines that may benefit
+			// from hints".
+			fmt.Printf("result sizes guessed (consider -hint name=words): %s\n",
+				strings.Join(rep.GuessedProcs, ", "))
+		}
+		for a, why := range rep.PuzzleSites {
+			fmt.Printf("puzzle point at %d: %s\n", a, why)
+		}
+		return
+	}
+
+	if err := core.Accelerate(f, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "axcel:", err)
+		os.Exit(1)
+	}
+	if *stats {
+		s := f.Accel.Stats
+		fmt.Printf("level:            %s\n", f.Accel.Level)
+		fmt.Printf("TNS instructions: %d (+%d table words)\n", s.TNSInstrs, s.TableWords)
+		fmt.Printf("RISC inline:      %d (%.2f per TNS instruction)\n",
+			s.RISCInstrs, float64(s.RISCInstrs)/float64(s.TNSInstrs))
+		fmt.Printf("dynamic size:     %.2fx (2i + 0.75)\n",
+			2*float64(s.RISCInstrs)/float64(s.TNSInstrs)+0.75)
+		fmt.Printf("RP checks:        %d\n", s.RPChecks)
+		fmt.Printf("guessed procs:    %d\n", s.GuessedProcs)
+		fmt.Printf("puzzle points:    %d\n", s.PuzzlePoints)
+		fmt.Printf("flag ops elided:  %d\n", s.ElidedFlagOps)
+		fmt.Printf("delay slots used: %d (%d welded statements)\n",
+			s.FilledSlots, s.WeldedStmts)
+	}
+	dst := *out
+	if dst == "" {
+		dst = flag.Arg(0)
+	}
+	w, err := os.Create(dst)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "axcel:", err)
+		os.Exit(1)
+	}
+	defer w.Close()
+	if _, err := f.WriteTo(w); err != nil {
+		fmt.Fprintln(os.Stderr, "axcel:", err)
+		os.Exit(1)
+	}
+}
+
+func mustRead(path string) *codefile.File {
+	r, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "axcel:", err)
+		os.Exit(1)
+	}
+	defer r.Close()
+	f, err := codefile.Read(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "axcel: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return f
+}

@@ -1,0 +1,90 @@
+// Command benchtab regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	benchtab               print everything
+//	benchtab -table N      print only table N (1..4)
+//	benchtab -figure N     print only figure N (1..2)
+//	benchtab -claims       print only the headline claims
+//	benchtab -iters k=v,.. override per-workload iteration counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tnsr/internal/bench"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print only this table (1..4)")
+	figure := flag.Int("figure", 0, "print only this figure (1..2)")
+	claims := flag.Bool("claims", false, "print only the headline claims")
+	ablation := flag.String("ablation", "", "run the optimization ablation on a workload (e.g. dhry16)")
+	crossover := flag.Bool("crossover", false, "static vs dynamic translation crossover (extension)")
+	iters := flag.String("iters", "", "override iteration counts, e.g. dhry16=500,et1=100")
+	flag.Parse()
+
+	if *iters != "" {
+		for _, kv := range strings.Split(*iters, ",") {
+			parts := strings.SplitN(kv, "=", 2)
+			if len(parts) != 2 {
+				fmt.Fprintf(os.Stderr, "bad -iters entry %q\n", kv)
+				os.Exit(2)
+			}
+			n, err := strconv.Atoi(parts[1])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad -iters entry %q: %v\n", kv, err)
+				os.Exit(2)
+			}
+			bench.Iterations[parts[0]] = n
+		}
+	}
+
+	if *crossover {
+		points, err := bench.Crossover([]int{1, 5, 20, 100, 500, 2500})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.CrossoverTable(points))
+		return
+	}
+
+	if *ablation != "" {
+		rows, err := bench.Ablate(*ablation, bench.Iterations[*ablation])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.AblationTable(*ablation, rows))
+		return
+	}
+
+	rows, err := bench.Measure()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+		os.Exit(1)
+	}
+	switch {
+	case *table == 1:
+		fmt.Print(bench.Table1(rows))
+	case *table == 2:
+		fmt.Print(bench.Table2(rows))
+	case *table == 3:
+		fmt.Print(bench.Table3(rows))
+	case *table == 4:
+		fmt.Print(bench.Table4(rows))
+	case *figure == 1:
+		fmt.Print(bench.Figure1(rows))
+	case *figure == 2:
+		fmt.Print(bench.Figure2(rows))
+	case *claims:
+		fmt.Print(bench.Claims(rows))
+	default:
+		fmt.Print(bench.FullReport(rows))
+	}
+}

@@ -1,0 +1,68 @@
+// Command talc compiles mini-TAL source into a TNS codefile.
+//
+// Usage:
+//
+//	talc [-o out.tns] [-lib] [-gbase N] [-list] prog.tal
+//
+// -lib marks the output as a system-library codefile convention (globals
+// based at -gbase); -list prints a disassembly listing instead of writing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tnsr/internal/talc"
+	"tnsr/internal/tns"
+)
+
+func main() {
+	out := flag.String("o", "", "output codefile (default: input with .tns)")
+	lib := flag.Bool("lib", false, "compile as a system-library codefile")
+	gbase := flag.Int("gbase", 0, "global base offset (with -lib conventions)")
+	list := flag.Bool("list", false, "print a disassembly listing")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: talc [-o out.tns] [-lib] [-list] prog.tal")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opt := talc.Options{GlobalBase: *gbase}
+	_ = lib
+	f, err := talc.CompileOpt(filepath.Base(path), string(src), opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *list {
+		for a := 0; a < len(f.Code); a++ {
+			fmt.Printf("%5d: %04x  %s\n", a, f.Code[a],
+				tns.Disassemble(uint16(a), f.Code[a]))
+		}
+		return
+	}
+	dst := *out
+	if dst == "" {
+		dst = strings.TrimSuffix(path, filepath.Ext(path)) + ".tns"
+	}
+	w, err := os.Create(dst)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer w.Close()
+	if _, err := f.WriteTo(w); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d code words, %d procs, %d globals\n",
+		dst, len(f.Code), len(f.Procs), f.GlobalWords)
+}

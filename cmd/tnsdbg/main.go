@@ -1,0 +1,188 @@
+// Command tnsdbg is an interactive debugger for (accelerated) TNS
+// programs, presenting the paper's CISC view: statement breakpoints,
+// stepping, variable and register inspection, and both disassembly views.
+//
+// Usage:
+//
+//	tnsdbg [-lib lib.tns] prog.tns
+//
+// Commands:
+//
+//	b LINE        break at the statement on/after a source line
+//	ba ADDR       break at a TNS code address
+//	r | c         run / continue
+//	s             step one statement
+//	p NAME        print a variable
+//	set NAME V    store a variable
+//	regs          show TNS registers (exact at register-exact points)
+//	l [N]         disassemble N TNS instructions at the current position
+//	lr [N]        disassemble N RISC instructions (translated view)
+//	where         show the current location
+//	q             quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tnsr/internal/codefile"
+	"tnsr/internal/debug"
+	"tnsr/internal/interp"
+	"tnsr/internal/risc"
+	"tnsr/internal/xrun"
+)
+
+func main() {
+	libPath := flag.String("lib", "", "system-library codefile")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tnsdbg [-lib lib.tns] prog.tns")
+		os.Exit(2)
+	}
+	user := mustRead(flag.Arg(0))
+	var lib *codefile.File
+	if *libPath != "" {
+		lib = mustRead(*libPath)
+	}
+	r, err := xrun.New(user, lib, risc.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tnsdbg:", err)
+		os.Exit(1)
+	}
+	d := debug.New(r)
+	level := "interpreted"
+	if user.Accel != nil {
+		level = "accelerated (" + user.Accel.Level.String() + ")"
+	}
+	fmt.Printf("tnsdbg: %s, %s; %d procedures, %d statements\n",
+		user.Name, level, len(user.Procs), len(user.Statements))
+
+	in := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("(tnsdbg) ")
+		if !in.Scan() {
+			return
+		}
+		fields := strings.Fields(in.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "q", "quit":
+			return
+		case "b":
+			if len(fields) != 2 {
+				fmt.Println("usage: b LINE")
+				continue
+			}
+			line, _ := strconv.Atoi(fields[1])
+			addr, err := d.BreakAtStatement(int32(line))
+			report(err)
+			if err == nil {
+				fmt.Printf("breakpoint at TNS %d\n", addr)
+			}
+		case "ba":
+			if len(fields) != 2 {
+				fmt.Println("usage: ba ADDR")
+				continue
+			}
+			a, _ := strconv.Atoi(fields[1])
+			report(d.BreakAt(interp.SpaceUser, uint16(a)))
+		case "r", "c":
+			report(d.Run(2_000_000_000))
+			showStop(d)
+		case "s":
+			_, err := d.StepStatement(100_000_000)
+			report(err)
+			showStop(d)
+		case "p":
+			if len(fields) != 2 {
+				fmt.Println("usage: p NAME")
+				continue
+			}
+			v, err := d.ReadVar(fields[1])
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			fmt.Printf("%s = %d\n", fields[1], v)
+		case "set":
+			if len(fields) != 3 {
+				fmt.Println("usage: set NAME VALUE")
+				continue
+			}
+			v, _ := strconv.Atoi(fields[2])
+			report(d.WriteVar(fields[1], int32(v)))
+		case "regs":
+			R, rp, cc := d.Registers()
+			fmt.Printf("RP=%d CC=%+d\n", rp, cc)
+			for i, v := range R {
+				fmt.Printf("  R%d=%6d (0x%04x)\n", i, int16(v), v)
+			}
+		case "l":
+			n := argN(fields, 8)
+			loc := d.Where()
+			fmt.Print(d.DisassembleTNS(loc.Space, loc.TNSAddr, n))
+		case "lr":
+			n := argN(fields, 8)
+			fmt.Print(d.DisassembleRISC(n))
+		case "where":
+			showStop(d)
+		default:
+			fmt.Println("commands: b ba r c s p set regs l lr where q")
+		}
+	}
+}
+
+func argN(fields []string, def int) int {
+	if len(fields) > 1 {
+		if v, err := strconv.Atoi(fields[1]); err == nil {
+			return v
+		}
+	}
+	return def
+}
+
+func report(err error) {
+	if err != nil {
+		fmt.Println(err)
+	}
+}
+
+func showStop(d *debug.Debugger) {
+	if d.R.Halted {
+		fmt.Printf("program finished (exit %d, console %q)\n",
+			d.R.ExitStatus, d.R.Console())
+		return
+	}
+	loc := d.Where()
+	mode := "interp"
+	if loc.RISCMode {
+		mode = "RISC"
+	}
+	exact := ""
+	if loc.Exact {
+		exact = ", register-exact"
+	}
+	fmt.Printf("stopped at %s+%d (line %d) [%s%s]\n",
+		loc.Proc, loc.TNSAddr, loc.Line, mode, exact)
+}
+
+func mustRead(path string) *codefile.File {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tnsdbg:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	cf, err := codefile.Read(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tnsdbg: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return cf
+}

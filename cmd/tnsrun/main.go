@@ -1,0 +1,102 @@
+// Command tnsrun executes a TNS codefile: interpreted if unaccelerated,
+// mixed-mode (translated RISC with interpreter fallback) if accelerated.
+//
+// Usage:
+//
+//	tnsrun [-lib lib.tns] [-interp] [-time] [-budget N] prog.tns
+//
+// -interp forces interpretation even of accelerated codefiles (the paper's
+// "execute the entire accelerated program in interpreter mode" debugging
+// option). -time prints cycle accounting under the Cyclone/R model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tnsr/internal/codefile"
+	"tnsr/internal/interp"
+	"tnsr/internal/machine"
+	"tnsr/internal/risc"
+	"tnsr/internal/tns"
+	"tnsr/internal/xrun"
+)
+
+func main() {
+	libPath := flag.String("lib", "", "system-library codefile")
+	forceInterp := flag.Bool("interp", false, "ignore the translation; interpret")
+	showTime := flag.Bool("time", false, "print cycle accounting")
+	budget := flag.Int64("budget", 2_000_000_000, "instruction budget")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tnsrun [-lib lib.tns] [-interp] prog.tns")
+		os.Exit(2)
+	}
+	user := mustRead(flag.Arg(0))
+	var lib *codefile.File
+	if *libPath != "" {
+		lib = mustRead(*libPath)
+	}
+
+	if *forceInterp || user.Accel == nil {
+		m := interp.New(user, lib)
+		if err := m.Run(*budget); err != nil {
+			fmt.Fprintln(os.Stderr, "tnsrun:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(m.Console.Bytes())
+		if m.Trap != tns.TrapNone {
+			fmt.Fprintf(os.Stderr, "tnsrun: TNS trap %d at P=%d\n", m.Trap, m.TrapP)
+			os.Exit(1)
+		}
+		if *showTime {
+			im := &machine.CycloneRInterp
+			cyc := im.Cycles(&m.Prof.Counts, m.Prof.LongUnits)
+			fmt.Fprintf(os.Stderr, "%d TNS instructions; %.0f cycles interpreted on Cyclone/R (%.3f ms)\n",
+				m.Prof.Instrs, cyc, 1e3*im.Seconds(cyc))
+		}
+		os.Exit(int(m.ExitStatus))
+	}
+
+	r, err := xrun.New(user, lib, risc.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tnsrun:", err)
+		os.Exit(1)
+	}
+	if err := r.Run(*budget); err != nil {
+		fmt.Fprintln(os.Stderr, "tnsrun:", err)
+		os.Exit(1)
+	}
+	fmt.Print(r.Console())
+	if r.Trap != tns.TrapNone {
+		fmt.Fprintf(os.Stderr, "tnsrun: TNS trap %d at P=%d\n", r.Trap, r.TrapP)
+		os.Exit(1)
+	}
+	if *showTime {
+		total, riscCyc, interCyc := r.Cycles()
+		fmt.Fprintf(os.Stderr,
+			"%d RISC instructions, %.0f cycles (%.3f ms at 25 MHz)\n",
+			r.Sim.Instrs, total, total/25e3)
+		fmt.Fprintf(os.Stderr,
+			"interpreter mode: %d interludes, %.2f%% of cycles (%.0f of %.0f)\n",
+			r.Interludes, 100*r.InterpFraction(), interCyc, total)
+		_ = riscCyc
+	}
+	os.Exit(int(r.ExitStatus))
+}
+
+func mustRead(path string) *codefile.File {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tnsrun:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	cf, err := codefile.Read(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tnsrun: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return cf
+}

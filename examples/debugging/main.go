@@ -1,0 +1,120 @@
+// Debugging example: the paper's headline usability claim — debugging an
+// optimized, translated program "much as if the program were still running
+// on a microcoded TNS machine", without recompiling and without learning
+// the RISC instruction set. The program is translated at the StmtDebug
+// level (every statement boundary register-exact), stopped at a statement
+// breakpoint, and inspected in purely CISC terms; the translated RISC view
+// is shown alongside for comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tnsr/internal/codefile"
+	"tnsr/internal/core"
+	"tnsr/internal/debug"
+	"tnsr/internal/risc"
+	"tnsr/internal/talc"
+	"tnsr/internal/xrun"
+)
+
+const program = `
+INT balance;
+INT history[0:9];
+PROC deposit(amount); INT amount;
+BEGIN
+  balance := balance + amount;
+END;
+PROC main MAIN;
+BEGIN
+  INT i;
+  balance := 100;
+  FOR i := 0 TO 9 DO
+  BEGIN
+    CALL deposit(i * 10);
+    history[i] := balance;
+  END;
+  PUTNUM(balance);
+  PUTCHAR(10);
+END;
+`
+
+func main() {
+	f, err := talc.Compile("account", program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := core.Accelerate(f, core.Options{Level: codefile.LevelStmtDebug}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("translated at %s: %d RISC instructions, %d welded statements\n\n",
+		f.Accel.Level, f.Accel.Stats.RISCInstrs, f.Accel.Stats.WeldedStmts)
+
+	r, err := xrun.New(f, nil, risc.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := debug.New(r)
+
+	// Break on "history[i] := balance" (line 15) and watch the balance.
+	addr, err := d.BreakAtStatement(15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("breakpoint armed at TNS address %d\n", addr)
+	for hit := 1; ; hit++ {
+		if err := d.Run(100_000_000); err != nil {
+			log.Fatal(err)
+		}
+		if !d.R.BPHit {
+			break
+		}
+		loc := d.Where()
+		bal, _ := d.ReadVar("balance")
+		i, _ := d.ReadVar("i")
+		if hit <= 3 || hit == 10 {
+			fmt.Printf("hit %2d: %s+%d line %d [RISC=%v, register-exact=%v]  i=%d balance=%d\n",
+				hit, loc.Proc, loc.TNSAddr, loc.Line, loc.RISCMode, loc.Exact, i, bal)
+		}
+		if hit == 3 {
+			// Full CISC-terms inspection at a register-exact point.
+			_, rp, cc := d.Registers()
+			fmt.Printf("\n  TNS registers: RP=%d CC=%+d (no RISC knowledge needed)\n", rp, cc)
+			fmt.Printf("\n  CISC view:\n%s", indent(d.DisassembleTNS(loc.Space, loc.TNSAddr, 4)))
+			fmt.Printf("\n  the same spot, RISC view:\n%s\n", indent(d.DisassembleRISC(4)))
+			// Tamper with memory: reliable at memory-exact points.
+			fmt.Println("  set balance := 0 (memory modification is reliable here)")
+			if err := d.WriteVar("balance", 0); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("\nprogram finished, console %q", d.R.Console())
+	fmt.Println("(reflects the mid-run tampering, as on real TNS hardware)")
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "    " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	cur := ""
+	for _, c := range s {
+		if c == '\n' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(c)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+// Quickstart: the complete migration path in one file — compile a mini-TAL
+// program to TNS object code, run it interpreted (the compatibility
+// baseline), then run it through the Accelerator and execute the translated
+// RISC code with interpreter fallback, comparing both the answers and the
+// cycle counts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tnsr/internal/codefile"
+	"tnsr/internal/core"
+	"tnsr/internal/interp"
+	"tnsr/internal/machine"
+	"tnsr/internal/risc"
+	"tnsr/internal/talc"
+	"tnsr/internal/xrun"
+)
+
+const program = `
+! Sum the squares of 1..100 and report the total.
+INT total;
+INT PROC square(x); INT x;
+BEGIN
+  RETURN x * x;
+END;
+PROC main MAIN;
+BEGIN
+  INT i;
+  total := 0;
+  FOR i := 1 TO 100 DO
+    total := total + square(i) \ 10;
+  PUTNUM(total);
+  PUTCHAR(10);
+END;
+`
+
+func main() {
+	// 1. Compile TAL -> TNS object code.
+	tnsFile, err := talc.Compile("quickstart", program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled: %d TNS code words, %d procedures\n\n",
+		len(tnsFile.Code), len(tnsFile.Procs))
+
+	// 2. Interpret (what an unaccelerated codefile does on a TNS/R machine,
+	// and what TNS hardware executes natively).
+	m := interp.New(tnsFile, nil)
+	if err := m.Run(10_000_000); err != nil {
+		log.Fatal(err)
+	}
+	im := &machine.CycloneRInterp
+	interpCycles := im.Cycles(&m.Prof.Counts, m.Prof.LongUnits)
+	fmt.Printf("interpreted: output %q, %d TNS instructions, %.0f Cyclone/R cycles\n",
+		m.Console.String(), m.Prof.Instrs, interpCycles)
+
+	// 3. Accelerate: static object-code translation to RISC.
+	accFile, err := talc.Compile("quickstart", program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := core.Accelerate(accFile, core.Options{Level: codefile.LevelDefault}); err != nil {
+		log.Fatal(err)
+	}
+	st := accFile.Accel.Stats
+	fmt.Printf("\naccelerated (%s): %d RISC instructions for %d TNS (%.2fx inline)\n",
+		accFile.Accel.Level, st.RISCInstrs, st.TNSInstrs,
+		float64(st.RISCInstrs)/float64(st.TNSInstrs))
+
+	// 4. Execute the translation in mixed mode.
+	r, err := xrun.New(accFile, nil, risc.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := r.Run(10_000_000); err != nil {
+		log.Fatal(err)
+	}
+	total, _, _ := r.Cycles()
+	fmt.Printf("translated run: output %q, %.0f cycles, %d interpreter interludes\n",
+		r.Console(), total, r.Interludes)
+	fmt.Printf("\nspeedup over interpretation: %.1fx\n", interpCycles/total)
+	if r.Console() != m.Console.String() {
+		log.Fatal("outputs differ!")
+	}
+	fmt.Println("outputs identical: translation is faithful")
+}

@@ -1,0 +1,3 @@
+module tnsr
+
+go 1.22

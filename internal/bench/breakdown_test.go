@@ -1,0 +1,30 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"tnsr/internal/codefile"
+	"tnsr/internal/core"
+	"tnsr/internal/workloads"
+)
+
+func TestDebugCycleBreakdown(t *testing.T) {
+	for _, lvl := range []codefile.AccelLevel{codefile.LevelDefault, codefile.LevelFast} {
+		w := workloads.MustBuild("dhry16", 50)
+		core.Accelerate(w.User, core.Options{Level: lvl})
+		r, err := RunAccelerated(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := r.Sim
+		fmt.Printf("%s: cycles=%d instrs=%d cpi=%.2f loadstall=%d mdstall=%d imiss=%d dmiss=%d\n",
+			lvl, s.Cycles, s.Instrs, float64(s.Cycles)/float64(s.Instrs),
+			s.LoadStalls, s.MDStalls, s.ICacheMisses, s.DCacheMisses)
+		// TNS instruction count of the same run under interpretation.
+		ref := workloads.MustBuild("dhry16", 50)
+		m, _ := func() (a interface{ Instrs() int64 }, e error) { return nil, nil }()
+		_ = m
+		_ = ref
+	}
+}

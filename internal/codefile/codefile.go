@@ -1,0 +1,366 @@
+// Package codefile defines the TNS object-file format: the unit the
+// Accelerator reads and augments. A codefile holds a TNS code segment, its
+// PEP (Procedure Entry Point) table, a data-initialization image, and
+// optional debugger information (statement boundaries and symbols). After
+// acceleration it additionally carries the generated RISC code, the PMap
+// (TNS-address to RISC-address map), per-procedure RISC entry points, and
+// the options the Accelerator was run with — while retaining the complete
+// original CISC image, exactly as the paper requires for interpreter
+// fallback and for distributing one codefile to both TNS and TNS/R machines.
+package codefile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Proc describes one procedure in the PEP table.
+type Proc struct {
+	Name  string
+	Entry uint16 // code-segment word offset of the entry point
+	// ResultWords is the number of 16-bit words the procedure leaves on the
+	// register stack at EXIT, or -1 if the compiler did not record a summary
+	// (the Accelerator must then analyze or guess, per the paper).
+	ResultWords int8
+	// ArgWords is the number of argument words cut by the procedure's EXITs.
+	ArgWords uint8
+}
+
+// Statement marks a statement boundary for the debugger: the paper's
+// "explicitly-labelled statements", which are also the potential targets of
+// unanalyzable jumps.
+type Statement struct {
+	Addr uint16 // code word offset of the statement's first instruction
+	Line int32  // source line number
+}
+
+// SymKind classifies debugger symbols.
+type SymKind uint8
+
+const (
+	SymGlobal SymKind = iota // Addr is a G-relative word offset
+	SymLocal                 // Addr is an L-relative word offset (signed)
+	SymParam                 // Addr is an L-relative word offset (negative)
+)
+
+// Symbol is one debugger symbol.
+type Symbol struct {
+	Proc  int32 // owning procedure index, or -1 for globals
+	Name  string
+	Kind  SymKind
+	Addr  int16 // word offset per Kind
+	Words uint8 // size in words (1 for INT, 2 for INT(32), n for arrays)
+}
+
+// DataSeg is a run of initialized global data words.
+type DataSeg struct {
+	Addr  uint16
+	Words []uint16
+}
+
+// AccelLevel is the Accelerator option level recorded in an accelerated
+// codefile.
+type AccelLevel uint8
+
+const (
+	LevelNone      AccelLevel = iota // not accelerated
+	LevelStmtDebug                   // every statement boundary register-exact
+	LevelDefault
+	LevelFast // omit overflow traps, address truncation, byte-store aliasing
+)
+
+func (l AccelLevel) String() string {
+	switch l {
+	case LevelStmtDebug:
+		return "StmtDebug"
+	case LevelDefault:
+		return "Default"
+	case LevelFast:
+		return "Fast"
+	}
+	return "None"
+}
+
+// AccelSection is the augmentation appended by the Accelerator.
+type AccelSection struct {
+	Level AccelLevel
+	// RISC holds the generated RISC instruction words.
+	RISC []uint32
+	// Entries maps each PEP index to the RISC word index of the procedure's
+	// translated entry point, or -1 if the procedure was not translated.
+	Entries []int32
+	// PMap maps TNS code addresses to RISC word indexes.
+	PMap PMap
+	// ExpectedRP gives, for each register-exact TNS address, the absolute
+	// RP the translated code assumes there (0xFF elsewhere). Re-entry from
+	// interpreter mode is refused when the dynamic RP differs — a wrong
+	// result-size guess upstream must not leak into translated code.
+	ExpectedRP []uint8
+	// Stats carries translator counters used by the size experiments.
+	Stats AccelStats
+}
+
+// AccelStats are measurements the Accelerator records at translation time.
+type AccelStats struct {
+	TNSInstrs     int // translated TNS instructions (code words minus tables)
+	TableWords    int // inline CASE-table and data words discovered
+	RISCInstrs    int // RISC instructions emitted inline
+	RPChecks      int // run-time RP confirmation checks emitted
+	GuessedProcs  int // procedures whose result size was guessed
+	PuzzlePoints  int // sites that fall into interpreter mode if reached
+	WeldedStmts   int // statement pairs welded by delay-slot scheduling
+	FilledSlots   int // branch delay slots usefully filled
+	ElidedFlagOps int // flag computations elided as dead
+}
+
+// File is a TNS codefile.
+type File struct {
+	Name        string
+	Code        []uint16
+	Procs       []Proc
+	MainPEP     uint16
+	GlobalWords uint16 // globals occupy words [0, GlobalWords); the memory
+	// stack is initialized immediately above them
+	Data       []DataSeg
+	Statements []Statement
+	Symbols    []Symbol
+	Accel      *AccelSection // nil until accelerated
+}
+
+// ProcByName returns the PEP index of the named procedure, or -1.
+func (f *File) ProcByName(name string) int {
+	for i := range f.Procs {
+		if f.Procs[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ProcContaining returns the index of the procedure whose body contains the
+// given code address, assuming procedures are laid out contiguously in PEP
+// entry order. Returns -1 if the address precedes all entries.
+func (f *File) ProcContaining(addr uint16) int {
+	best, bestEntry := -1, -1
+	for i := range f.Procs {
+		e := int(f.Procs[i].Entry)
+		if e <= int(addr) && e > bestEntry {
+			best, bestEntry = i, e
+		}
+	}
+	return best
+}
+
+// StatementAt returns the statement starting exactly at addr, or nil.
+func (f *File) StatementAt(addr uint16) *Statement {
+	for i := range f.Statements {
+		if f.Statements[i].Addr == addr {
+			return &f.Statements[i]
+		}
+	}
+	return nil
+}
+
+const (
+	magic   = 0x544E5343 // "TNSC"
+	version = 3
+)
+
+// WriteTo serializes the codefile.
+func (f *File) WriteTo(w io.Writer) (int64, error) {
+	var buf bytes.Buffer
+	p := func(v any) { binary.Write(&buf, binary.BigEndian, v) }
+	p(uint32(magic))
+	p(uint16(version))
+	writeString(&buf, f.Name)
+	p(uint32(len(f.Code)))
+	p(f.Code)
+	p(uint32(len(f.Procs)))
+	for i := range f.Procs {
+		writeString(&buf, f.Procs[i].Name)
+		p(f.Procs[i].Entry)
+		p(f.Procs[i].ResultWords)
+		p(f.Procs[i].ArgWords)
+	}
+	p(f.MainPEP)
+	p(f.GlobalWords)
+	p(uint32(len(f.Data)))
+	for i := range f.Data {
+		p(f.Data[i].Addr)
+		p(uint32(len(f.Data[i].Words)))
+		p(f.Data[i].Words)
+	}
+	p(uint32(len(f.Statements)))
+	for i := range f.Statements {
+		p(f.Statements[i].Addr)
+		p(f.Statements[i].Line)
+	}
+	p(uint32(len(f.Symbols)))
+	for i := range f.Symbols {
+		p(f.Symbols[i].Proc)
+		writeString(&buf, f.Symbols[i].Name)
+		p(uint8(f.Symbols[i].Kind))
+		p(f.Symbols[i].Addr)
+		p(f.Symbols[i].Words)
+	}
+	if f.Accel == nil {
+		p(uint8(0))
+	} else {
+		p(uint8(1))
+		a := f.Accel
+		p(uint8(a.Level))
+		p(uint32(len(a.RISC)))
+		p(a.RISC)
+		p(uint32(len(a.Entries)))
+		p(a.Entries)
+		p(uint32(len(a.ExpectedRP)))
+		p(a.ExpectedRP)
+		a.PMap.write(&buf)
+		p(int64(a.Stats.TNSInstrs))
+		p(int64(a.Stats.TableWords))
+		p(int64(a.Stats.RISCInstrs))
+		p(int64(a.Stats.RPChecks))
+		p(int64(a.Stats.GuessedProcs))
+		p(int64(a.Stats.PuzzlePoints))
+		p(int64(a.Stats.WeldedStmts))
+		p(int64(a.Stats.FilledSlots))
+		p(int64(a.Stats.ElidedFlagOps))
+	}
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// Read deserializes a codefile.
+func Read(r io.Reader) (*File, error) {
+	br := &reader{r: r}
+	if br.u32() != magic {
+		return nil, errors.New("codefile: bad magic")
+	}
+	if v := br.u16(); v != version {
+		return nil, fmt.Errorf("codefile: unsupported version %d", v)
+	}
+	f := &File{}
+	f.Name = br.str()
+	f.Code = br.u16s(br.u32())
+	np := br.u32()
+	f.Procs = make([]Proc, np)
+	for i := range f.Procs {
+		f.Procs[i].Name = br.str()
+		f.Procs[i].Entry = br.u16()
+		f.Procs[i].ResultWords = int8(br.u8())
+		f.Procs[i].ArgWords = br.u8()
+	}
+	f.MainPEP = br.u16()
+	f.GlobalWords = br.u16()
+	nd := br.u32()
+	f.Data = make([]DataSeg, nd)
+	for i := range f.Data {
+		f.Data[i].Addr = br.u16()
+		f.Data[i].Words = br.u16s(br.u32())
+	}
+	ns := br.u32()
+	f.Statements = make([]Statement, ns)
+	for i := range f.Statements {
+		f.Statements[i].Addr = br.u16()
+		f.Statements[i].Line = int32(br.u32())
+	}
+	ny := br.u32()
+	f.Symbols = make([]Symbol, ny)
+	for i := range f.Symbols {
+		f.Symbols[i].Proc = int32(br.u32())
+		f.Symbols[i].Name = br.str()
+		f.Symbols[i].Kind = SymKind(br.u8())
+		f.Symbols[i].Addr = int16(br.u16())
+		f.Symbols[i].Words = br.u8()
+	}
+	if br.u8() == 1 {
+		a := &AccelSection{}
+		a.Level = AccelLevel(br.u8())
+		a.RISC = br.u32s(br.u32())
+		a.Entries = br.i32s(br.u32())
+		nrp := br.u32()
+		if br.err == nil && nrp > 0 && nrp <= 1<<24 {
+			a.ExpectedRP = make([]uint8, nrp)
+			br.read(a.ExpectedRP)
+		}
+		a.PMap.read(br)
+		a.Stats.TNSInstrs = int(br.i64())
+		a.Stats.TableWords = int(br.i64())
+		a.Stats.RISCInstrs = int(br.i64())
+		a.Stats.RPChecks = int(br.i64())
+		a.Stats.GuessedProcs = int(br.i64())
+		a.Stats.PuzzlePoints = int(br.i64())
+		a.Stats.WeldedStmts = int(br.i64())
+		a.Stats.FilledSlots = int(br.i64())
+		a.Stats.ElidedFlagOps = int(br.i64())
+		f.Accel = a
+	}
+	if br.err != nil {
+		return nil, br.err
+	}
+	return f, nil
+}
+
+func writeString(buf *bytes.Buffer, s string) {
+	binary.Write(buf, binary.BigEndian, uint16(len(s)))
+	buf.WriteString(s)
+}
+
+type reader struct {
+	r   io.Reader
+	err error
+}
+
+func (b *reader) read(v any) {
+	if b.err == nil {
+		b.err = binary.Read(b.r, binary.BigEndian, v)
+	}
+}
+
+func (b *reader) u8() uint8   { var v uint8; b.read(&v); return v }
+func (b *reader) u16() uint16 { var v uint16; b.read(&v); return v }
+func (b *reader) u32() uint32 { var v uint32; b.read(&v); return v }
+func (b *reader) i64() int64  { var v int64; b.read(&v); return v }
+
+func (b *reader) str() string {
+	n := b.u16()
+	if b.err != nil {
+		return ""
+	}
+	s := make([]byte, n)
+	if _, err := io.ReadFull(b.r, s); err != nil {
+		b.err = err
+		return ""
+	}
+	return string(s)
+}
+
+func (b *reader) u16s(n uint32) []uint16 {
+	if b.err != nil || n > 1<<24 {
+		return nil
+	}
+	v := make([]uint16, n)
+	b.read(v)
+	return v
+}
+
+func (b *reader) u32s(n uint32) []uint32 {
+	if b.err != nil || n > 1<<24 {
+		return nil
+	}
+	v := make([]uint32, n)
+	b.read(v)
+	return v
+}
+
+func (b *reader) i32s(n uint32) []int32 {
+	if b.err != nil || n > 1<<24 {
+		return nil
+	}
+	v := make([]int32, n)
+	b.read(v)
+	return v
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"tnsr/internal/codefile"
+	"tnsr/internal/millicode"
+)
+
+// Accelerate translates a TNS codefile in place, attaching the acceleration
+// section (RISC code, PMap, entry table, statistics). It is the top-level
+// Accelerator: invoked explicitly, post-compilation, needing no information
+// from the user — hints are optional tuning, exactly as the paper insists.
+func Accelerate(file *codefile.File, opts Options) error {
+	if opts.Level == codefile.LevelNone {
+		opts.Level = codefile.LevelDefault
+	}
+	if opts.MilliLabels == nil {
+		_, labels := millicode.Build()
+		opts.MilliLabels = labels
+	}
+	if opts.CodeBase == 0 {
+		opts.CodeBase = millicode.UserCodeBase
+	}
+	if len(file.Procs) == 0 {
+		return fmt.Errorf("core: codefile %q has no procedures", file.Name)
+	}
+
+	p, err := analyze(file, &opts)
+	if err != nil {
+		return err
+	}
+	p.resolveRP()
+	p.liveness()
+
+	f := newFn(len(file.Procs))
+	tr := &translator{p: p, f: f, opts: &opts}
+	tr.s = newState(f, p)
+	tr.s.noCSE = opts.DisableCSE
+	tr.s.alwaysCC = opts.DisableFlagElision
+	if err := tr.translateAll(); err != nil {
+		return err
+	}
+
+	if !opts.DisableSchedule {
+		ss := schedule(f)
+		tr.stats.FilledSlots = ss.filledSlots
+		tr.stats.WeldedStmts = ss.welded
+	}
+	sec, err := tr.finalize()
+	if err != nil {
+		return err
+	}
+	file.Accel = sec
+	return nil
+}
+
+// AnalysisReport summarizes the static analysis of a codefile without
+// translating it: how many procedures needed guessed result sizes, which
+// sites fall into interpreter mode, and whether hints would help — the
+// Accelerator "points out subroutines that may benefit from hints".
+type AnalysisReport struct {
+	Procs          int
+	KnownResults   int
+	GuessedProcs   []string
+	PuzzleSites    map[uint16]string
+	CheckedCalls   int
+	TrapsPossible  bool
+	Instrs, Tables int
+}
+
+// Analyze runs the Accelerator's analysis phases only.
+func Analyze(file *codefile.File, opts Options) (*AnalysisReport, error) {
+	if opts.MilliLabels == nil {
+		_, labels := millicode.Build()
+		opts.MilliLabels = labels
+	}
+	p, err := analyze(file, &opts)
+	if err != nil {
+		return nil, err
+	}
+	p.resolveRP()
+	p.liveness()
+	rep := &AnalysisReport{
+		Procs:         len(file.Procs),
+		PuzzleSites:   p.puzzle,
+		TrapsPossible: p.trapsPossible,
+	}
+	rep.Instrs, rep.Tables = p.countKinds()
+	for i := range file.Procs {
+		if p.resultWords[i] >= 0 {
+			rep.KnownResults++
+		}
+		if p.guessedProc[i] {
+			rep.GuessedProcs = append(rep.GuessedProcs, file.Procs[i].Name)
+		}
+	}
+	for _, cs := range p.callSites {
+		if cs.checked {
+			rep.CheckedCalls++
+		}
+	}
+	return rep, nil
+}

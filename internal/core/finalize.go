@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+
+	"tnsr/internal/codefile"
+	"tnsr/internal/millicode"
+	"tnsr/internal/risc"
+)
+
+// finalize lays out the emitted stream, resolves labels, encodes
+// instruction words, and builds the PMap, entry table and statistics into
+// the codefile's acceleration section.
+func (t *translator) finalize() (*codefile.AccelSection, error) {
+	f := t.f
+	base := t.opts.CodeBase
+	pos := func(l label) (uint32, error) {
+		if l == noLabel || int(l) >= len(f.labelPos) || f.labelPos[l] < 0 {
+			return 0, fmt.Errorf("core: unresolved label %d", l)
+		}
+		return uint32(f.labelPos[l]), nil
+	}
+
+	code := make([]uint32, len(f.ins))
+	for i, r := range f.ins {
+		w, err := t.encodeOne(r, uint32(i), base, pos)
+		if err != nil {
+			return nil, fmt.Errorf("core: at RISC %d (tns %d): %w", i, r.tnsAddr, err)
+		}
+		code[i] = w
+	}
+
+	pm := codefile.NewPMap(len(t.p.file.Code))
+	expRP := make([]uint8, len(t.p.file.Code))
+	for i := range expRP {
+		expRP[i] = 0xFF
+	}
+	for _, pt := range f.points {
+		p, err := pos(pt.lbl)
+		if err != nil {
+			return nil, err
+		}
+		pm.Add(pt.tnsAddr, int(base)+int(p), pt.regExact)
+		if pt.regExact && pt.rp >= 0 {
+			expRP[pt.tnsAddr] = uint8(pt.rp)
+		}
+	}
+
+	entries := make([]int32, len(f.procEntry))
+	for i, l := range f.procEntry {
+		if l == noLabel || f.labelPos[l] < 0 {
+			entries[i] = -1
+			continue
+		}
+		entries[i] = int32(base) + f.labelPos[l]
+	}
+
+	instrs, tables := t.p.countKinds()
+	_ = instrs
+	st := t.stats
+	st.RISCInstrs = f.stats.inline
+	st.ElidedFlagOps = f.stats.elidedFlagOps
+	st.TableWords = tables
+	for _, g := range t.p.guessedProc {
+		if g {
+			st.GuessedProcs++
+		}
+	}
+
+	return &codefile.AccelSection{
+		Level:      t.opts.Level,
+		RISC:       code,
+		Entries:    entries,
+		ExpectedRP: expRP,
+		PMap:       pm,
+		Stats:      st,
+	}, nil
+}
+
+func (t *translator) encodeOne(r rinst, idx, base uint32,
+	pos func(label) (uint32, error)) (uint32, error) {
+	if r.isWord {
+		if r.jLbl != noLabel {
+			p, err := pos(r.jLbl)
+			if err != nil {
+				return 0, err
+			}
+			return (base + p) << 2, nil // absolute RISC byte address
+		}
+		return uint32(r.imm), nil
+	}
+	if r.hasLA {
+		p, err := pos(r.laLbl)
+		if err != nil {
+			return 0, err
+		}
+		v := uint32(millicode.CodeWindow) + ((base + p) << 2)
+		if r.laHi {
+			return risc.EncImm(risc.LUI, r.rt, 0, int32(v>>16)), nil
+		}
+		return risc.EncImm(risc.ORI, r.rt, r.rs, int32(v&0xFFFF)), nil
+	}
+	switch r.op {
+	case risc.SLL, risc.SRL, risc.SRA:
+		return risc.EncShift(r.op, r.rd, r.rt, r.shamt), nil
+	case risc.SLLV, risc.SRLV, risc.SRAV:
+		// Encoded as rd, value(rt), amount(rs).
+		return risc.EncALU(r.op, r.rd, r.rs, r.rt), nil
+	case risc.ADD, risc.ADDU, risc.SUB, risc.SUBU, risc.AND, risc.OR,
+		risc.XOR, risc.NOR, risc.SLT, risc.SLTU:
+		return risc.EncALU(r.op, r.rd, r.rs, r.rt), nil
+	case risc.ADDI, risc.ADDIU, risc.SLTI, risc.SLTIU, risc.ANDI,
+		risc.ORI, risc.XORI, risc.LUI:
+		return risc.EncImm(r.op, r.rt, r.rs, r.imm), nil
+	case risc.LB, risc.LH, risc.LW, risc.LBU, risc.LHU, risc.SB, risc.SH,
+		risc.SW:
+		return risc.EncMem(r.op, r.rt, r.rs, r.imm), nil
+	case risc.BEQ, risc.BNE, risc.BLEZ, risc.BGTZ, risc.BLTZ, risc.BGEZ:
+		p, err := pos(r.lbl)
+		if err != nil {
+			return 0, err
+		}
+		disp := int32(p) - int32(idx) - 1
+		return risc.EncBranch(r.op, r.rs, r.rt, disp), nil
+	case risc.J, risc.JAL:
+		if r.jLbl != noLabel {
+			p, err := pos(r.jLbl)
+			if err != nil {
+				return 0, err
+			}
+			return risc.EncJ(r.op, base+p), nil
+		}
+		return risc.EncJ(r.op, r.jTarget), nil
+	case risc.JR:
+		return risc.EncJR(r.rs), nil
+	case risc.JALR:
+		return risc.EncJALR(r.rd, r.rs), nil
+	case risc.MULT, risc.MULTU, risc.DIV, risc.DIVU:
+		return risc.EncMulDiv(r.op, r.rs, r.rt), nil
+	case risc.MFHI, risc.MFLO:
+		return risc.EncMulDiv(r.op, r.rd, 0), nil
+	case risc.BREAK:
+		return risc.EncBreak(r.code), nil
+	case risc.SYSCALL:
+		return risc.EncSyscall(r.code), nil
+	}
+	return 0, fmt.Errorf("unencodable op %s", r.op)
+}

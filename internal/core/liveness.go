@@ -1,0 +1,135 @@
+package core
+
+import "tnsr/internal/tns"
+
+// Live/dead analysis over the paper's eleven variables — the eight stack
+// registers plus the instruction side-effect indicators. In this ISA
+// revision only CC is architecturally observable (K and V surface solely
+// through overflow traps, which the translator handles with explicit
+// checks), so the dataflow tracks nine bits: R0..R7 and CC. The analysis
+// covers only these registers — not memory, exactly as the paper says.
+//
+// Registers are treated as dead across calls (callees clobber the barrel
+// and CC), which is what makes independent per-procedure translation sound.
+
+const (
+	liveCC  = 1 << 8
+	liveAll = 0x1FF
+)
+
+// liveness computes liveOut for every instruction address.
+func (p *program) liveness() {
+	n := len(p.kind)
+	p.liveOut = make([]uint16, n)
+	// Backward fixpoint over all instructions.
+	changed := true
+	var succBuf []uint16
+	for changed {
+		changed = false
+		for a := n - 1; a >= 0; a-- {
+			if p.kind[a] != KindInstr {
+				continue
+			}
+			addr := uint16(a)
+			var out uint16
+			succBuf = p.succs(addr, succBuf[:0])
+			for _, s := range succBuf {
+				if int(s) >= n || p.kind[s] != KindInstr {
+					continue
+				}
+				if _, isPuzzle := p.puzzle[s]; isPuzzle || p.rpAt[s] < 0 {
+					out |= liveAll // interpreter re-entry: everything live
+					continue
+				}
+				use, def := p.useDef(s)
+				out |= use | (p.liveOut[s] &^ def)
+			}
+			// EXIT and halt have no successors; their boundary liveness
+			// is encoded in useDef (EXIT uses its results and CC).
+			if out != p.liveOut[a] {
+				p.liveOut[a] = out
+				changed = true
+			}
+		}
+	}
+}
+
+// liveAfter reports the live set following the instruction at a.
+func (p *program) liveAfter(a uint16) uint16 { return p.liveOut[a] }
+
+// regBit returns the liveness bit for absolute register r.
+func regBit(r int) uint16 { return 1 << uint(((r%8)+8)%8) }
+
+// useDef computes the use and def sets of the instruction at a, given its
+// statically recovered RP.
+func (p *program) useDef(a uint16) (use, def uint16) {
+	in := p.instr[a]
+	rp := int(p.rpAt[a])
+	if rp < 0 {
+		return liveAll, 0
+	}
+	pops := in.Pops()
+	delta := in.RPDelta()
+
+	// Generic stack behaviour: pop `pops` registers from rp downward, then
+	// push `pops+delta` results.
+	for j := 0; j < pops; j++ {
+		use |= regBit(rp - j)
+	}
+	if delta != tns.RPUnknown {
+		pushes := pops + delta
+		base := rp - pops
+		for j := 1; j <= pushes; j++ {
+			def |= regBit(base + j)
+		}
+	}
+
+	fl := in.Flags()
+	if fl.CC {
+		def |= liveCC
+	}
+
+	switch in.Major {
+	case tns.MajControl:
+		switch in.Ctl {
+		case tns.CtlBCC:
+			use |= liveCC
+		case tns.CtlPCAL, tns.CtlSCAL:
+			use, def = 0, liveAll // registers are dead across calls
+		case tns.CtlEXIT:
+			// Function results and CC are live out of the procedure.
+			use = liveCC
+			if res := p.exitResultWords(a); res > 0 {
+				for j := 0; j < res; j++ {
+					use |= regBit(rp - j)
+				}
+			}
+			def = 0
+		}
+	case tns.MajSpecial:
+		switch in.Sub {
+		case tns.SubStack:
+			if in.Operand == tns.OpXCAL {
+				use = regBit(rp) // the PLabel
+				def = liveAll
+			}
+		case tns.SubLDRA:
+			use |= regBit(int(in.Operand & 7))
+		case tns.SubSTAR:
+			def |= regBit(int(in.Operand & 7))
+		}
+	}
+	return use, def
+}
+
+// exitResultWords reports how many result words the EXIT at address a
+// returns: the result size of its enclosing procedure if known, else a
+// conservative "all plausibly live" count derived from its exit RP.
+func (p *program) exitResultWords(a uint16) int {
+	pi := p.procOf[a]
+	if pi >= 0 && int(pi) < len(p.resultWords) && p.resultWords[pi] >= 0 {
+		return int(p.resultWords[pi])
+	}
+	// Unknown result size: every register could be a result.
+	return 8
+}

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"tnsr/internal/risc"
+	"tnsr/internal/tns"
+)
+
+// Memory-reference translation. The translator fixes the TNS data space at
+// RISC address 0 ($db holds 0), so G-relative words are direct offsets, L-
+// and S-relative words are offsets from $l/$s (which hold byte forms of L
+// and S), and TNS byte addresses coincide with RISC byte addresses.
+//
+// The paper's address-mode optimizations appear here: address arithmetic
+// folded into load/store offsets, indirect and shifted addresses held in
+// temporaries and reused as common subexpressions, and (under Fast) omission
+// of 16-bit address truncation.
+
+// baseRegOf returns the RISC register holding the byte address of the mode's
+// base, plus the byte displacement implied by the mode.
+func (t *translator) baseRegOf(in tns.Instr) (base uint8, byteDisp int32) {
+	switch in.Mode {
+	case tns.ModeG:
+		return risc.RegDB, 2 * int32(in.Disp)
+	case tns.ModeL:
+		return risc.RegL, 2 * int32(in.Disp)
+	case tns.ModeLN:
+		return risc.RegL, -2 * int32(in.Disp)
+	default: // ModeS
+		return risc.RegS, -2 * int32(in.Disp)
+	}
+}
+
+// wordCellAddr yields (reg, off) such that reg+off is the byte address of
+// the direct cell base±d. reg may be $db/$l/$s directly.
+func (t *translator) wordCellAddr(in tns.Instr) (uint8, int32) {
+	return t.baseRegOf(in)
+}
+
+// loadWordCell loads the 16-bit content of the direct cell, zero-extended
+// (cells used as addresses are unsigned), with CSE.
+func (t *translator) loadWordCell(in tns.Instr, ptrCell bool) uint8 {
+	s := t.s
+	kind := byte('w')
+	gen := s.memGen
+	if ptrCell {
+		kind, gen = 'c', s.ptrGen
+	}
+	k := vkey{kind: kind, mode: in.Mode, disp: in.Disp, gen: gen, sgen: s.sGen}
+	if r, ok := s.lookupVT(k); ok {
+		return r
+	}
+	base, off := t.wordCellAddr(in)
+	r := s.allocTemp()
+	t.f.mem(risc.LHU, r, base, off)
+	s.storeVT(k, r)
+	return r
+}
+
+// indirectWordByteAddr computes the byte address of the word the indirect
+// cell points at (cell value is a word address: shifted left once), with CSE
+// of the shifted address — the paper's "indirect addresses, shifted
+// addresses" temporaries.
+func (t *translator) indirectWordByteAddr(in tns.Instr) uint8 {
+	s := t.s
+	k := vkey{kind: 'a', mode: in.Mode, disp: in.Disp, gen: s.ptrGen, sgen: s.sGen}
+	if r, ok := s.lookupVT(k); ok {
+		return r
+	}
+	cell := t.loadWordCell(in, true)
+	s.pin(cell)
+	r := s.allocTemp()
+	t.f.shift(risc.SLL, r, cell, 1)
+	s.storeVT(k, r)
+	return r
+}
+
+// truncMask applies the Default-mode 16-bit truncation of a computed word
+// address (already scaled to bytes, so the mask is 17 bits) unless Fast.
+func (t *translator) maskWordByteAddr(r uint8) uint8 {
+	if t.fast() {
+		return r
+	}
+	out := t.s.allocTemp()
+	t.f.shift(risc.SLL, out, r, 15)
+	t.f.shift(risc.SRL, out, out, 15)
+	return out
+}
+
+// maskByteAddr truncates a computed 16-bit byte address unless Fast.
+func (t *translator) maskByteAddr(r uint8) uint8 {
+	if t.fast() {
+		return r
+	}
+	out := t.s.allocTemp()
+	t.f.imm(risc.ANDI, out, r, 0xFFFF)
+	return out
+}
+
+// wordEA computes the final (reg, off) byte address of a word operand,
+// consuming the index from the register stack if present.
+func (t *translator) wordEA(in tns.Instr) (uint8, int32) {
+	s := t.s
+	var idxR uint8
+	var idxConst int32
+	idxIsConst := false
+	if in.Idx {
+		if c, ok := s.constOf(s.rp); ok {
+			idxConst, idxIsConst = int32(int16(c)), true
+			s.popDesc()
+		} else {
+			idxR = s.valIn(s.rp, signOK)
+			s.pin(idxR)
+			s.popDesc()
+		}
+	}
+	if !in.Ind {
+		base, off := t.wordCellAddr(in)
+		switch {
+		case !in.Idx:
+			return base, off
+		case idxIsConst:
+			return base, off + 2*idxConst
+		default:
+			r := s.allocTemp()
+			t.f.shift(risc.SLL, r, idxR, 1)
+			t.f.alu(risc.ADDU, r, r, base)
+			if !t.fast() {
+				// 16-bit word-address truncation (17-bit byte mask).
+				// base is $db/$l/$s whose values stay inside the data
+				// space, so masking the sum is equivalent.
+				t.f.shift(risc.SLL, r, r, 15)
+				t.f.shift(risc.SRL, r, r, 15)
+			}
+			return r, off
+		}
+	}
+	// Indirect: cell content is a word address.
+	ba := t.indirectWordByteAddr(in)
+	s.pin(ba)
+	switch {
+	case !in.Idx:
+		return ba, 0
+	case idxIsConst:
+		return ba, 2 * idxConst
+	default:
+		r := s.allocTemp()
+		t.f.shift(risc.SLL, r, idxR, 1)
+		t.f.alu(risc.ADDU, r, r, ba)
+		if !t.fast() {
+			t.f.shift(risc.SLL, r, r, 15)
+			t.f.shift(risc.SRL, r, r, 15)
+		}
+		return r, 0
+	}
+}
+
+// byteEA computes the final (reg, off) address of a byte operand.
+func (t *translator) byteEA(in tns.Instr) (uint8, int32) {
+	s := t.s
+	var idxR uint8
+	var idxConst int32
+	idxIsConst := false
+	if in.Idx {
+		if c, ok := s.constOf(s.rp); ok {
+			idxConst, idxIsConst = int32(int16(c)), true
+			s.popDesc()
+		} else {
+			idxR = s.valIn(s.rp, signOK)
+			s.pin(idxR)
+			s.popDesc()
+		}
+	}
+	if !in.Ind {
+		// Direct: the byte address is twice the cell's word address.
+		base, off := t.wordCellAddr(in)
+		switch {
+		case !in.Idx:
+			return base, off
+		case idxIsConst:
+			return base, off + idxConst
+		default:
+			r := s.allocTemp()
+			t.f.alu(risc.ADDU, r, idxR, base)
+			if !t.fast() {
+				t.f.shift(risc.SLL, r, r, 15)
+				t.f.shift(risc.SRL, r, r, 15)
+			}
+			return r, off
+		}
+	}
+	// Indirect: the cell holds a 16-bit byte address, usable directly.
+	cell := t.loadWordCell(in, true)
+	s.pin(cell)
+	switch {
+	case !in.Idx:
+		return cell, 0
+	case idxIsConst:
+		return cell, idxConst
+	default:
+		r := s.allocTemp()
+		t.f.alu(risc.ADDU, r, idxR, cell)
+		r = t.maskByteAddr(r)
+		return r, 0
+	}
+}
+
+// transMem translates the six memory-reference majors.
+func (t *translator) transMem(addr uint16, in tns.Instr) {
+	s := t.s
+	gw := t.p.file.GlobalWords
+	switch in.Major {
+	case tns.MajLoad:
+		if !in.Ind && !in.Idx {
+			// Redundant data fetches are the most frequent common
+			// subexpressions: cache direct loads by cell.
+			k := vkey{kind: 'w', mode: in.Mode, disp: in.Disp,
+				gen: s.memGen, sgen: s.sGen}
+			if r, ok := s.lookupVT(k); ok {
+				s.pushDesc(slotDesc{kind: lReg, reg: r, fmt: fRJS})
+				s.setCCFromValue(r)
+				return
+			}
+			base, off := t.wordCellAddr(in)
+			r := s.allocTemp()
+			t.f.mem(risc.LH, r, base, off)
+			s.storeVT(k, r)
+			s.pushDesc(slotDesc{kind: lReg, reg: r, fmt: fRJS})
+			s.setCCFromValue(r)
+			return
+		}
+		base, off := t.wordEA(in)
+		s.pin(base)
+		r := s.allocTemp()
+		t.f.mem(risc.LH, r, base, off)
+		s.pushDesc(slotDesc{kind: lReg, reg: r, fmt: fRJS})
+		s.setCCFromValue(r)
+
+	case tns.MajStor:
+		// Operand order: value below, index on top; wordEA pops the index.
+		if !in.Ind && !in.Idx {
+			vfmt := s.slot[s.rp].fmt
+			vkindReg := s.slot[s.rp].kind == lReg
+			v := s.valIn(s.rp, anyRJ)
+			s.popDesc()
+			base, off := t.wordCellAddr(in)
+			t.f.mem(risc.SH, v, base, off)
+			s.invalidateStatic(in.Mode, in.Disp, 1, gw)
+			if vkindReg && vfmt == fRJS {
+				// Store-to-load forwarding: the cell's cached value is
+				// exactly the stored register.
+				s.storeVT(vkey{kind: 'w', mode: in.Mode, disp: in.Disp,
+					gen: s.memGen, sgen: s.sGen}, v)
+			}
+			return
+		}
+		base, off := t.wordEA(in)
+		s.pin(base)
+		v := s.valIn(s.rp, anyRJ)
+		s.popDesc()
+		t.f.mem(risc.SH, v, base, off)
+		s.invalidateLoads(true)
+
+	case tns.MajLdb:
+		base, off := t.byteEA(in)
+		s.pin(base)
+		r := s.allocTemp()
+		t.f.mem(risc.LBU, r, base, off)
+		s.pushDesc(slotDesc{kind: lReg, reg: r, fmt: fRJZ})
+		s.setCCFromValue(r)
+
+	case tns.MajStb:
+		if !in.Ind && !in.Idx {
+			v := s.valIn(s.rp, anyRJ)
+			s.popDesc()
+			base, off := t.byteEA(in)
+			t.f.mem(risc.SB, v, base, off)
+			// A byte store to a known cell invalidates just that cell.
+			s.invalidateStatic(in.Mode, in.Disp, 1, gw)
+			return
+		}
+		base, off := t.byteEA(in)
+		s.pin(base)
+		v := s.valIn(s.rp, anyRJ)
+		s.popDesc()
+		t.f.mem(risc.SB, v, base, off)
+		// The Fast option's aliasing assumption: inline byte stores do
+		// not modify pointer cells.
+		s.invalidateLoads(!t.fast())
+
+	case tns.MajLdd:
+		base, off := t.wordEA(in)
+		s.pin(base)
+		r := s.allocTemp()
+		s.pin(r)
+		if base == risc.RegDB && off%4 == 0 {
+			t.f.mem(risc.LW, r, base, off)
+		} else {
+			hi := s.allocTemp()
+			t.f.mem(risc.LHU, hi, base, off)
+			t.f.mem(risc.LHU, r, base, off+2)
+			t.f.shift(risc.SLL, hi, hi, 16)
+			t.f.alu(risc.OR, r, r, hi)
+			s.tempBusy[hi-risc.RegT0] = false
+		}
+		s.pushPair(slotDesc{kind: lReg, reg: r, fmt: fPAIR})
+		s.setCCFromValue(r)
+
+	case tns.MajStd:
+		if !in.Ind && !in.Idx {
+			defer s.invalidateStatic(in.Mode, in.Disp, 2, gw)
+		} else {
+			defer s.invalidateLoads(true)
+		}
+		base, off := t.wordEA(in)
+		s.pin(base)
+		d := t.popPairPinned()
+		if d.kind == lReg {
+			s.pin(d.reg)
+		}
+		if d.kind == lConst {
+			hi := s.materializeConst(d.c >> 16)
+			lo := s.materializeConst(int32(int16(d.c)))
+			t.f.mem(risc.SH, hi, base, off)
+			t.f.mem(risc.SH, lo, base, off+2)
+		} else {
+			pr := d.reg
+			hi := s.allocTemp()
+			t.f.shift(risc.SRA, hi, pr, 16)
+			t.f.mem(risc.SH, hi, base, off)
+			t.f.mem(risc.SH, pr, base, off+2)
+			s.tempBusy[hi-risc.RegT0] = false
+		}
+	}
+}

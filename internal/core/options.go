@@ -1,0 +1,75 @@
+// Package core implements the Accelerator: the static object-code
+// translator that is the primary contribution of Andrews & Sand 1992. It
+// reads a TNS codefile, recovers control flow (including CASE jump tables
+// embedded in the code), performs interprocedural RP analysis to assign an
+// absolute register-stack position to every instruction, runs live/dead
+// analysis over the eight stack registers and the condition code, and
+// generates optimized RISC code plus the PMap that ties the two instruction
+// streams together at register-exact and memory-exact points. Puzzles the
+// static analysis cannot settle become run-time checks or interpreter
+// fallbacks, never wrong code.
+package core
+
+import "tnsr/internal/codefile"
+
+// Options controls a translation, mirroring the paper's user-visible knobs.
+type Options struct {
+	// Level selects StmtDebug, Default or Fast translation.
+	Level codefile.AccelLevel
+
+	// Hints carries the optional "translation hints" the paper describes:
+	// never needed for correctness, only to avoid interpreter interludes.
+	Hints Hints
+
+	// LibSummaries gives result-size summaries for the system library
+	// ("standard library descriptions"): PEP index -> result words.
+	LibSummaries map[uint16]int8
+
+	// IgnoreSummaries makes the Accelerator discard the compiler's
+	// per-procedure result-size summaries and rely on its own recursive
+	// analysis and guessing — the paper's "older codefiles" situation.
+	IgnoreSummaries bool
+
+	// SelectProcs, when non-nil, restricts translation to the named
+	// procedures; calls to untranslated procedures fall into interpreter
+	// mode. This implements the call/return design's "future possibility
+	// of selectively accelerating just the most time-consuming
+	// subroutines of a program".
+	SelectProcs map[string]bool
+
+	// CodeBase is the word index in the RISC code space where this
+	// codefile's translation will be loaded (millicode.UserCodeBase or
+	// millicode.LibCodeBase).
+	CodeBase uint32
+
+	// MilliLabels maps millicode entry names to absolute RISC word
+	// indexes (from millicode.Build; the millicode is loaded at 0).
+	MilliLabels map[string]uint32
+
+	// Space is the codefile's code-space bit (0 user, 1 library), stored
+	// into $env by prologues so stack markers record the right space.
+	Space uint8
+
+	// Ablation switches, for quantifying the optimizations the paper names
+	// (see the ablation benchmarks). All default off.
+	DisableFlagElision bool // compute CC at every flag-setting instruction
+	DisableCSE         bool // no reuse of fetches and address computations
+	DisableSchedule    bool // no delay-slot filling or stall avoidance
+}
+
+// Hints is the optional per-procedure advice file.
+type Hints struct {
+	// ReturnValSize overrides the guessed result size of a procedure
+	// (by name) — the one hint kind the paper reports customers using
+	// (7 programs of 199).
+	ReturnValSize map[string]int8
+	// XCALResultSize overrides the guessed result size for XCAL sites at
+	// specific code addresses (detailed hints "only used by the system
+	// library").
+	XCALResultSize map[uint16]int8
+}
+
+// Default option levels for convenience.
+func DefaultOptions() Options {
+	return Options{Level: codefile.LevelDefault}
+}

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"tnsr/internal/tns"
+)
+
+// RP analysis, the paper's signature puzzle: most TNS instructions address
+// the register barrel relative to RP, whose value the compilers knew but
+// did not record. The Accelerator recovers an absolute RP for every
+// instruction. Procedure entry RP is RPEmpty (compilers keep the register
+// stack empty across calls); a call's net RP effect is the callee's result
+// size, recovered from codefile summaries, hints, recursive analysis, or —
+// failing everything — a guess backed by a run-time check.
+
+// Sentinel rpAt values (valid RPs are 0..7).
+const (
+	rpUnreached = -2 // never reached by RP propagation
+	rpConflict  = -3 // control-flow paths join with different RPs: puzzle
+	rpAny       = -4 // unknown but immediately overridden by SETRP
+)
+
+// callSite describes what translation must do about the RP effect of a call.
+type callSite struct {
+	result  int8 // result words assumed (the RP delta)
+	checked bool // emit a run-time RP confirmation; mismatch -> interpreter
+}
+
+// resolveRP runs result-size analysis then absolute-RP propagation. It
+// populates p.resultWords, p.guessedProc, p.rpAt, p.callSites and p.puzzle.
+func (p *program) resolveRP() {
+	p.analyzeResultSizes()
+	p.propagateRP()
+	p.computeTaint()
+}
+
+// computeTaint marks procedures containing guessed call sites or puzzle
+// points: if a guess proves wrong at run time, the dynamic RP downstream
+// diverges from the static prediction, so EVERY call return point in such
+// a procedure gets a run-time RP confirmation (not only the guessed site's
+// own), keeping wrong guesses repairable rather than silently corrupting.
+func (p *program) computeTaint() {
+	p.taintedProc = make([]bool, len(p.file.Procs))
+	mark := func(a uint16) {
+		if pi := p.procOf[a]; pi >= 0 {
+			p.taintedProc[pi] = true
+		}
+	}
+	for a, cs := range p.callSites {
+		if cs.checked {
+			mark(a)
+		}
+	}
+	for a := range p.puzzle {
+		mark(a)
+	}
+}
+
+// callSites is populated for every call instruction address.
+func (p *program) callSiteFor(a uint16) callSite {
+	return p.callSites[a]
+}
+
+// analyzeResultSizes determines each procedure's result size: first from
+// summaries and hints, then by iterating the paper's recursive RP-change
+// analysis until a fixpoint.
+func (p *program) analyzeResultSizes() {
+	n := len(p.file.Procs)
+	p.resultWords = make([]int8, n)
+	p.guessedProc = make([]bool, n)
+	p.callSites = map[uint16]callSite{}
+	for i := range p.resultWords {
+		p.resultWords[i] = -1
+	}
+	for i, pr := range p.file.Procs {
+		if h, ok := p.opts.Hints.ReturnValSize[pr.Name]; ok {
+			p.resultWords[i] = h
+			continue
+		}
+		if !p.opts.IgnoreSummaries && pr.ResultWords >= 0 {
+			p.resultWords[i] = pr.ResultWords
+		}
+	}
+	// Fixpoint: procedures whose every path from entry to some EXIT passes
+	// only through known-result calls yield their exit RP.
+	for changed := true; changed; {
+		changed = false
+		for i := range p.file.Procs {
+			if p.resultWords[i] >= 0 {
+				continue
+			}
+			if r, ok := p.exitRPOf(i); ok {
+				p.resultWords[i] = r
+				changed = true
+			}
+		}
+	}
+}
+
+// exitRPOf walks procedure pi's flow graph tracking the RP delta from
+// entry; it reports the result size if at least one EXIT is reachable via
+// fully-analyzable paths and no analyzable EXIT disagrees.
+func (p *program) exitRPOf(pi int) (int8, bool) {
+	entry := p.file.Procs[pi].Entry
+	if int(entry) >= len(p.kind) || p.kind[entry] != KindInstr {
+		return 0, false
+	}
+	delta := map[uint16]int8{entry: 0}
+	work := []uint16{entry}
+	var result int8 = -1
+	found := false
+	var succBuf []uint16
+	for len(work) > 0 {
+		a := work[len(work)-1]
+		work = work[:len(work)-1]
+		d := delta[a]
+		in := p.instr[a]
+
+		if in.Major == tns.MajControl && in.Ctl == tns.CtlEXIT {
+			r := ((d % 8) + 8) % 8
+			if found && result != r {
+				return 0, false // conflicting exits
+			}
+			result, found = r, true
+			continue
+		}
+		var nd int8
+		switch {
+		case in.Major == tns.MajSpecial && in.Sub == tns.SubSETRP:
+			// Absolute RP: delta relative to an entry RP of RPEmpty.
+			nd = int8((int(in.Operand&7) - tns.RPEmpty + 8) % 8)
+		case in.IsCall():
+			r, _, ok := p.callEffect(a)
+			if !ok {
+				// Path blocked by an unknown callee: skip, another path
+				// may still reach an EXIT. If the next instruction is
+				// SETRP the flow continues despite the unknown.
+				na := p.instrEnd(a)
+				if int(na) < len(p.kind) && p.kind[na] == KindInstr {
+					nx := p.instr[na]
+					if nx.Major == tns.MajSpecial && nx.Sub == tns.SubSETRP {
+						if _, seen := delta[na]; !seen {
+							delta[na] = d // value unused: SETRP overrides
+							work = append(work, na)
+						}
+					}
+				}
+				continue
+			}
+			nd = int8(((int(d) + int(r)) % 8))
+			if in.Major == tns.MajSpecial { // XCAL also pops the PLabel
+				nd = int8(((int(nd) - 1) + 8) % 8)
+			}
+		default:
+			dl := in.RPDelta()
+			if dl == tns.RPUnknown {
+				continue
+			}
+			nd = int8(((int(d)+dl)%8 + 8) % 8)
+		}
+		succBuf = p.succs(a, succBuf[:0])
+		for _, s := range succBuf {
+			if int(s) >= len(p.kind) || p.kind[s] != KindInstr {
+				continue
+			}
+			if _, seen := delta[s]; !seen {
+				delta[s] = nd
+				work = append(work, s)
+			}
+		}
+	}
+	return result, found
+}
+
+// callEffect reports the result size of the call at address a, whether it
+// is definitely known (vs. a guess needing a check), and whether it is
+// known at all during analysis. XCAL's extra PLabel pop is NOT included.
+func (p *program) callEffect(a uint16) (size int8, known, ok bool) {
+	in := p.instr[a]
+	switch {
+	case in.Major == tns.MajControl && in.Ctl == tns.CtlPCAL:
+		pep := uint16(in.Target)
+		if int(pep) < len(p.resultWords) && p.resultWords[pep] >= 0 {
+			return p.resultWords[pep], true, true
+		}
+		return 0, false, false
+	case in.Major == tns.MajControl && in.Ctl == tns.CtlSCAL:
+		if r, okl := p.opts.LibSummaries[uint16(in.Target)]; okl && r >= 0 {
+			return r, true, true
+		}
+		return 0, false, false
+	default: // XCAL
+		if h, okh := p.opts.Hints.XCALResultSize[a]; okh {
+			return h, true, true
+		}
+		return 0, false, false
+	}
+}
+
+// guessResultSize implements the paper's pattern heuristic: guess the
+// result size of an unknown call from the register-stack behaviour of the
+// code right after the call.
+func (p *program) guessResultSize(a uint16) int8 {
+	na := p.instrEnd(a)
+	if int(na) >= len(p.kind) || p.kind[na] != KindInstr {
+		return 1
+	}
+	nx := p.instr[na]
+	switch {
+	case nx.Major == tns.MajStd:
+		return 2
+	case nx.Major == tns.MajSpecial && nx.Sub == tns.SubStack &&
+		(nx.Operand == tns.OpDDEL || nx.Operand == tns.OpDADD ||
+			nx.Operand == tns.OpDTST):
+		return 2
+	case nx.Pops() == 0:
+		// The code immediately pushes or branches without consuming a
+		// result: likely a procedure-style (void) call.
+		if nx.Major == tns.MajControl && (nx.Ctl == tns.CtlBUN || nx.Ctl == tns.CtlEXIT) {
+			return 0
+		}
+		if nx.Major == tns.MajSpecial && nx.Sub == tns.SubLDI {
+			return 0
+		}
+		return 0
+	default:
+		return 1
+	}
+}
+
+// propagateRP assigns an absolute RP to every reachable instruction,
+// marking conflicts and unresolvable sites as puzzle points.
+func (p *program) propagateRP() {
+	for i := range p.rpAt {
+		p.rpAt[i] = rpUnreached
+	}
+	var work []uint16
+	var succBuf []uint16
+	seed := func(a uint16, rp int8) {
+		if int(a) >= len(p.kind) || p.kind[a] != KindInstr {
+			return
+		}
+		switch p.rpAt[a] {
+		case rpUnreached:
+			p.rpAt[a] = rp
+			work = append(work, a)
+		case rpConflict:
+		case rpAny:
+			if rp >= 0 {
+				p.rpAt[a] = rp
+				work = append(work, a)
+			}
+		default:
+			if rp == rpAny {
+				return // a known value beats "any"
+			}
+			if p.rpAt[a] != rp {
+				// The paper's convergence puzzle: different predictions
+				// of RP joining. Unless the instruction is SETRP (which
+				// overrides RP anyway), the point becomes a puzzle.
+				if in := p.instr[a]; !(in.Major == tns.MajSpecial && in.Sub == tns.SubSETRP) {
+					p.rpAt[a] = rpConflict
+					p.puzzle[a] = "conflicting RP at join"
+					// Do not repropagate: translation falls back here.
+				}
+			}
+		}
+	}
+	for _, pr := range p.file.Procs {
+		seed(pr.Entry, tns.RPEmpty)
+	}
+	// Statement labels reachable only via unanalyzable jumps keep whatever
+	// RP flows into them normally; if flow never reaches them they stay
+	// unreached and the translator maps them as interpreter-only.
+
+	for len(work) > 0 {
+		a := work[len(work)-1]
+		work = work[:len(work)-1]
+		rp := p.rpAt[a]
+		if rp < 0 && rp != rpAny {
+			continue
+		}
+		in := p.instr[a]
+		var nrp int8
+		switch {
+		case in.Major == tns.MajSpecial && in.Sub == tns.SubSETRP:
+			nrp = int8(in.Operand & 7)
+		case rp == rpAny:
+			// Any non-SETRP instruction with indeterminate RP is a puzzle.
+			p.puzzle[a] = "RP indeterminate after call"
+			continue
+		case in.IsCall():
+			size, known, ok := p.callEffect(a)
+			base := int(rp)
+			if in.Major == tns.MajSpecial { // XCAL pops the PLabel first
+				base = (base - 1 + 8) % 8
+			}
+			if !ok {
+				// Is the next instruction SETRP (the compiler clue)?
+				na := p.instrEnd(a)
+				if int(na) < len(p.kind) && p.kind[na] == KindInstr {
+					if nx := p.instr[na]; nx.Major == tns.MajSpecial && nx.Sub == tns.SubSETRP {
+						p.callSites[a] = callSite{result: 0, checked: false}
+						seed(na, rpAny)
+						continue
+					}
+				}
+				size = p.guessResultSize(a)
+				if in.Major == tns.MajControl && in.Ctl == tns.CtlPCAL {
+					pep := in.Target
+					if int(pep) < len(p.guessedProc) {
+						p.guessedProc[pep] = true
+					}
+				}
+				p.callSites[a] = callSite{result: size, checked: true}
+			} else {
+				p.callSites[a] = callSite{result: size, checked: !known}
+			}
+			nrp = int8((base + int(size)) % 8)
+		default:
+			d := in.RPDelta()
+			if d == tns.RPUnknown {
+				p.puzzle[a] = "unknown RP effect"
+				continue
+			}
+			nrp = int8(((int(rp)+d)%8 + 8) % 8)
+		}
+		succBuf = p.succs(a, succBuf[:0])
+		for _, s := range succBuf {
+			seed(s, nrp)
+		}
+	}
+}

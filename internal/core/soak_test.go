@@ -1,0 +1,28 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSoakRandomPrograms is a deeper randomized sweep than
+// TestFidelityRandomPrograms (different seed range). A 2000-seed version of
+// this soak found the RP-shift soundness bug fixed by procedure tainting
+// plus the ExpectedRP re-entry gate; this keeps a 200-seed regression.
+func TestSoakRandomPrograms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	for seed := int64(1000); seed < 1200; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("s%d", seed), func(t *testing.T) {
+			src := generateProgram(seed)
+			defer func() {
+				if t.Failed() {
+					t.Logf("program:\n%s", src)
+				}
+			}()
+			runFidelity(t, fmt.Sprintf("soak%d", seed), src)
+		})
+	}
+}

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"fmt"
+
+	"tnsr/internal/codefile"
+	"tnsr/internal/millicode"
+	"tnsr/internal/risc"
+	"tnsr/internal/tns"
+)
+
+// translator walks the analyzed program in ascending address order (which
+// keeps the PMap monotonic) and emits RISC code per basic block.
+type translator struct {
+	p    *program
+	f    *fn
+	s    *state
+	opts *Options
+
+	// blockLbl maps TNS block-leader addresses to labels.
+	blockLbl map[uint16]label
+
+	// stubs queued for emission between procedures (fallback shims, RP
+	// check failures, overflow and divide traps).
+	stubs []stub
+
+	// predCount approximates CFG in-degree for state-inheritance decisions.
+	predCount map[uint16]int
+
+	// procEntryAt marks PEP entry addresses.
+	procEntryAt map[uint16]bool
+
+	stats codefile.AccelStats
+}
+
+type stub struct {
+	lbl     label
+	kind    uint8 // 'f' fallback, 't' trap
+	tnsAddr uint16
+	trap    int
+	back    label // for overflow continue-path stubs; noLabel otherwise
+}
+
+// trapsChecked reports whether overflow checks are emitted.
+func (t *translator) trapsChecked() bool {
+	switch t.opts.Level {
+	case codefile.LevelStmtDebug:
+		return true
+	case codefile.LevelDefault:
+		return t.p.trapsPossible
+	default:
+		return false
+	}
+}
+
+func (t *translator) fast() bool { return t.opts.Level == codefile.LevelFast }
+
+// hwTrapOK reports whether the cheap hardware-trapping add/subtract may be
+// used for overflow detection: the program enables traps (SETT 1) and never
+// disables them, so a hardware overflow IS the TNS overflow trap. Programs
+// that never enable traps (or toggle them) get explicit check sequences
+// that consult ENV.T at run time.
+func (t *translator) hwTrapOK() bool {
+	return t.p.trapsPossible && !t.p.trapsDynamic
+}
+
+func (t *translator) blockLabel(a uint16) label {
+	if l, ok := t.blockLbl[a]; ok {
+		return l
+	}
+	l := t.f.newLabel()
+	t.blockLbl[a] = l
+	return l
+}
+
+// translateAll drives the whole translation.
+func (t *translator) translateAll() error {
+	t.blockLbl = map[uint16]label{}
+	t.computePreds()
+	n := len(t.p.kind)
+	stmtAt := map[uint16]bool{}
+	for _, st := range t.p.file.Statements {
+		stmtAt[st.Addr] = true
+	}
+	entryOf := map[uint16]int{} // TNS entry addr -> PEP index
+	t.procEntryAt = map[uint16]bool{}
+	for pi, pr := range t.p.file.Procs {
+		entryOf[pr.Entry] = pi
+		t.procEntryAt[pr.Entry] = true
+	}
+
+	translated := func(pi int) bool {
+		if t.opts.SelectProcs == nil {
+			return true
+		}
+		return t.opts.SelectProcs[t.p.file.Procs[pi].Name]
+	}
+
+	inTranslatedProc := false
+	fallthrough_ := false // previous instruction flows into the next address
+
+	for a := 0; a < n; a++ {
+		if t.p.kind[a] != KindInstr {
+			fallthrough_ = false
+			continue
+		}
+		addr := uint16(a)
+		t.f.curTNS = addr
+
+		// Procedure boundary: emit queued stubs, then the prologue.
+		if pi, isEntry := entryOf[addr]; isEntry {
+			t.flushStubs()
+			inTranslatedProc = translated(pi)
+			if inTranslatedProc {
+				t.emitPrologue(pi, addr)
+				fallthrough_ = true // prologue flows into the body
+			}
+		}
+		if !inTranslatedProc {
+			continue
+		}
+
+		in := t.p.instr[addr]
+		leader := t.p.blockStart[addr]
+
+		if leader {
+			// Bind the block label; decide state inheritance.
+			lbl := t.blockLabel(addr)
+			if t.f.bound(lbl) {
+				return fmt.Errorf("core: label for %d bound twice", addr)
+			}
+			inherit := fallthrough_ && t.predCount[addr] <= 1 &&
+				!t.isExactLeader(addr, stmtAt)
+			if !inherit && fallthrough_ {
+				// The previous block falls through: it was already
+				// canonicalized at its end (see block terminators), so
+				// simply reset tracking state.
+			}
+			t.f.bind(lbl)
+
+			// Puzzle leaders fall straight into interpreter mode.
+			if why, bad := t.p.puzzle[addr]; bad {
+				_ = why
+				t.stats.PuzzlePoints++
+				t.emitFallback(addr)
+				fallthrough_ = false
+				continue
+			}
+			rp := t.p.rpAt[addr]
+			if rp == rpUnreached {
+				// Reachable only via unanalyzable flow (e.g. statement
+				// labels never reached statically): interpreter-only.
+				t.emitFallback(addr)
+				fallthrough_ = false
+				continue
+			}
+			if rp == rpAny {
+				// Must start with SETRP (the compiler clue); checked in
+				// propagateRP, which would have made it a puzzle
+				// otherwise.
+				if !(in.Major == tns.MajSpecial && in.Sub == tns.SubSETRP) {
+					t.stats.PuzzlePoints++
+					t.emitFallback(addr)
+					fallthrough_ = false
+					continue
+				}
+			}
+			if !inherit {
+				if rp == rpAny {
+					t.s.resetBlock(int(in.Operand & 7)) // SETRP handled below
+				} else {
+					t.s.resetBlock(int(rp))
+				}
+			}
+			// Exact points: PMap entries and (for register-exact ones)
+			// canonical state was ensured by predecessors.
+			t.addLeaderPoints(addr, stmtAt)
+			// Run-time RP confirmation after calls with guessed result
+			// sizes.
+			if prev := t.prevInstr(addr); prev >= 0 && t.p.instr[prev].IsCall() {
+				t.emitReturnPointCheck(addr)
+			}
+		}
+
+		// Per-instruction liveness for flag elision.
+		t.s.ccLive = t.p.liveOut[addr]&liveCC != 0
+
+		ft, err := t.translateInstr(addr, in)
+		if err != nil {
+			return err
+		}
+		fallthrough_ = ft
+		if ft {
+			next := t.p.instrEnd(addr)
+			if int(next) < n && t.p.blockStart[next] {
+				inheritNext := t.predCount[next] <= 1 && !t.isExactLeader(next, stmtAt)
+				if !inheritNext {
+					mask := t.p.liveOut[addr]
+					if t.opts.Level == codefile.LevelStmtDebug && stmtAt[next] {
+						// Register-exact statement boundary: the debugger
+						// may inspect and modify the full register state.
+						mask = liveAll
+					}
+					t.s.canonicalize(mask)
+				}
+			}
+		}
+		if in.Major == tns.MajSpecial && in.Sub == tns.SubCASE {
+			a = int(t.p.instrEnd(addr)) - 1 // skip the inline table
+		}
+		t.stats.TNSInstrs++
+	}
+	t.flushStubs()
+	return nil
+}
+
+// isExactLeader reports whether addr is a register-exact leader (no state
+// inheritance across it). Statement boundaries are register-exact only
+// under StmtDebug; at the Default level they are memory-exact — stores stay
+// ordered, but register state and optimizations flow across, exactly the
+// distinction the paper draws between the two levels.
+func (t *translator) isExactLeader(addr uint16, stmtAt map[uint16]bool) bool {
+	if t.p.caseTargets[addr] {
+		return true
+	}
+	if t.procEntryAt[addr] {
+		return true
+	}
+	if t.opts.Level == codefile.LevelStmtDebug && stmtAt[addr] {
+		return true
+	}
+	// Return points after calls.
+	if prev := t.prevInstr(addr); prev >= 0 && t.p.instr[prev].IsCall() {
+		return true
+	}
+	return false
+}
+
+// prevInstr finds the address of the instruction immediately before addr
+// (accounting for CASE tables), or -1.
+func (t *translator) prevInstr(addr uint16) int {
+	for b := int(addr) - 1; b >= 0; b-- {
+		if t.p.kind[b] == KindInstr {
+			if t.p.instrEnd(uint16(b)) == addr {
+				return b
+			}
+			return -1
+		}
+		if t.p.kind[b] == KindUnreached {
+			return -1
+		}
+		// KindTable: keep walking back to the CASE instruction.
+	}
+	return -1
+}
+
+// addLeaderPoints records PMap entries for an exact leader: procedure
+// entry points (re-entered by calls from interpreter mode), call return
+// points, CASE targets, and statement boundaries.
+func (t *translator) addLeaderPoints(addr uint16, stmtAt map[uint16]bool) {
+	regExact := false
+	memExact := false
+	if t.p.caseTargets[addr] {
+		regExact = true
+	}
+	if t.procEntryAt[addr] {
+		regExact = true
+	}
+	if prev := t.prevInstr(addr); prev >= 0 && t.p.instr[prev].IsCall() {
+		regExact = true
+	}
+	if stmtAt[addr] {
+		if t.opts.Level == codefile.LevelStmtDebug {
+			regExact = true
+		} else {
+			memExact = true
+		}
+	}
+	if regExact {
+		t.f.pmapAdd(addr, true, t.p.rpAt[addr])
+	} else if memExact {
+		t.f.pmapAdd(addr, false, -1)
+	}
+}
+
+// computePreds counts CFG predecessors (2 meaning "many").
+func (t *translator) computePreds() {
+	t.predCount = map[uint16]int{}
+	var succBuf []uint16
+	for a := 0; a < len(t.p.kind); a++ {
+		if t.p.kind[a] != KindInstr {
+			continue
+		}
+		succBuf = t.p.succs(uint16(a), succBuf[:0])
+		for _, s := range succBuf {
+			t.predCount[s]++
+		}
+	}
+	// Addresses enterable from outside static flow count as many.
+	for a := range t.p.caseTargets {
+		t.predCount[a] += 2
+	}
+	for _, pr := range t.p.file.Procs {
+		t.predCount[pr.Entry] += 2
+	}
+}
+
+// emitFallback emits the interpreter-mode entry shim inline.
+func (t *translator) emitFallback(addr uint16) {
+	t.f.li(risc.RegMT, int32(addr))
+	t.f.brk(millicode.BreakFallback)
+}
+
+// queueFallbackStub creates (or reuses) an out-of-line fallback stub for
+// addr and returns its label (branch there on a failed run-time check).
+func (t *translator) queueFallbackStub(addr uint16) label {
+	l := t.f.newLabel()
+	t.stubs = append(t.stubs, stub{lbl: l, kind: 'f', tnsAddr: addr, back: noLabel})
+	return l
+}
+
+// queueTrapStub creates a stub raising a TNS trap.
+func (t *translator) queueTrapStub(addr uint16, trap int) label {
+	l := t.f.newLabel()
+	t.stubs = append(t.stubs, stub{lbl: l, kind: 't', tnsAddr: addr, trap: trap, back: noLabel})
+	return l
+}
+
+// queueOvfStub creates the overflow stub: trap if ENV.T is set, otherwise
+// resume at back (the V flag is architecturally unobservable except via the
+// trap, so nothing else need happen).
+func (t *translator) queueOvfStub(addr uint16, back label) label {
+	l := t.f.newLabel()
+	t.stubs = append(t.stubs, stub{lbl: l, kind: 'o', tnsAddr: addr, trap: tns.TrapOverflow, back: back})
+	return l
+}
+
+func (t *translator) flushStubs() {
+	for _, st := range t.stubs {
+		t.f.bind(st.lbl)
+		switch st.kind {
+		case 'f':
+			t.f.li(risc.RegMT, int32(st.tnsAddr))
+			t.f.brk(millicode.BreakFallback)
+		case 't':
+			t.f.li(risc.RegMT, int32(st.tnsAddr))
+			t.f.brk(uint32(millicode.BreakTrapBase + st.trap))
+		case 'o':
+			// Overflow: trap only if ENV.T is enabled.
+			tmp := uint8(risc.RegMT)
+			t.f.imm(risc.ANDI, tmp, risc.RegENV, 0x80)
+			skip := t.f.newLabel()
+			t.f.br(risc.BEQ, tmp, risc.RegZero, skip)
+			t.f.nop()
+			t.f.li(risc.RegMT, int32(st.tnsAddr))
+			t.f.brk(uint32(millicode.BreakTrapBase + st.trap))
+			t.f.bind(skip)
+			t.f.jLocal(risc.J, st.back)
+			t.f.nop()
+		}
+	}
+	t.stubs = t.stubs[:0]
+}

@@ -1,0 +1,127 @@
+package interp
+
+import (
+	"testing"
+
+	"tnsr/internal/tns"
+	"tnsr/internal/tnsasm"
+)
+
+// TestMetaConsistencyWithExecution ties the tns package's static metadata
+// tables — RPDelta, Pops, Flags — to the interpreter's actual behaviour,
+// instruction by instruction. The Accelerator's whole RP and liveness
+// analysis rests on these tables being truthful.
+func TestMetaConsistencyWithExecution(t *testing.T) {
+	type tcase struct {
+		src string // instructions executed with a prepared register stack
+	}
+	// Each case runs inside a prepared machine with a known RP and checks
+	// the dynamic RP change against RPDelta of the LAST instruction.
+	cases := []string{
+		"LDI 5", "LDHI 3", "ADDI 2", "CMPI 0", "ADDS 1", "ADDS -1",
+		"LGA 8", "LLA 2", "LDPL 0", "SETT 0",
+		"LOAD G+1", "STOR G+1", "LDB G+1", "STB G+1", "LDD G+2", "STD G+2",
+		"LOAD G+1,X", "STOR G+1,X",
+		"ADD", "SUB", "MPY", "MOD", "NEG", "LAND", "LOR", "XOR", "NOT",
+		"CMP", "UCMP", "DUP", "DDUP", "DEL", "DDEL", "EXCH", "SWAB",
+		"CTOD", "DTOC", "DADD", "DSUB", "DNEG", "DCMP", "DTST",
+		"SHL 2", "SHRL 1", "SHRA 1", "ANDI 7", "ORI 1",
+		"DSHL 2", "DSHRL 1",
+		"LDRA 3", "STAR 3",
+	}
+	for _, instr := range cases {
+		instr := instr
+		t.Run(instr, func(t *testing.T) {
+			src := `
+GLOBALS 16
+DATA 1: 3 4 5 6
+MAIN main
+PROC main
+  LDI 1
+  LDI 2
+  LDI 3
+  LDI 4
+  LDI 1
+  LDI 2
+  ` + instr + `
+  NOP
+  EXIT 0
+ENDPROC
+`
+			f := tnsasm.MustAssemble("meta", src)
+			m := New(f, nil)
+			// Step to just before the instruction under test.
+			for i := 0; i < 6; i++ {
+				m.Step()
+			}
+			rpBefore := int(m.RP)
+			ccBefore, kBefore, vBefore := m.CC, m.K, m.V
+			w := f.Code[6]
+			in := tns.Decode(w)
+			m.Step()
+			if m.Halted {
+				t.Fatalf("trap %d executing %s", m.Trap, instr)
+			}
+			// RP delta.
+			d := in.RPDelta()
+			if d != tns.RPUnknown {
+				got := (int(m.RP) - rpBefore + 16) % 8
+				want := ((d % 8) + 8) % 8
+				if got != want {
+					t.Errorf("%s: RP delta %d, metadata says %d", instr, got, want)
+				}
+			}
+			// Flags: if the metadata says an instruction does not write a
+			// flag, the flag must be unchanged.
+			fl := in.Flags()
+			if !fl.CC && m.CC != ccBefore {
+				t.Errorf("%s: CC changed but Flags().CC is false", instr)
+			}
+			if !fl.K && m.K != kBefore {
+				t.Errorf("%s: K changed but Flags().K is false", instr)
+			}
+			if !fl.V && m.V != vBefore {
+				t.Errorf("%s: V changed but Flags().V is false", instr)
+			}
+		})
+	}
+}
+
+// TestLongOpsMeta checks the block operations' metadata the same way.
+func TestLongOpsMeta(t *testing.T) {
+	for _, instr := range []string{"MOVB", "MOVW", "CMPB", "SCNB"} {
+		instr := instr
+		t.Run(instr, func(t *testing.T) {
+			src := `
+GLOBALS 32
+DATA 8: 0x6162 0x6364
+MAIN main
+PROC main
+  LDI 16
+  LDI 24
+  LDI 2
+  ` + instr + `
+  NOP
+  EXIT 0
+ENDPROC
+`
+			f := tnsasm.MustAssemble("long", src)
+			m := New(f, nil)
+			for i := 0; i < 3; i++ {
+				m.Step()
+			}
+			rpBefore := int(m.RP)
+			in := tns.Decode(f.Code[3])
+			m.Step()
+			if m.Halted {
+				t.Fatalf("trap %d", m.Trap)
+			}
+			d := in.RPDelta()
+			got := (int(m.RP) - rpBefore + 16) % 8
+			want := ((d % 8) + 8) % 8
+			if got != want {
+				t.Errorf("%s: RP delta %d, metadata says %d", instr, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,84 @@
+package machine
+
+import (
+	"testing"
+
+	"tnsr/internal/tns"
+)
+
+func TestCyclesPricing(t *testing.T) {
+	var counts [tns.NumCostClasses]int64
+	counts[tns.ClassSimple] = 100
+	counts[tns.ClassMem] = 50
+	counts[tns.ClassLong] = 2
+	got := CLX800.Cycles(&counts, 40)
+	want := 100*CLX800.Cost[tns.ClassSimple] +
+		50*CLX800.Cost[tns.ClassMem] +
+		2*CLX800.Cost[tns.ClassLong] +
+		40*CLX800.LongPerUnit
+	if got != want {
+		t.Errorf("Cycles = %v, want %v", got, want)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if s := CLX800.Seconds(16.5e6); s != 1.0 {
+		t.Errorf("16.5M cycles at 16.5MHz = %v s, want 1", s)
+	}
+	if s := CycloneRInterp.Seconds(25e6); s != 1.0 {
+		t.Errorf("25M cycles at 25MHz = %v s, want 1", s)
+	}
+}
+
+// TestMachineOrdering pins the published relationships: every class costs
+// the most on the CLX 800, less on the VLX, least on the superscalar
+// Cyclone; the interpreter costs more RISC cycles than any CISC machine's
+// microcode cycles for the same class.
+func TestMachineOrdering(t *testing.T) {
+	for c := tns.CostClass(0); c < tns.NumCostClasses; c++ {
+		clx, vlx, cyc := CLX800.Cost[c], VLX.Cost[c], Cyclone.Cost[c]
+		if !(clx > vlx && vlx > cyc) {
+			t.Errorf("class %d: cost ordering CLX(%v) > VLX(%v) > Cyclone(%v) violated",
+				c, clx, vlx, cyc)
+		}
+		if CycloneRInterp.Cost[c] <= clx {
+			t.Errorf("class %d: interpreting should cost more cycles than CLX microcode", c)
+		}
+	}
+}
+
+// TestPublishedSpeedRatios checks the calibration anchors: with a typical
+// instruction mix, machine speed ratios stay in the paper's reported bands
+// (VLX 1.16-1.24x CLX; Cyclone 3.6-4.4x CLX).
+func TestPublishedSpeedRatios(t *testing.T) {
+	// A typical stack-code mix: mostly memory and simple ops, some calls.
+	var counts [tns.NumCostClasses]int64
+	counts[tns.ClassSimple] = 300
+	counts[tns.ClassMem] = 400
+	counts[tns.ClassMemInd] = 60
+	counts[tns.ClassDouble] = 30
+	counts[tns.ClassMulDiv] = 10
+	counts[tns.ClassBranch] = 150
+	counts[tns.ClassCall] = 40
+	counts[tns.ClassExit] = 40
+	speed := func(m *CostModel) float64 {
+		return 1 / m.Seconds(m.Cycles(&counts, 0))
+	}
+	clx := speed(&CLX800)
+	if r := speed(&VLX) / clx; r < 1.1 || r > 1.35 {
+		t.Errorf("VLX/CLX = %.2f, expected ~1.2", r)
+	}
+	if r := speed(&Cyclone) / clx; r < 3.4 || r > 4.6 {
+		t.Errorf("Cyclone/CLX = %.2f, expected ~4", r)
+	}
+	if r := speed(&CycloneRInterp) / clx; r < 0.35 || r > 0.65 {
+		t.Errorf("Interp/CLX = %.2f, expected ~0.5", r)
+	}
+}
+
+func TestCISCModelsList(t *testing.T) {
+	if len(CISCModels) != 3 || CISCModels[0].Name != "CLX800" ||
+		CISCModels[2].Name != "Cyclone" {
+		t.Errorf("CISCModels = %v", CISCModels)
+	}
+}

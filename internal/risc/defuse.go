@@ -1,0 +1,60 @@
+package risc
+
+// Def returns the general register the instruction writes, or -1. HI/LO
+// effects are reported by WritesHILO.
+func (in Instr) Def() int {
+	switch in.Op {
+	case SLL, SRL, SRA, SLLV, SRLV, SRAV, ADD, ADDU, SUB, SUBU, AND, OR,
+		XOR, NOR, SLT, SLTU, MFHI, MFLO:
+		return int(in.Rd)
+	case ADDI, ADDIU, SLTI, SLTIU, ANDI, ORI, XORI, LUI, LB, LH, LW, LBU,
+		LHU:
+		return int(in.Rt)
+	case JAL:
+		return RegRA
+	case JALR:
+		return int(in.Rd)
+	}
+	return -1
+}
+
+// Uses appends the general registers the instruction reads to dst and
+// returns it.
+func (in Instr) Uses(dst []uint8) []uint8 {
+	switch in.Op {
+	case SLL, SRL, SRA:
+		return append(dst, in.Rt)
+	case SLLV, SRLV, SRAV:
+		return append(dst, in.Rs, in.Rt)
+	case ADD, ADDU, SUB, SUBU, AND, OR, XOR, NOR, SLT, SLTU, MULT, MULTU,
+		DIV, DIVU:
+		return append(dst, in.Rs, in.Rt)
+	case ADDI, ADDIU, SLTI, SLTIU, ANDI, ORI, XORI:
+		return append(dst, in.Rs)
+	case LB, LH, LW, LBU, LHU:
+		return append(dst, in.Rs)
+	case SB, SH, SW:
+		return append(dst, in.Rs, in.Rt)
+	case BEQ, BNE:
+		return append(dst, in.Rs, in.Rt)
+	case BLEZ, BGTZ, BLTZ, BGEZ:
+		return append(dst, in.Rs)
+	case JR:
+		return append(dst, in.Rs)
+	case JALR:
+		return append(dst, in.Rs)
+	}
+	return dst
+}
+
+// WritesHILO reports whether the instruction writes the HI/LO registers.
+func (in Instr) WritesHILO() bool {
+	switch in.Op {
+	case MULT, MULTU, DIV, DIVU:
+		return true
+	}
+	return false
+}
+
+// ReadsHILO reports whether the instruction reads HI or LO.
+func (in Instr) ReadsHILO() bool { return in.Op == MFHI || in.Op == MFLO }

@@ -1,0 +1,557 @@
+// Package risc implements the TNS/R target: a MIPS-R3000-like 32-register
+// load/store architecture with one branch delay slot, load-use interlock
+// stalls, multi-cycle multiply/divide, and a simple cache model — the
+// machine the Accelerator's code generator and scheduler target, and the
+// engine of the NonStop Cyclone/R model.
+//
+// The instruction encoding follows classic MIPS-I: R-type (opcode 0 plus
+// function code), I-type, and J-type words. Only the subset the translator
+// and millicode need is implemented; undefined encodings raise a simulator
+// fault.
+//
+// Register convention (fixed by the Accelerator's emulation scheme, per the
+// paper: eight dedicated registers hold the TNS register stack, seven hold
+// special TNS state, fourteen are translator temporaries):
+//
+//	$0          $z     always zero
+//	$1..$8      $r0..$r7   the emulated TNS register barrel
+//	$9          $db    data base: byte address of TNS data word 0
+//	$10         $l     TNS L register as a byte offset (L*2)
+//	$11         $s     TNS S register as a byte offset (S*2)
+//	$12         $cc    condition code as a signed value (<0, 0, >0)
+//	$13         $k     carry flag (0/1)
+//	$14         $v     overflow flag (0/1)
+//	$15         $env   packed ENV: RP in bits 0..2, T in bit 7, space bit 8
+//	$16..$29    $t0..$t13  Accelerator temporaries
+//	$30         $mt    millicode linkage temporary
+//	$31         $ra    return address (JAL/JALR)
+package risc
+
+import "fmt"
+
+// Dedicated register numbers (see the package comment).
+const (
+	RegZero = 0
+	RegR0   = 1 // TNS R0; TNS Rn is RegR0+n
+	RegDB   = 9
+	RegL    = 10
+	RegS    = 11
+	RegCC   = 12
+	RegK    = 13
+	RegV    = 14
+	RegENV  = 15
+	RegT0   = 16 // first of 14 temporaries
+	NumTemp = 14
+	RegMT   = 30
+	RegRA   = 31
+)
+
+// Opcodes (bits 31..26).
+const (
+	opSpecial = 0x00
+	opRegimm  = 0x01
+	opJ       = 0x02
+	opJAL     = 0x03
+	opBEQ     = 0x04
+	opBNE     = 0x05
+	opBLEZ    = 0x06
+	opBGTZ    = 0x07
+	opADDI    = 0x08
+	opADDIU   = 0x09
+	opSLTI    = 0x0A
+	opSLTIU   = 0x0B
+	opANDI    = 0x0C
+	opORI     = 0x0D
+	opXORI    = 0x0E
+	opLUI     = 0x0F
+	opLB      = 0x20
+	opLH      = 0x21
+	opLW      = 0x23
+	opLBU     = 0x24
+	opLHU     = 0x25
+	opSB      = 0x28
+	opSH      = 0x29
+	opSW      = 0x2B
+)
+
+// R-type function codes (opcode 0, bits 5..0).
+const (
+	fnSLL     = 0x00
+	fnSRL     = 0x02
+	fnSRA     = 0x03
+	fnSLLV    = 0x04
+	fnSRLV    = 0x06
+	fnSRAV    = 0x07
+	fnJR      = 0x08
+	fnJALR    = 0x09
+	fnSYSCALL = 0x0C
+	fnBREAK   = 0x0D
+	fnMFHI    = 0x10
+	fnMFLO    = 0x12
+	fnMULT    = 0x18
+	fnMULTU   = 0x19
+	fnDIV     = 0x1A
+	fnDIVU    = 0x1B
+	fnADD     = 0x20
+	fnADDU    = 0x21
+	fnSUB     = 0x22
+	fnSUBU    = 0x23
+	fnAND     = 0x24
+	fnOR      = 0x25
+	fnXOR     = 0x26
+	fnNOR     = 0x27
+	fnSLT     = 0x2A
+	fnSLTU    = 0x2B
+)
+
+// REGIMM rt codes.
+const (
+	rtBLTZ = 0x00
+	rtBGEZ = 0x01
+)
+
+// Op identifies a decoded operation.
+type Op uint8
+
+// The operation set. Names match MIPS mnemonics.
+const (
+	INVALID Op = iota
+	SLL
+	SRL
+	SRA
+	SLLV
+	SRLV
+	SRAV
+	JR
+	JALR
+	SYSCALL
+	BREAK
+	MFHI
+	MFLO
+	MULT
+	MULTU
+	DIV
+	DIVU
+	ADD
+	ADDU
+	SUB
+	SUBU
+	AND
+	OR
+	XOR
+	NOR
+	SLT
+	SLTU
+	J
+	JAL
+	BEQ
+	BNE
+	BLEZ
+	BGTZ
+	BLTZ
+	BGEZ
+	ADDI
+	ADDIU
+	SLTI
+	SLTIU
+	ANDI
+	ORI
+	XORI
+	LUI
+	LB
+	LH
+	LW
+	LBU
+	LHU
+	SB
+	SH
+	SW
+	NumOps
+)
+
+var opNames = [NumOps]string{
+	INVALID: "invalid",
+	SLL:     "sll", SRL: "srl", SRA: "sra", SLLV: "sllv", SRLV: "srlv",
+	SRAV: "srav", JR: "jr", JALR: "jalr", SYSCALL: "syscall",
+	BREAK: "break", MFHI: "mfhi", MFLO: "mflo", MULT: "mult",
+	MULTU: "multu", DIV: "div", DIVU: "divu", ADD: "add", ADDU: "addu",
+	SUB: "sub", SUBU: "subu", AND: "and", OR: "or", XOR: "xor", NOR: "nor",
+	SLT: "slt", SLTU: "sltu", J: "j", JAL: "jal", BEQ: "beq", BNE: "bne",
+	BLEZ: "blez", BGTZ: "bgtz", BLTZ: "bltz", BGEZ: "bgez", ADDI: "addi",
+	ADDIU: "addiu", SLTI: "slti", SLTIU: "sltiu", ANDI: "andi", ORI: "ori",
+	XORI: "xori", LUI: "lui", LB: "lb", LH: "lh", LW: "lw", LBU: "lbu",
+	LHU: "lhu", SB: "sb", SH: "sh", SW: "sw",
+}
+
+func (o Op) String() string {
+	if o < NumOps {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// Instr is a decoded RISC instruction.
+type Instr struct {
+	Op         Op
+	Rs, Rt, Rd uint8
+	Shamt      uint8
+	Imm        int32  // sign- or zero-extended per the operation
+	Target     uint32 // J/JAL word index; BREAK/SYSCALL code
+}
+
+// Decode unpacks an instruction word.
+func Decode(w uint32) Instr {
+	op := w >> 26
+	rs := uint8(w >> 21 & 31)
+	rt := uint8(w >> 16 & 31)
+	rd := uint8(w >> 11 & 31)
+	sh := uint8(w >> 6 & 31)
+	fn := w & 63
+	simm := int32(int16(w))
+	zimm := int32(w & 0xFFFF)
+	switch op {
+	case opSpecial:
+		in := Instr{Rs: rs, Rt: rt, Rd: rd, Shamt: sh}
+		switch fn {
+		case fnSLL:
+			in.Op = SLL
+		case fnSRL:
+			in.Op = SRL
+		case fnSRA:
+			in.Op = SRA
+		case fnSLLV:
+			in.Op = SLLV
+		case fnSRLV:
+			in.Op = SRLV
+		case fnSRAV:
+			in.Op = SRAV
+		case fnJR:
+			in.Op = JR
+		case fnJALR:
+			in.Op = JALR
+		case fnSYSCALL:
+			in.Op = SYSCALL
+			in.Target = w >> 6 & 0xFFFFF
+		case fnBREAK:
+			in.Op = BREAK
+			in.Target = w >> 6 & 0xFFFFF
+		case fnMFHI:
+			in.Op = MFHI
+		case fnMFLO:
+			in.Op = MFLO
+		case fnMULT:
+			in.Op = MULT
+		case fnMULTU:
+			in.Op = MULTU
+		case fnDIV:
+			in.Op = DIV
+		case fnDIVU:
+			in.Op = DIVU
+		case fnADD:
+			in.Op = ADD
+		case fnADDU:
+			in.Op = ADDU
+		case fnSUB:
+			in.Op = SUB
+		case fnSUBU:
+			in.Op = SUBU
+		case fnAND:
+			in.Op = AND
+		case fnOR:
+			in.Op = OR
+		case fnXOR:
+			in.Op = XOR
+		case fnNOR:
+			in.Op = NOR
+		case fnSLT:
+			in.Op = SLT
+		case fnSLTU:
+			in.Op = SLTU
+		}
+		return in
+	case opRegimm:
+		in := Instr{Rs: rs, Imm: simm}
+		switch rt {
+		case rtBLTZ:
+			in.Op = BLTZ
+		case rtBGEZ:
+			in.Op = BGEZ
+		}
+		return in
+	case opJ:
+		return Instr{Op: J, Target: w & 0x3FFFFFF}
+	case opJAL:
+		return Instr{Op: JAL, Target: w & 0x3FFFFFF}
+	case opBEQ:
+		return Instr{Op: BEQ, Rs: rs, Rt: rt, Imm: simm}
+	case opBNE:
+		return Instr{Op: BNE, Rs: rs, Rt: rt, Imm: simm}
+	case opBLEZ:
+		return Instr{Op: BLEZ, Rs: rs, Imm: simm}
+	case opBGTZ:
+		return Instr{Op: BGTZ, Rs: rs, Imm: simm}
+	case opADDI:
+		return Instr{Op: ADDI, Rs: rs, Rt: rt, Imm: simm}
+	case opADDIU:
+		return Instr{Op: ADDIU, Rs: rs, Rt: rt, Imm: simm}
+	case opSLTI:
+		return Instr{Op: SLTI, Rs: rs, Rt: rt, Imm: simm}
+	case opSLTIU:
+		return Instr{Op: SLTIU, Rs: rs, Rt: rt, Imm: simm}
+	case opANDI:
+		return Instr{Op: ANDI, Rs: rs, Rt: rt, Imm: zimm}
+	case opORI:
+		return Instr{Op: ORI, Rs: rs, Rt: rt, Imm: zimm}
+	case opXORI:
+		return Instr{Op: XORI, Rs: rs, Rt: rt, Imm: zimm}
+	case opLUI:
+		return Instr{Op: LUI, Rt: rt, Imm: zimm}
+	case opLB:
+		return Instr{Op: LB, Rs: rs, Rt: rt, Imm: simm}
+	case opLH:
+		return Instr{Op: LH, Rs: rs, Rt: rt, Imm: simm}
+	case opLW:
+		return Instr{Op: LW, Rs: rs, Rt: rt, Imm: simm}
+	case opLBU:
+		return Instr{Op: LBU, Rs: rs, Rt: rt, Imm: simm}
+	case opLHU:
+		return Instr{Op: LHU, Rs: rs, Rt: rt, Imm: simm}
+	case opSB:
+		return Instr{Op: SB, Rs: rs, Rt: rt, Imm: simm}
+	case opSH:
+		return Instr{Op: SH, Rs: rs, Rt: rt, Imm: simm}
+	case opSW:
+		return Instr{Op: SW, Rs: rs, Rt: rt, Imm: simm}
+	}
+	return Instr{}
+}
+
+// Encoders. All take register numbers and panic on out-of-range fields;
+// they serve the translator's code emitter and the assembler.
+
+func rtype(fn uint32, rs, rt, rd, sh uint8) uint32 {
+	return uint32(rs&31)<<21 | uint32(rt&31)<<16 |
+		uint32(rd&31)<<11 | uint32(sh&31)<<6 | fn
+}
+
+func itype(op uint32, rs, rt uint8, imm int32) uint32 {
+	return op<<26 | uint32(rs&31)<<21 | uint32(rt&31)<<16 |
+		uint32(uint16(imm))
+}
+
+// EncALU encodes a three-register ALU operation (ADD..SLTU and the
+// variable shifts).
+func EncALU(op Op, rd, rs, rt uint8) uint32 {
+	var fn uint32
+	switch op {
+	case ADD:
+		fn = fnADD
+	case ADDU:
+		fn = fnADDU
+	case SUB:
+		fn = fnSUB
+	case SUBU:
+		fn = fnSUBU
+	case AND:
+		fn = fnAND
+	case OR:
+		fn = fnOR
+	case XOR:
+		fn = fnXOR
+	case NOR:
+		fn = fnNOR
+	case SLT:
+		fn = fnSLT
+	case SLTU:
+		fn = fnSLTU
+	case SLLV:
+		fn = fnSLLV
+	case SRLV:
+		fn = fnSRLV
+	case SRAV:
+		fn = fnSRAV
+	default:
+		panic("risc: EncALU bad op " + op.String())
+	}
+	switch op {
+	case SLLV, SRLV, SRAV:
+		// Shift amount register is rs in the encoding's rs field; the
+		// value shifted is rt.
+		return rtype(fn, rs, rt, rd, 0)
+	}
+	return rtype(fn, rs, rt, rd, 0)
+}
+
+// EncShift encodes an immediate shift.
+func EncShift(op Op, rd, rt, shamt uint8) uint32 {
+	var fn uint32
+	switch op {
+	case SLL:
+		fn = fnSLL
+	case SRL:
+		fn = fnSRL
+	case SRA:
+		fn = fnSRA
+	default:
+		panic("risc: EncShift bad op " + op.String())
+	}
+	return rtype(fn, 0, rt, rd, shamt)
+}
+
+// EncImm encodes an immediate ALU operation or LUI.
+func EncImm(op Op, rt, rs uint8, imm int32) uint32 {
+	var o uint32
+	switch op {
+	case ADDI:
+		o = opADDI
+	case ADDIU:
+		o = opADDIU
+	case SLTI:
+		o = opSLTI
+	case SLTIU:
+		o = opSLTIU
+	case ANDI:
+		o = opANDI
+	case ORI:
+		o = opORI
+	case XORI:
+		o = opXORI
+	case LUI:
+		return itype(opLUI, 0, rt, imm)
+	default:
+		panic("risc: EncImm bad op " + op.String())
+	}
+	return itype(o, rs, rt, imm)
+}
+
+// EncMem encodes a load or store.
+func EncMem(op Op, rt, base uint8, off int32) uint32 {
+	var o uint32
+	switch op {
+	case LB:
+		o = opLB
+	case LH:
+		o = opLH
+	case LW:
+		o = opLW
+	case LBU:
+		o = opLBU
+	case LHU:
+		o = opLHU
+	case SB:
+		o = opSB
+	case SH:
+		o = opSH
+	case SW:
+		o = opSW
+	default:
+		panic("risc: EncMem bad op " + op.String())
+	}
+	if off < -32768 || off > 32767 {
+		panic("risc: EncMem offset out of range")
+	}
+	return itype(o, base, rt, off)
+}
+
+// EncBranch encodes a conditional branch with a signed word displacement
+// relative to the instruction after the branch.
+func EncBranch(op Op, rs, rt uint8, disp int32) uint32 {
+	if disp < -32768 || disp > 32767 {
+		panic("risc: branch displacement out of range")
+	}
+	switch op {
+	case BEQ:
+		return itype(opBEQ, rs, rt, disp)
+	case BNE:
+		return itype(opBNE, rs, rt, disp)
+	case BLEZ:
+		return itype(opBLEZ, rs, 0, disp)
+	case BGTZ:
+		return itype(opBGTZ, rs, 0, disp)
+	case BLTZ:
+		return itype(opRegimm, rs, rtBLTZ, disp)
+	case BGEZ:
+		return itype(opRegimm, rs, rtBGEZ, disp)
+	}
+	panic("risc: EncBranch bad op " + op.String())
+}
+
+// EncJ encodes J or JAL to an absolute word index.
+func EncJ(op Op, target uint32) uint32 {
+	if target > 0x3FFFFFF {
+		panic("risc: jump target out of range")
+	}
+	switch op {
+	case J:
+		return opJ<<26 | target
+	case JAL:
+		return opJAL<<26 | target
+	}
+	panic("risc: EncJ bad op " + op.String())
+}
+
+// EncJR and EncJALR encode register jumps.
+func EncJR(rs uint8) uint32 { return rtype(fnJR, rs, 0, 0, 0) }
+
+// EncJALR encodes jalr rd, rs.
+func EncJALR(rd, rs uint8) uint32 { return rtype(fnJALR, rs, 0, rd, 0) }
+
+// EncMulDiv encodes MULT/MULTU/DIV/DIVU (rs, rt) and MFHI/MFLO (rd).
+func EncMulDiv(op Op, a, b uint8) uint32 {
+	switch op {
+	case MULT:
+		return rtype(fnMULT, a, b, 0, 0)
+	case MULTU:
+		return rtype(fnMULTU, a, b, 0, 0)
+	case DIV:
+		return rtype(fnDIV, a, b, 0, 0)
+	case DIVU:
+		return rtype(fnDIVU, a, b, 0, 0)
+	case MFHI:
+		return rtype(fnMFHI, 0, 0, a, 0)
+	case MFLO:
+		return rtype(fnMFLO, 0, 0, a, 0)
+	}
+	panic("risc: EncMulDiv bad op " + op.String())
+}
+
+// EncBreak encodes BREAK with a 20-bit code.
+func EncBreak(code uint32) uint32 {
+	return rtype(fnBREAK, 0, 0, 0, 0) | (code&0xFFFFF)<<6
+}
+
+// EncSyscall encodes SYSCALL with a 20-bit code.
+func EncSyscall(code uint32) uint32 {
+	return rtype(fnSYSCALL, 0, 0, 0, 0) | (code&0xFFFFF)<<6
+}
+
+// NOP is the canonical no-op (sll $0,$0,0).
+const NOP uint32 = 0
+
+// IsLoad reports whether the operation reads data memory into Rt.
+func (o Op) IsLoad() bool { return o == LB || o == LH || o == LW || o == LBU || o == LHU }
+
+// IsStore reports whether the operation writes data memory.
+func (o Op) IsStore() bool { return o == SB || o == SH || o == SW }
+
+// IsBranch reports whether the operation is a conditional branch.
+func (o Op) IsBranch() bool {
+	switch o {
+	case BEQ, BNE, BLEZ, BGTZ, BLTZ, BGEZ:
+		return true
+	}
+	return false
+}
+
+// IsJump reports whether the operation is an unconditional control
+// transfer.
+func (o Op) IsJump() bool {
+	switch o {
+	case J, JAL, JR, JALR:
+		return true
+	}
+	return false
+}
+
+// HasDelaySlot reports whether the instruction is followed by a delay slot.
+func (o Op) HasDelaySlot() bool { return o.IsBranch() || o.IsJump() }

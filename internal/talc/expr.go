@@ -1,0 +1,565 @@
+package talc
+
+import "fmt"
+
+// Expression ASTs. Parsed first, then calls are hoisted into temporaries
+// (the register stack must be empty at call sites — the convention the
+// Accelerator's RP analysis depends on), then code is generated.
+
+type expr struct {
+	op   byte // see cases in genExpr
+	num  int64
+	sym  *symbol
+	idx  *expr // index for 'i'/'I' or second operand uses l,r
+	l, r *expr
+	bop  string // binary/relational operator text
+	call *proc
+	args []*expr
+	t    typ
+	line int
+	str  string // string literal (address value)
+}
+
+// ops:
+//
+//	'n' constant            'v' variable            'i' indexed variable
+//	'b' binary arithmetic   'u' unary minus         'c' procedure call
+//	'a' address-of          'C' condition-as-value  't' hoisted temp
+//	'd' $DBL widen          'w' $INT narrow         's' string literal addr
+//	'B' builtin (SCANB, COMPAREBYTES)
+
+// --- parsing -----------------------------------------------------------------
+
+func (c *compiler) parseExpr() (*expr, error) { return c.parseOr() }
+
+func (c *compiler) parseOr() (*expr, error) {
+	l, err := c.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for c.isIdent("OR") {
+		c.advance()
+		r, err := c.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &expr{op: 'C', bop: "OR", l: l, r: r, t: typ{kind: kInt}}
+	}
+	return l, nil
+}
+
+func (c *compiler) parseAnd() (*expr, error) {
+	l, err := c.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for c.isIdent("AND") {
+		c.advance()
+		r, err := c.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &expr{op: 'C', bop: "AND", l: l, r: r, t: typ{kind: kInt}}
+	}
+	return l, nil
+}
+
+func (c *compiler) parseNot() (*expr, error) {
+	if c.isIdent("NOT") {
+		c.advance()
+		e, err := c.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &expr{op: 'C', bop: "NOT", l: e, t: typ{kind: kInt}}, nil
+	}
+	return c.parseRel()
+}
+
+var relOps = map[string]bool{"<": true, "<=": true, ">": true, ">=": true, "=": true, "<>": true}
+
+func (c *compiler) parseRel() (*expr, error) {
+	l, err := c.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if c.tok.kind == tPunct && relOps[c.tok.text] {
+		op := c.tok.text
+		c.advance()
+		r, err := c.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &expr{op: 'C', bop: op, l: l, r: r, t: typ{kind: kInt}}, nil
+	}
+	return l, nil
+}
+
+func (c *compiler) parseAdd() (*expr, error) {
+	l, err := c.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case c.isPunct("+"):
+			op = "+"
+		case c.isPunct("-"):
+			op = "-"
+		case c.isIdent("LOR"):
+			op = "LOR"
+		case c.isIdent("LAND"):
+			op = "LAND"
+		case c.isIdent("XOR"):
+			op = "XOR"
+		default:
+			return l, nil
+		}
+		c.advance()
+		r, err := c.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &expr{op: 'b', bop: op, l: l, r: r, t: joinType(l.t, r.t)}
+	}
+}
+
+func (c *compiler) parseMul() (*expr, error) {
+	l, err := c.parseShift()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case c.isPunct("*"):
+			op = "*"
+		case c.isPunct("/"):
+			op = "/"
+		case c.isPunct("\\"):
+			op = "\\"
+		default:
+			return l, nil
+		}
+		c.advance()
+		r, err := c.parseShift()
+		if err != nil {
+			return nil, err
+		}
+		l = &expr{op: 'b', bop: op, l: l, r: r, t: joinType(l.t, r.t)}
+	}
+}
+
+func (c *compiler) parseShift() (*expr, error) {
+	l, err := c.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for c.isPunct("<<") || c.isPunct(">>") || c.isPunct("'*") {
+		op := c.tok.text
+		c.advance()
+		r, err := c.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if op == "'*" { // unsigned shift-left synonym kept simple
+			op = "<<"
+		}
+		l = &expr{op: 'b', bop: op, l: l, r: r, t: l.t}
+	}
+	return l, nil
+}
+
+func (c *compiler) parseUnary() (*expr, error) {
+	switch {
+	case c.isPunct("-"):
+		c.advance()
+		e, err := c.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if e.op == 'n' {
+			e.num = -e.num
+			return e, nil
+		}
+		return &expr{op: 'u', l: e, t: e.t}, nil
+	case c.isPunct("@"):
+		c.advance()
+		return c.parseAddrOf()
+	}
+	return c.parsePrimary()
+}
+
+// parseAddrOf parses @name or @name[expr].
+func (c *compiler) parseAddrOf() (*expr, error) {
+	if c.tok.kind != tIdent {
+		return nil, c.errf("@ needs a variable")
+	}
+	s, err := c.lookup(c.tok.text)
+	if err != nil {
+		return nil, err
+	}
+	c.advance()
+	var idx *expr
+	if c.accept("[") {
+		idx, err = c.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := c.expect("]"); err != nil {
+			return nil, err
+		}
+	}
+	t := typ{kind: kInt}
+	if s.t.ptr && s.t.ext {
+		t = typ{kind: kInt32}
+	}
+	return &expr{op: 'a', sym: s, idx: idx, t: t}, nil
+}
+
+func (c *compiler) parsePrimary() (*expr, error) {
+	switch {
+	case c.tok.kind == tNumber || c.tok.kind == tCharLit:
+		v := c.tok.num
+		wide := c.tok.str == "D" // TAL doubleword literal suffix
+		c.advance()
+		t := typ{kind: kInt}
+		if wide || v > 32767 || v < -32768 {
+			t = typ{kind: kInt32}
+		}
+		return &expr{op: 'n', num: v, t: t}, nil
+	case c.tok.kind == tString:
+		str := c.tok.str
+		c.advance()
+		return &expr{op: 's', str: str, t: typ{kind: kInt}}, nil
+	case c.isPunct("("):
+		c.advance()
+		e, err := c.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, c.expect(")")
+	case c.isIdent("$DBL"):
+		c.advance()
+		if err := c.expect("("); err != nil {
+			return nil, err
+		}
+		e, err := c.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := c.expect(")"); err != nil {
+			return nil, err
+		}
+		return &expr{op: 'd', l: e, t: typ{kind: kInt32}}, nil
+	case c.isIdent("$INT"):
+		c.advance()
+		if err := c.expect("("); err != nil {
+			return nil, err
+		}
+		e, err := c.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := c.expect(")"); err != nil {
+			return nil, err
+		}
+		return &expr{op: 'w', l: e, t: typ{kind: kInt}}, nil
+	case c.isIdent("$XADR"):
+		// 32-bit byte address of a variable (extended addressing).
+		c.advance()
+		if err := c.expect("("); err != nil {
+			return nil, err
+		}
+		a, err := c.parseAddrOf()
+		if err != nil {
+			return nil, err
+		}
+		if err := c.expect(")"); err != nil {
+			return nil, err
+		}
+		a.op = 'X'
+		a.t = typ{kind: kInt32}
+		return a, nil
+	case c.isIdent("SCANB") || c.isIdent("COMPAREBYTES"):
+		name := c.tok.text
+		c.advance()
+		args, err := c.parseArgs()
+		if err != nil {
+			return nil, err
+		}
+		if len(args) != 3 {
+			return nil, c.errf("%s takes 3 arguments", name)
+		}
+		return &expr{op: 'B', bop: name, args: args, t: typ{kind: kInt}}, nil
+	case c.tok.kind == tIdent:
+		name := c.tok.text
+		if v, ok := c.literals[name]; ok {
+			c.advance()
+			t := typ{kind: kInt}
+			if v > 32767 || v < -32768 {
+				t = typ{kind: kInt32}
+			}
+			return &expr{op: 'n', num: v, t: t}, nil
+		}
+		if p, ok := c.procs[name]; ok {
+			c.advance()
+			args, err := c.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			if p.result.kind == kVoid {
+				return nil, c.errf("procedure %s has no result", name)
+			}
+			return &expr{op: 'c', call: p, args: args, t: p.result}, nil
+		}
+		s, err := c.lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		c.advance()
+		if c.accept("[") {
+			idx, err := c.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := c.expect("]"); err != nil {
+				return nil, err
+			}
+			return &expr{op: 'i', sym: s, idx: idx, t: elemType(s.t)}, nil
+		}
+		return &expr{op: 'v', sym: s, t: valueType(s.t)}, nil
+	}
+	return nil, c.errf("unexpected %q in expression", c.tokText())
+}
+
+func (c *compiler) parseArgs() ([]*expr, error) {
+	var args []*expr
+	if !c.accept("(") {
+		return nil, nil
+	}
+	if c.accept(")") {
+		return args, nil
+	}
+	for {
+		e, err := c.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+		if !c.accept(",") {
+			break
+		}
+	}
+	return args, c.expect(")")
+}
+
+func (c *compiler) lookup(name string) (*symbol, error) {
+	if c.locals != nil {
+		if s, ok := c.locals[name]; ok {
+			return s, nil
+		}
+	}
+	if s, ok := c.globals[name]; ok {
+		return s, nil
+	}
+	return nil, c.errf("undeclared identifier %s", name)
+}
+
+// valueType is the type a bare variable reference evaluates to.
+func valueType(t typ) typ {
+	if t.ptr {
+		e := t.elem()
+		if t.kind == kString {
+			return typ{kind: kInt} // byte value
+		}
+		return e
+	}
+	if t.arr {
+		return t // arrays decay only under [] or @
+	}
+	return t
+}
+
+// elemType is the type of var[idx].
+func elemType(t typ) typ {
+	if t.kind == kString {
+		return typ{kind: kInt}
+	}
+	return t.elem()
+}
+
+func joinType(a, b typ) typ {
+	if a.kind == kInt32 || b.kind == kInt32 {
+		return typ{kind: kInt32}
+	}
+	return typ{kind: kInt}
+}
+
+// constExpr evaluates a compile-time constant expression (numbers, LITERAL
+// names, unary minus, + - * on constants).
+func (c *compiler) constExpr() (int64, error) {
+	v, err := c.constMul()
+	if err != nil {
+		return 0, err
+	}
+	for c.isPunct("+") || c.isPunct("-") {
+		op := c.tok.text
+		c.advance()
+		r, err := c.constMul()
+		if err != nil {
+			return 0, err
+		}
+		if op == "+" {
+			v += r
+		} else {
+			v -= r
+		}
+	}
+	return v, nil
+}
+
+func (c *compiler) constMul() (int64, error) {
+	v, err := c.constAtom()
+	if err != nil {
+		return 0, err
+	}
+	for c.isPunct("*") {
+		c.advance()
+		r, err := c.constAtom()
+		if err != nil {
+			return 0, err
+		}
+		v *= r
+	}
+	return v, nil
+}
+
+func (c *compiler) constAtom() (int64, error) {
+	switch {
+	case c.isPunct("-"):
+		c.advance()
+		v, err := c.constAtom()
+		return -v, err
+	case c.tok.kind == tNumber || c.tok.kind == tCharLit:
+		v := c.tok.num
+		c.advance()
+		return v, nil
+	case c.isPunct("("):
+		c.advance()
+		v, err := c.constExpr()
+		if err != nil {
+			return 0, err
+		}
+		return v, c.expect(")")
+	case c.tok.kind == tIdent:
+		if v, ok := c.literals[c.tok.text]; ok {
+			c.advance()
+			return v, nil
+		}
+	}
+	return 0, c.errf("constant expression expected, found %q", c.tokText())
+}
+
+// --- call hoisting -----------------------------------------------------------
+
+// hoistCalls rewrites the tree so every procedure call happens with an
+// empty register stack: each call is evaluated into a compiler temporary
+// up front, deepest first.
+func (c *compiler) hoistCalls(e *expr) (*expr, error) {
+	if e == nil {
+		return nil, nil
+	}
+	var err error
+	if e.l, err = c.hoistCalls(e.l); err != nil {
+		return nil, err
+	}
+	if e.r, err = c.hoistCalls(e.r); err != nil {
+		return nil, err
+	}
+	if e.idx, err = c.hoistCalls(e.idx); err != nil {
+		return nil, err
+	}
+	for i := range e.args {
+		if e.args[i], err = c.hoistCalls(e.args[i]); err != nil {
+			return nil, err
+		}
+	}
+	if e.op != 'c' {
+		return e, nil
+	}
+	// Generate the call now (the register stack is empty between
+	// statements and between hoisted calls) and park the result.
+	if err := c.genCall(e.call, e.args); err != nil {
+		return nil, err
+	}
+	w := e.t.valueWords()
+	off := c.allocTemp(w)
+	if w == 2 {
+		c.emit("  STD L+%d", off)
+		c.depth -= 2
+	} else {
+		c.emit("  STOR L+%d", off)
+		c.depth--
+	}
+	return &expr{op: 't', num: int64(off), t: e.t}, nil
+}
+
+// allocTemp reserves words of local temporary space for the current
+// statement.
+func (c *compiler) allocTemp(words int) int {
+	off := c.nextLocal + c.tempTop
+	c.tempTop += words
+	if off+words-1 > c.maxLocal {
+		c.maxLocal = off + words - 1
+	}
+	return off
+}
+
+// genCall pushes the arguments onto the memory stack and calls.
+func (c *compiler) genCall(p *proc, args []*expr) error {
+	if !p.sysProc && len(args) != len(p.params) {
+		return c.errf("%s expects %d arguments, got %d", p.name, len(p.params), len(args))
+	}
+	if c.depth != 0 {
+		return fmt.Errorf("internal: register stack not empty at call of %s", p.name)
+	}
+	for i, a := range args {
+		var want typ
+		if p.sysProc {
+			want = a.t
+		} else {
+			want = p.params[i].t
+			if want.ptr || want.arr {
+				// Reference parameter: the caller passes an address.
+				want = typ{kind: kInt}
+				if p.params[i].t.ext {
+					want = typ{kind: kInt32}
+				}
+			}
+		}
+		if err := c.genExprAs(a, want); err != nil {
+			return err
+		}
+		w := want.valueWords()
+		if w == 2 {
+			c.emit("  ADDS 2")
+			c.emit("  STD S-1")
+			c.depth -= 2
+		} else {
+			c.emit("  ADDS 1")
+			c.emit("  STOR S-0")
+			c.depth--
+		}
+	}
+	if p.sysProc {
+		c.emit("  SCAL %d", p.pep)
+	} else {
+		c.emit("  PCAL %s", p.name)
+	}
+	if p.result.kind != kVoid {
+		c.depth += p.result.valueWords()
+	}
+	return nil
+}

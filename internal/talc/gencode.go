@@ -1,0 +1,655 @@
+package talc
+
+import "fmt"
+
+// Code generation for expressions. The style deliberately mirrors what the
+// paper says about TNS compilers: straight stack code, no caching of
+// subexpressions, addresses recomputed at each use.
+
+// genExprAs generates e and converts the result to the wanted width.
+func (c *compiler) genExprAs(e *expr, want typ) error {
+	// Bare arrays (and whole string variables) passed where a word is
+	// wanted decay to their address.
+	if e.op == 'v' && e.sym.t.arr {
+		if err := c.genAddr(e.sym, nil); err != nil {
+			return err
+		}
+	} else if err := c.genExpr(e); err != nil {
+		return err
+	}
+	have := e.t.valueWords()
+	if e.op == 'v' && e.sym.t.arr {
+		have = 1
+	}
+	switch {
+	case have == 1 && want.valueWords() == 2:
+		c.emit("  CTOD")
+		c.depth++
+	case have == 2 && want.valueWords() == 1:
+		c.emit("  DTOC")
+		c.depth--
+	}
+	return nil
+}
+
+// genExpr pushes the value of e onto the register stack.
+func (c *compiler) genExpr(e *expr) error {
+	switch e.op {
+	case 'n':
+		if e.t.kind == kInt32 {
+			c.pushConst32(e.num)
+		} else {
+			c.pushConst(e.num)
+		}
+		return nil
+
+	case 't':
+		if e.t.valueWords() == 2 {
+			c.emit("  LDD L+%d", e.num)
+			c.depth += 2
+		} else {
+			c.emit("  LOAD L+%d", e.num)
+			c.depth++
+		}
+		return nil
+
+	case 'v':
+		return c.genVarLoad(e.sym, nil)
+	case 'i':
+		return c.genVarLoad(e.sym, e.idx)
+
+	case 'a':
+		return c.genAddr(e.sym, e.idx)
+
+	case 'X':
+		// 32-bit byte address: zero-extended 16-bit address, doubled for
+		// word entities (STRING addresses are already byte addresses).
+		c.pushConst(0)
+		if err := c.genAddr16(e.sym, e.idx, false); err != nil {
+			return err
+		}
+		if !(e.sym.t.kind == kString && !e.sym.t.ptr) {
+			c.emit("  DSHL 1")
+		}
+		return nil
+
+	case 's':
+		addr := c.internString(e.str)
+		c.pushConst(int64(2 * addr))
+		return nil
+
+	case 'd':
+		if err := c.genExpr(e.l); err != nil {
+			return err
+		}
+		if e.l.t.valueWords() == 1 {
+			c.emit("  CTOD")
+			c.depth++
+		}
+		return nil
+
+	case 'w':
+		if err := c.genExpr(e.l); err != nil {
+			return err
+		}
+		if e.l.t.valueWords() == 2 {
+			c.emit("  DTOC")
+			c.depth--
+		}
+		return nil
+
+	case 'u':
+		if err := c.genExpr(e.l); err != nil {
+			return err
+		}
+		if e.t.valueWords() == 2 {
+			c.emit("  DNEG")
+		} else {
+			c.emit("  NEG")
+		}
+		return nil
+
+	case 'b':
+		return c.genBinary(e)
+
+	case 'C':
+		return c.genCondValue(e)
+
+	case 'B':
+		return c.genBuiltinExpr(e)
+
+	case 'c':
+		return fmt.Errorf("internal: unhoisted call to %s", e.call.name)
+	}
+	return fmt.Errorf("internal: bad expression op %c", e.op)
+}
+
+// internString places a string literal in global data and returns its word
+// address.
+func (c *compiler) internString(s string) int {
+	addr := c.nextGlobal
+	words := make([]uint16, (len(s)+1)/2)
+	for i := 0; i < len(s); i++ {
+		if i%2 == 0 {
+			words[i/2] = uint16(s[i]) << 8
+		} else {
+			words[i/2] |= uint16(s[i])
+		}
+	}
+	c.nextGlobal += len(words)
+	c.data = append(c.data, dataInit{addr: addr, words: words})
+	return addr
+}
+
+// direct reports whether a global word address is reachable by the short
+// direct forms (the paper's 256-word global window).
+func directG(addr int) bool { return addr >= 0 && addr <= 255 }
+
+func directL(addr int) bool { return addr >= 0 && addr <= 127 }
+
+// genVarLoad loads a variable (with optional index) onto the stack.
+func (c *compiler) genVarLoad(s *symbol, idx *expr) error {
+	t := s.t
+	switch {
+	case t.ptr && t.ext:
+		// Extended pointer: push the 32-bit address, then LDE/LDBE.
+		if err := c.loadCell32(s); err != nil {
+			return err
+		}
+		if idx != nil {
+			if err := c.genExprAs(idx, typ{kind: kInt32}); err != nil {
+				return err
+			}
+			if t.kind != kString {
+				c.emit("  DSHL 1") // scale words to bytes
+			}
+			c.emit("  DADD")
+			c.depth -= 2
+		}
+		if t.kind == kString {
+			c.emit("  LDBE")
+		} else {
+			c.emit("  LDE")
+		}
+		c.depth-- // pair popped, word pushed
+		return nil
+
+	case t.ptr && t.kind == kString:
+		if idx == nil {
+			c.emitCellOp("LDB", s, true, false)
+			c.depth++
+			return nil
+		}
+		if err := c.genExpr(idx); err != nil {
+			return err
+		}
+		c.emitCellOp("LDB", s, true, true)
+		c.depth++
+		return nil
+
+	case t.ptr:
+		op := "LOAD"
+		if t.kind == kInt32 {
+			op = "LDD"
+		}
+		if idx == nil {
+			c.emitCellOp(op, s, true, false)
+			c.depth += wordsOf(op)
+			return nil
+		}
+		if err := c.genExpr(idx); err != nil {
+			return err
+		}
+		if t.kind == kInt32 {
+			c.emit("  SHL 1")
+		}
+		c.emitCellOp(op, s, true, true)
+		c.depth += wordsOf(op)
+		return nil
+
+	case t.arr:
+		if idx == nil {
+			return fmt.Errorf("array %s used without index", s.name)
+		}
+		if t.kind == kString {
+			if err := c.genIndexValue(idx, t.lo, 1); err != nil {
+				return err
+			}
+			c.emitCellOp("LDB", s, false, true)
+			c.depth++
+			return nil
+		}
+		scale := 1
+		op := "LOAD"
+		if t.kind == kInt32 {
+			scale, op = 2, "LDD"
+		}
+		if err := c.genIndexValue(idx, t.lo, scale); err != nil {
+			return err
+		}
+		c.emitCellOp(op, s, false, true)
+		c.depth += wordsOf(op)
+		return nil
+
+	default:
+		op := "LOAD"
+		if t.kind == kInt32 {
+			op = "LDD"
+		}
+		if t.kind == kString {
+			op = "LDB"
+		}
+		c.emitCellOp(op, s, false, false)
+		c.depth += wordsOf(op)
+		return nil
+	}
+}
+
+func wordsOf(op string) int {
+	if op == "LDD" || op == "STD" {
+		return 2
+	}
+	return 1
+}
+
+// genIndexValue pushes an index value adjusted for the lower bound and
+// element scale.
+func (c *compiler) genIndexValue(idx *expr, lo, scale int) error {
+	if err := c.genExprAs(idx, typ{kind: kInt}); err != nil {
+		return err
+	}
+	if lo != 0 {
+		c.pushConst(int64(-lo))
+		c.emit("  ADD")
+		c.depth--
+	}
+	if scale == 2 {
+		c.emit("  SHL 1")
+	}
+	return nil
+}
+
+// emitCellOp emits a memory instruction addressing s's cell with the given
+// indirection/indexing. The index (if any) must already be on the stack;
+// it is consumed. Globals beyond the 256-word direct window take the extra
+// indexing steps the paper describes.
+func (c *compiler) emitCellOp(op string, s *symbol, ind, idx bool) {
+	suffix := ""
+	if ind {
+		suffix += ",I"
+	}
+	if idx {
+		suffix += ",X"
+	}
+	switch s.kind {
+	case symGlobal:
+		if directG(s.addr) {
+			c.emit("  %s G+%d%s", op, s.addr, suffix)
+			if idx {
+				c.depth--
+			}
+			return
+		}
+		// Out-of-window global. Reduce every form to "op G+0,X" with a
+		// computed index.
+		byteOp := op == "LDB" || op == "STB"
+		if ind {
+			// Fetch the pointer cell first: mem[s.addr].
+			c.pushConst(int64(s.addr))
+			c.emit("  LOAD G+0,X")
+			// The cell holds a word address (word ops) or byte address
+			// (byte ops); either serves directly as the G+0 index.
+			if idx {
+				c.emit("  ADD")
+				c.depth--
+			}
+			c.emit("  %s G+0,X", op)
+			c.depth--
+			return
+		}
+		base := int64(s.addr)
+		if byteOp {
+			base = 2 * base
+		}
+		c.pushConst(base)
+		if idx {
+			c.emit("  ADD")
+			c.depth--
+		}
+		c.emit("  %s G+0,X", op)
+		c.depth--
+		return
+	default: // locals and params share L addressing
+		if s.addr >= 0 && directL(s.addr) {
+			c.emit("  %s L+%d%s", op, s.addr, suffix)
+		} else if s.addr < 0 && -s.addr <= 31 {
+			c.emit("  %s L-%d%s", op, -s.addr, suffix)
+		} else {
+			panic(fmt.Sprintf("talc: local offset %d out of range", s.addr))
+		}
+		if idx {
+			c.depth--
+		}
+	}
+}
+
+// genAddr pushes the word address (byte address for STRING) of a variable.
+func (c *compiler) genAddr(s *symbol, idx *expr) error {
+	return c.genAddr16(s, idx, true)
+}
+
+// genAddr16 pushes the 16-bit address; for STRING entities the address is
+// a byte address.
+func (c *compiler) genAddr16(s *symbol, idx *expr, allowPtr bool) error {
+	if s.t.ptr && allowPtr {
+		// @p is the pointer's own value.
+		if s.t.ext {
+			if err := c.loadCell32(s); err != nil {
+				return err
+			}
+		} else {
+			c.emitCellOp("LOAD", s, false, false)
+			c.depth++
+		}
+		if idx != nil {
+			if s.t.ext {
+				if err := c.genExprAs(idx, typ{kind: kInt32}); err != nil {
+					return err
+				}
+				if s.t.kind != kString {
+					c.emit("  DSHL 1")
+				}
+				c.emit("  DADD")
+				c.depth -= 2
+			} else {
+				if err := c.genExpr(idx); err != nil {
+					return err
+				}
+				c.emit("  ADD")
+				c.depth--
+			}
+		}
+		return nil
+	}
+	byteAddr := s.t.kind == kString
+	scale := 1
+	if s.t.kind == kInt32 {
+		scale = 2
+	}
+	switch s.kind {
+	case symGlobal:
+		base := s.addr
+		if byteAddr {
+			base = 2 * s.addr
+		}
+		if idx == nil {
+			c.pushConst(int64(base))
+			return nil
+		}
+		if err := c.genIndexValue(idx, s.t.lo, scaleFor(byteAddr, scale)); err != nil {
+			return err
+		}
+		c.pushConst(int64(base))
+		c.emit("  ADD")
+		c.depth--
+		return nil
+	default:
+		if s.addr >= -31 && s.addr <= 127 {
+			c.emit("  LLA %d", s.addr)
+			c.depth++
+		} else {
+			panic("talc: local offset out of LLA range")
+		}
+		if byteAddr {
+			c.emit("  SHL 1")
+		}
+		if idx != nil {
+			if err := c.genIndexValue(idx, s.t.lo, scaleFor(byteAddr, scale)); err != nil {
+				return err
+			}
+			c.emit("  ADD")
+			c.depth--
+		}
+		return nil
+	}
+}
+
+func scaleFor(byteAddr bool, scale int) int {
+	if byteAddr {
+		return 1
+	}
+	return scale
+}
+
+// loadCell32 pushes the 32-bit content of an extended pointer cell.
+func (c *compiler) loadCell32(s *symbol) error {
+	c.emitCellOp("LDD", s, false, false)
+	c.depth += 2
+	return nil
+}
+
+// genBinary generates arithmetic and bitwise operations.
+func (c *compiler) genBinary(e *expr) error {
+	wide := e.t.kind == kInt32
+	// Shifts take a constant count.
+	if e.bop == "<<" || e.bop == ">>" {
+		if err := c.genExprAs(e.l, e.t); err != nil {
+			return err
+		}
+		if e.r.op != 'n' {
+			return fmt.Errorf("line %d: shift count must be a constant", e.line)
+		}
+		n := e.r.num
+		switch {
+		case wide && e.bop == "<<":
+			c.emit("  DSHL %d", n)
+		case wide:
+			c.emit("  DSHRL %d", n)
+		case e.bop == "<<":
+			c.emit("  SHL %d", n)
+		default:
+			c.emit("  SHRA %d", n)
+		}
+		return nil
+	}
+	if err := c.genExprAs(e.l, e.t); err != nil {
+		return err
+	}
+	if err := c.genExprAs(e.r, e.t); err != nil {
+		return err
+	}
+	var op string
+	switch e.bop {
+	case "+":
+		op = "ADD"
+	case "-":
+		op = "SUB"
+	case "*":
+		op = "MPY"
+	case "/":
+		op = "DIV"
+	case "\\":
+		op = "MOD"
+	case "LOR":
+		op = "LOR"
+	case "LAND":
+		op = "LAND"
+	case "XOR":
+		op = "XOR"
+	default:
+		return fmt.Errorf("internal: binary op %q", e.bop)
+	}
+	if wide {
+		switch op {
+		case "ADD":
+			op = "DADD"
+		case "SUB":
+			op = "DSUB"
+		case "MPY":
+			op = "DMPY"
+		case "DIV":
+			op = "DDIV"
+		default:
+			return fmt.Errorf("line %d: %s is not available on INT(32)", e.line, e.bop)
+		}
+		c.emit("  %s", op)
+		c.depth -= 2
+		return nil
+	}
+	c.emit("  %s", op)
+	c.depth--
+	return nil
+}
+
+// genCondValue materializes a condition as 0/1.
+func (c *compiler) genCondValue(e *expr) error {
+	fl := c.newLabel("cf")
+	done := c.newLabel("cd")
+	if err := c.genCondJump(e, fl, false); err != nil {
+		return err
+	}
+	c.emit("  LDI 1")
+	c.emit("  BUN %s", done)
+	c.emit("%s:", fl)
+	c.emit("  LDI 0")
+	c.emit("%s:", done)
+	c.depth++
+	return nil
+}
+
+var relInverse = map[string]string{
+	"<": ">=", "<=": ">", ">": "<=", ">=": "<", "=": "<>", "<>": "=",
+}
+
+var relBranch = map[string]string{
+	"<": "BL", "<=": "BLE", ">": "BG", ">=": "BGE", "=": "BE", "<>": "BNE",
+}
+
+// genCondJump branches to target when e is true (jumpIfTrue) or false.
+// Conditional branches are emitted as a short inverse branch over an
+// unconditional one, so label distance never overflows the BCC range.
+func (c *compiler) genCondJump(e *expr, target string, jumpIfTrue bool) error {
+	if e.op == 'C' {
+		switch e.bop {
+		case "NOT":
+			return c.genCondJump(e.l, target, !jumpIfTrue)
+		case "AND":
+			if jumpIfTrue {
+				skip := c.newLabel("ca")
+				if err := c.genCondJump(e.l, skip, false); err != nil {
+					return err
+				}
+				if err := c.genCondJump(e.r, target, true); err != nil {
+					return err
+				}
+				c.emit("%s:", skip)
+				return nil
+			}
+			if err := c.genCondJump(e.l, target, false); err != nil {
+				return err
+			}
+			return c.genCondJump(e.r, target, false)
+		case "OR":
+			if jumpIfTrue {
+				if err := c.genCondJump(e.l, target, true); err != nil {
+					return err
+				}
+				return c.genCondJump(e.r, target, true)
+			}
+			skip := c.newLabel("co")
+			if err := c.genCondJump(e.l, skip, true); err != nil {
+				return err
+			}
+			if err := c.genCondJump(e.r, target, false); err != nil {
+				return err
+			}
+			c.emit("%s:", skip)
+			return nil
+		default: // relational
+			jt := joinType(e.l.t, e.r.t)
+			if err := c.genExprAs(e.l, jt); err != nil {
+				return err
+			}
+			if err := c.genExprAs(e.r, jt); err != nil {
+				return err
+			}
+			if jt.kind == kInt32 {
+				c.emit("  DCMP")
+				c.depth -= 4
+			} else {
+				c.emit("  CMP")
+				c.depth -= 2
+			}
+			rel := e.bop
+			if !jumpIfTrue {
+				rel = relInverse[rel]
+			}
+			// Short inverse branch over a BUN, range-safe.
+			skip := c.newLabel("cs")
+			c.emit("  %s %s", relBranch[relInverse[rel]], skip)
+			c.emit("  BUN %s", target)
+			c.emit("%s:", skip)
+			return nil
+		}
+	}
+	// Truth value of a plain expression.
+	if err := c.genExpr(e); err != nil {
+		return err
+	}
+	if e.t.valueWords() == 2 {
+		c.emit("  DTST")
+		c.emit("  DDEL")
+		c.depth -= 2
+		skip := c.newLabel("cs")
+		if jumpIfTrue {
+			c.emit("  BE %s", skip)
+		} else {
+			c.emit("  BNE %s", skip)
+		}
+		c.emit("  BUN %s", target)
+		c.emit("%s:", skip)
+		return nil
+	}
+	skip := c.newLabel("cs")
+	if jumpIfTrue {
+		c.emit("  BZ %s", skip)
+	} else {
+		c.emit("  BNZ %s", skip)
+	}
+	c.depth--
+	c.emit("  BUN %s", target)
+	c.emit("%s:", skip)
+	return nil
+}
+
+// genBuiltinExpr compiles SCANB and COMPAREBYTES.
+func (c *compiler) genBuiltinExpr(e *expr) error {
+	for _, a := range e.args {
+		if err := c.genExprAs(a, typ{kind: kInt}); err != nil {
+			return err
+		}
+	}
+	switch e.bop {
+	case "SCANB":
+		c.emit("  SCNB")
+		c.depth -= 2
+	case "COMPAREBYTES":
+		c.emit("  CMPB")
+		c.depth -= 3
+		neg := c.newLabel("cb")
+		pos := c.newLabel("cb")
+		done := c.newLabel("cb")
+		c.emit("  BL %s", neg)
+		c.emit("  BG %s", pos)
+		c.emit("  LDI 0")
+		c.emit("  BUN %s", done)
+		c.emit("%s:", neg)
+		c.emit("  LDI -1")
+		c.emit("  BUN %s", done)
+		c.emit("%s:", pos)
+		c.emit("  LDI 1")
+		c.emit("%s:", done)
+		c.depth++
+	}
+	return nil
+}

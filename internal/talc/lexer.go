@@ -1,0 +1,209 @@
+// Package talc compiles a mini-TAL dialect (Transaction Application
+// Language, the systems language the paper's workloads were written in) to
+// TNS object code. The dialect covers what the paper's programs need:
+//
+//   - INT, INT(32) and STRING (byte array) data; word arrays; TAL-style
+//     implicitly dereferenced pointer variables (INT .p), including
+//     extended 32-bit pointers (INT .EXT p) for the 32-bit-addressing
+//     variants of the benchmarks;
+//   - PROC/INT PROC with value and address parameters, RETURN, CALL;
+//   - IF/ELSE, WHILE, FOR, CASE (compiled to the CASE jump-table
+//     instruction), BEGIN/END blocks;
+//   - MOVE (block moves compiled to MOVB/MOVW), SCAN (SCNB);
+//   - LITERAL constants and token-level DEFINE macros;
+//   - console built-ins PUTCHAR/PUTNUM/PUTS/HALT (SVCs) and SYSPROC
+//     declarations binding names to system-library PEP indexes (SCAL).
+//
+// The generated code is deliberately in the style the paper ascribes to the
+// TNS compilers: stack-oriented, no register variables, no common
+// subexpression elimination, rigid operand order — the input quality the
+// Accelerator was designed to improve on. The compiler emits TNS assembly
+// (resolved by the tnsasm package) plus debugger statement and symbol
+// tables.
+package talc
+
+import "strings"
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tString
+	tCharLit
+	tPunct
+)
+
+type token struct {
+	kind tokKind
+	text string // identifiers upper-cased (TAL is case-insensitive)
+	num  int64
+	str  string
+	line int
+}
+
+type lexer struct {
+	src     string
+	pos     int
+	line    int
+	defines map[string][]token
+	pending []token // expanded macro tokens
+	err     error
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, defines: map[string][]token{}}
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == '$'
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '^'
+}
+
+// next returns the next token, expanding DEFINE macros.
+func (lx *lexer) next() token {
+	if len(lx.pending) > 0 {
+		t := lx.pending[0]
+		lx.pending = lx.pending[1:]
+		return t
+	}
+	t := lx.scan()
+	if t.kind == tIdent {
+		if body, ok := lx.defines[t.text]; ok {
+			lx.pending = append(append([]token{}, body...), lx.pending...)
+			return lx.next()
+		}
+	}
+	return t
+}
+
+func (lx *lexer) scan() token {
+	s := lx.src
+	for lx.pos < len(s) {
+		c := s[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '!': // TAL comment: to end of line or closing '!'
+			lx.pos++
+			for lx.pos < len(s) && s[lx.pos] != '\n' && s[lx.pos] != '!' {
+				lx.pos++
+			}
+			if lx.pos < len(s) && s[lx.pos] == '!' {
+				lx.pos++
+			}
+		case c == '-' && lx.pos+1 < len(s) && s[lx.pos+1] == '-':
+			for lx.pos < len(s) && s[lx.pos] != '\n' {
+				lx.pos++
+			}
+		default:
+			goto scanToken
+		}
+	}
+	return token{kind: tEOF, line: lx.line}
+
+scanToken:
+	c := s[lx.pos]
+	start := lx.pos
+	line := lx.line
+	switch {
+	case isIdentStart(c):
+		for lx.pos < len(s) && isIdentChar(s[lx.pos]) {
+			lx.pos++
+		}
+		return token{kind: tIdent, text: strings.ToUpper(s[start:lx.pos]), line: line}
+	case c >= '0' && c <= '9':
+		base := 10
+		if c == '0' && lx.pos+1 < len(s) && (s[lx.pos+1] == 'x' || s[lx.pos+1] == 'X') {
+			base = 16
+			lx.pos += 2
+			start = lx.pos
+		} else if c == '%' {
+			base = 8
+		}
+		var v int64
+		for lx.pos < len(s) {
+			d := digitVal(s[lx.pos])
+			if d < 0 || d >= base {
+				break
+			}
+			v = v*int64(base) + int64(d)
+			lx.pos++
+		}
+		// TAL "D" suffix marks a doubleword (32-bit) literal.
+		if lx.pos < len(s) && (s[lx.pos] == 'D' || s[lx.pos] == 'd') &&
+			(lx.pos+1 >= len(s) || !isIdentChar(s[lx.pos+1])) {
+			lx.pos++
+			return token{kind: tNumber, num: v, str: "D", line: line}
+		}
+		return token{kind: tNumber, num: v, line: line}
+	case c == '%': // octal or %H hex, TAL style
+		lx.pos++
+		base := 8
+		if lx.pos < len(s) && (s[lx.pos] == 'H' || s[lx.pos] == 'h') {
+			base = 16
+			lx.pos++
+		}
+		var v int64
+		for lx.pos < len(s) {
+			d := digitVal(s[lx.pos])
+			if d < 0 || d >= base {
+				break
+			}
+			v = v*int64(base) + int64(d)
+			lx.pos++
+		}
+		return token{kind: tNumber, num: v, line: line}
+	case c == '"':
+		lx.pos++
+		var sb strings.Builder
+		for lx.pos < len(s) && s[lx.pos] != '"' {
+			if s[lx.pos] == '\n' {
+				lx.line++
+			}
+			sb.WriteByte(s[lx.pos])
+			lx.pos++
+		}
+		if lx.pos < len(s) {
+			lx.pos++
+		}
+		str := sb.String()
+		if len(str) == 1 {
+			// Single-character string literals act as character values.
+			return token{kind: tCharLit, num: int64(str[0]), str: str, line: line}
+		}
+		return token{kind: tString, str: str, line: line}
+	default:
+		// Multi-character punctuation.
+		two := ""
+		if lx.pos+1 < len(s) {
+			two = s[lx.pos : lx.pos+2]
+		}
+		switch two {
+		case ":=", "<=", ">=", "<>", "<<", ">>", "'+", "'-", "'*":
+			lx.pos += 2
+			return token{kind: tPunct, text: two, line: line}
+		}
+		lx.pos++
+		return token{kind: tPunct, text: string(c), line: line}
+	}
+}
+
+func digitVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}

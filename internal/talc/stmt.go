@@ -1,0 +1,763 @@
+package talc
+
+import (
+	"fmt"
+
+	"tnsr/internal/codefile"
+)
+
+// stmtEnd consumes a statement terminator: ';', or nothing when the next
+// token closes an enclosing construct (ELSE/END/OTHERWISE), TAL style.
+func (c *compiler) stmtEnd() error {
+	if c.accept(";") {
+		return nil
+	}
+	if c.isIdent("ELSE") || c.isIdent("END") || c.isIdent("OTHERWISE") {
+		return nil
+	}
+	return c.errf("expected \";\", found %q", c.tokText())
+}
+
+// Statement compilation. Every statement starts at a statement boundary
+// (STMT marker -> the codefile statement table the debugger and the
+// Accelerator's StmtDebug level use) with an empty register stack.
+
+func (c *compiler) statement() error {
+	line := c.tok.line
+	c.tempTop = 0
+	if c.depth != 0 {
+		return fmt.Errorf("internal: register stack depth %d at statement start", c.depth)
+	}
+	c.emit("  STMT %d", line)
+	switch {
+	case c.isIdent("BEGIN"):
+		return c.compileBlockStmts()
+	case c.isIdent("IF"):
+		return c.ifStmt()
+	case c.isIdent("WHILE"):
+		return c.whileStmt()
+	case c.isIdent("FOR"):
+		return c.forStmt()
+	case c.isIdent("CASE"):
+		return c.caseStmt()
+	case c.isIdent("CALL"):
+		c.advance()
+		return c.callStmt()
+	case c.isIdent("RETURN"):
+		c.advance()
+		return c.returnStmt()
+	case c.isIdent("MOVE"):
+		c.advance()
+		return c.moveStmt()
+	case c.isIdent("PUTCHAR"), c.isIdent("PUTNUM"), c.isIdent("PUTS"),
+		c.isIdent("HALT"):
+		return c.consoleStmt()
+	case c.isPunct(";"):
+		c.advance()
+		return nil
+	case c.isPunct("@"):
+		// Pointer assignment: @p := address expression.
+		c.advance()
+		return c.pointerAssign()
+	case c.tok.kind == tIdent:
+		return c.assignStmt()
+	}
+	return c.errf("unexpected %q at start of statement", c.tokText())
+}
+
+// compileBlockStmts compiles BEGIN stmts END with no new declarations.
+func (c *compiler) compileBlockStmts() error {
+	c.advance() // BEGIN
+	for !c.isIdent("END") {
+		if c.tok.kind == tEOF {
+			return c.errf("unexpected end of file in block")
+		}
+		if err := c.statement(); err != nil {
+			return err
+		}
+	}
+	c.advance()
+	c.accept(";")
+	return nil
+}
+
+func (c *compiler) ifStmt() error {
+	c.advance() // IF
+	cond, err := c.parseExpr()
+	if err != nil {
+		return err
+	}
+	if err := c.expect("THEN"); err != nil {
+		return err
+	}
+	cond, err = c.hoistCalls(cond)
+	if err != nil {
+		return err
+	}
+	elseL := c.newLabel("else")
+	if err := c.genCondJump(cond, elseL, false); err != nil {
+		return err
+	}
+	if err := c.statement(); err != nil {
+		return err
+	}
+	if c.isIdent("ELSE") {
+		c.advance()
+		endL := c.newLabel("fi")
+		c.emit("  BUN %s", endL)
+		c.emit("%s:", elseL)
+		if err := c.statement(); err != nil {
+			return err
+		}
+		c.emit("%s:", endL)
+	} else {
+		c.emit("%s:", elseL)
+	}
+	c.accept(";")
+	return nil
+}
+
+func (c *compiler) whileStmt() error {
+	c.advance() // WHILE
+	top := c.newLabel("wh")
+	out := c.newLabel("wo")
+	c.emit("%s:", top)
+	cond, err := c.parseExpr()
+	if err != nil {
+		return err
+	}
+	if err := c.expect("DO"); err != nil {
+		return err
+	}
+	cond, err = c.hoistCalls(cond)
+	if err != nil {
+		return err
+	}
+	if err := c.genCondJump(cond, out, false); err != nil {
+		return err
+	}
+	if err := c.statement(); err != nil {
+		return err
+	}
+	c.emit("  BUN %s", top)
+	c.emit("%s:", out)
+	c.accept(";")
+	return nil
+}
+
+func (c *compiler) forStmt() error {
+	c.advance() // FOR
+	if c.tok.kind != tIdent {
+		return c.errf("FOR needs a control variable")
+	}
+	v, err := c.lookup(c.tok.text)
+	if err != nil {
+		return err
+	}
+	if v.t.valueWords() != 1 || v.t.arr || v.t.ptr {
+		return c.errf("FOR control variable must be a plain INT")
+	}
+	c.advance()
+	if err := c.expect(":="); err != nil {
+		return err
+	}
+	start, err := c.parseExpr()
+	if err != nil {
+		return err
+	}
+	down := false
+	if c.isIdent("DOWNTO") {
+		down = true
+		c.advance()
+	} else if err := c.expect("TO"); err != nil {
+		return err
+	}
+	limit, err := c.parseExpr()
+	if err != nil {
+		return err
+	}
+	step := int64(1)
+	if c.accept("BY") {
+		s, err := c.constExpr()
+		if err != nil {
+			return err
+		}
+		step = s
+	}
+	if err := c.expect("DO"); err != nil {
+		return err
+	}
+	// Initialize; keep the limit in a temp (re-evaluated limits are a TAL
+	// gotcha we sidestep).
+	if start, err = c.hoistCalls(start); err != nil {
+		return err
+	}
+	if err := c.assignTo(v, nil, start); err != nil {
+		return err
+	}
+	if limit, err = c.hoistCalls(limit); err != nil {
+		return err
+	}
+	// The limit lives in a dedicated hidden local for the loop's lifetime
+	// (statement-scoped temporaries are reused by the body's statements).
+	limOff := c.nextLocal
+	c.nextLocal++
+	if c.nextLocal-1 > c.maxLocal {
+		c.maxLocal = c.nextLocal - 1
+	}
+	defer func() { c.nextLocal-- }()
+	if err := c.genExprAs(limit, typ{kind: kInt}); err != nil {
+		return err
+	}
+	c.emit("  STOR L+%d", limOff)
+	c.depth--
+
+	top := c.newLabel("fo")
+	out := c.newLabel("fx")
+	c.emit("%s:", top)
+	// Test: v <= limit (or >= when counting down).
+	if err := c.genVarLoad(v, nil); err != nil {
+		return err
+	}
+	c.emit("  LOAD L+%d", limOff)
+	c.depth++
+	c.emit("  CMP")
+	c.depth -= 2
+	skip := c.newLabel("fs")
+	if down {
+		c.emit("  BGE %s", skip)
+	} else {
+		c.emit("  BLE %s", skip)
+	}
+	c.emit("  BUN %s", out)
+	c.emit("%s:", skip)
+	if err := c.statement(); err != nil {
+		return err
+	}
+	// Increment.
+	if err := c.genVarLoad(v, nil); err != nil {
+		return err
+	}
+	inc := step
+	if down {
+		inc = -step
+	}
+	c.pushConst(inc)
+	c.emit("  ADD")
+	c.depth--
+	if err := c.storeVar(v, nil); err != nil {
+		return err
+	}
+	c.emit("  BUN %s", top)
+	c.emit("%s:", out)
+	c.accept(";")
+	return nil
+}
+
+// caseStmt compiles CASE e OF BEGIN s0; s1; ... [OTHERWISE s] END — into
+// the CASE jump-table instruction.
+func (c *compiler) caseStmt() error {
+	c.advance() // CASE
+	sel, err := c.parseExpr()
+	if err != nil {
+		return err
+	}
+	if err := c.expect("OF"); err != nil {
+		return err
+	}
+	if err := c.expect("BEGIN"); err != nil {
+		return err
+	}
+	if sel, err = c.hoistCalls(sel); err != nil {
+		return err
+	}
+	if err := c.genExprAs(sel, typ{kind: kInt}); err != nil {
+		return err
+	}
+	c.emit("  CASE")
+	c.depth--
+
+	// The CASETAB must be emitted before the arms, but the arm count is
+	// unknown until parsed; compile each arm into the buffer, then cut the
+	// text back out and splice it after the table.
+	endL := c.newLabel("ce")
+	otherL := c.newLabel("cw")
+	var arms []string
+	type armCode struct {
+		label string
+		text  string
+	}
+	var compiled []armCode
+	otherwise := ""
+	for !c.isIdent("END") {
+		mark := c.out.Len()
+		if c.isIdent("OTHERWISE") {
+			c.advance()
+			if err := c.statement(); err != nil {
+				return err
+			}
+			otherwise = c.out.String()[mark:]
+			c.out.Truncate(mark)
+			continue
+		}
+		l := c.newLabel("ca")
+		arms = append(arms, l)
+		if err := c.statement(); err != nil {
+			return err
+		}
+		compiled = append(compiled, armCode{label: l, text: c.out.String()[mark:]})
+		c.out.Truncate(mark)
+	}
+	c.advance() // END
+	c.accept(";")
+
+	var tab string
+	for i, l := range arms {
+		if i > 0 {
+			tab += ", "
+		}
+		tab += l
+	}
+	c.emit("CASETAB %s", tab)
+	// Fall-through (out of range) is the OTHERWISE arm.
+	c.emit("%s:", otherL)
+	if otherwise != "" {
+		c.out.WriteString(otherwise)
+	}
+	c.emit("  BUN %s", endL)
+	for _, a := range compiled {
+		c.emit("%s:", a.label)
+		c.out.WriteString(a.text)
+		c.emit("  BUN %s", endL)
+	}
+	c.emit("%s:", endL)
+	return nil
+}
+
+func (c *compiler) callStmt() error {
+	if c.isIdent("PUTCHAR") || c.isIdent("PUTNUM") || c.isIdent("PUTS") ||
+		c.isIdent("HALT") {
+		return c.consoleStmt()
+	}
+	if c.tok.kind != tIdent {
+		return c.errf("CALL needs a procedure name")
+	}
+	name := c.tok.text
+	p, ok := c.procs[name]
+	if !ok {
+		return c.errf("undeclared procedure %s", name)
+	}
+	c.advance()
+	args, err := c.parseArgs()
+	if err != nil {
+		return err
+	}
+	for i := range args {
+		if args[i], err = c.hoistCalls(args[i]); err != nil {
+			return err
+		}
+	}
+	if err := c.genCall(p, args); err != nil {
+		return err
+	}
+	if p.result.kind != kVoid {
+		// Discard the unused result.
+		if p.result.valueWords() == 2 {
+			c.emit("  DDEL")
+			c.depth -= 2
+		} else {
+			c.emit("  DEL")
+			c.depth--
+		}
+	}
+	return c.stmtEnd()
+}
+
+func (c *compiler) returnStmt() error {
+	resW := 0
+	if c.cur.result.kind != kVoid {
+		resW = c.cur.result.valueWords()
+	}
+	if !c.isPunct(";") {
+		e, err := c.parseExpr()
+		if err != nil {
+			return err
+		}
+		if e, err = c.hoistCalls(e); err != nil {
+			return err
+		}
+		if resW == 0 {
+			return c.errf("RETURN with a value in an untyped PROC")
+		}
+		if err := c.genExprAs(e, c.cur.result); err != nil {
+			return err
+		}
+		c.depth -= resW
+	} else if resW != 0 {
+		return c.errf("RETURN needs a value in a typed PROC")
+	}
+	c.emit("  EXIT %d", c.cur.argWs)
+	return c.stmtEnd()
+}
+
+// consoleStmt compiles the console built-ins.
+func (c *compiler) consoleStmt() error {
+	name := c.tok.text
+	c.advance()
+	args, err := c.parseArgs()
+	if err != nil {
+		return err
+	}
+	for i := range args {
+		if args[i], err = c.hoistCalls(args[i]); err != nil {
+			return err
+		}
+	}
+	want := map[string]int{"PUTCHAR": 1, "PUTNUM": 1, "PUTS": 2, "HALT": 1}[name]
+	if len(args) != want {
+		return c.errf("%s takes %d argument(s)", name, want)
+	}
+	for _, a := range args {
+		if err := c.genExprAs(a, typ{kind: kInt}); err != nil {
+			return err
+		}
+	}
+	switch name {
+	case "PUTCHAR":
+		c.emit("  SVC 1")
+		c.depth--
+	case "PUTNUM":
+		c.emit("  SVC 2")
+		c.depth--
+	case "PUTS":
+		c.emit("  SVC 3")
+		c.depth -= 2
+	case "HALT":
+		c.emit("  SVC 0")
+		c.depth--
+	}
+	return c.stmtEnd()
+}
+
+// moveStmt compiles MOVE dst := src FOR count [BYTES|WORDS];
+func (c *compiler) moveStmt() error {
+	dst, err := c.parseAddrOperand()
+	if err != nil {
+		return err
+	}
+	if err := c.expect(":="); err != nil {
+		return err
+	}
+	src, err := c.parseAddrOperand()
+	if err != nil {
+		return err
+	}
+	if err := c.expect("FOR"); err != nil {
+		return err
+	}
+	count, err := c.parseExpr()
+	if err != nil {
+		return err
+	}
+	bytes := dst.t.kind == kString
+	if c.accept("BYTES") {
+		bytes = true
+	} else if c.accept("WORDS") {
+		bytes = false
+	}
+	if count, err = c.hoistCalls(count); err != nil {
+		return err
+	}
+	// Push src, dst, count.
+	if err := c.genMoveAddr(src, bytes); err != nil {
+		return err
+	}
+	if err := c.genMoveAddr(dst, bytes); err != nil {
+		return err
+	}
+	if err := c.genExprAs(count, typ{kind: kInt}); err != nil {
+		return err
+	}
+	if bytes {
+		c.emit("  MOVB")
+	} else {
+		c.emit("  MOVW")
+	}
+	c.depth -= 3
+	return c.stmtEnd()
+}
+
+// parseAddrOperand parses a variable reference used as a block-move
+// endpoint.
+func (c *compiler) parseAddrOperand() (*expr, error) {
+	if c.accept("@") {
+		return c.parseAddrOf()
+	}
+	if c.tok.kind == tString {
+		e := &expr{op: 's', str: c.tok.str, t: typ{kind: kString}}
+		c.advance()
+		return e, nil
+	}
+	if c.tok.kind != tIdent {
+		return nil, c.errf("MOVE endpoint must be a variable")
+	}
+	s, err := c.lookup(c.tok.text)
+	if err != nil {
+		return nil, err
+	}
+	c.advance()
+	var idx *expr
+	if c.accept("[") {
+		idx, err = c.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := c.expect("]"); err != nil {
+			return nil, err
+		}
+	}
+	return &expr{op: 'a', sym: s, idx: idx, t: s.t}, nil
+}
+
+// genMoveAddr pushes the (word or byte) address of a move endpoint.
+func (c *compiler) genMoveAddr(e *expr, bytes bool) error {
+	if e.op == 's' {
+		addr := c.internString(e.str)
+		if bytes {
+			c.pushConst(int64(2 * addr))
+		} else {
+			c.pushConst(int64(addr))
+		}
+		return nil
+	}
+	s := e.sym
+	// genAddr16 yields byte addresses for STRING entities, word addresses
+	// otherwise; convert as needed.
+	if err := c.genAddr16(s, e.idx, true); err != nil {
+		return err
+	}
+	isByteAddr := s.t.kind == kString
+	switch {
+	case bytes && !isByteAddr:
+		c.emit("  SHL 1")
+	case !bytes && isByteAddr:
+		c.emit("  SHRL 1")
+	}
+	return nil
+}
+
+// pointerAssign compiles "@p := expr" (set the pointer itself).
+func (c *compiler) pointerAssign() error {
+	if c.tok.kind != tIdent {
+		return c.errf("@ needs a pointer variable")
+	}
+	s, err := c.lookup(c.tok.text)
+	if err != nil {
+		return err
+	}
+	if !s.t.ptr {
+		return c.errf("%s is not a pointer", s.name)
+	}
+	c.advance()
+	if err := c.expect(":="); err != nil {
+		return err
+	}
+	rhs, err := c.parseExpr()
+	if err != nil {
+		return err
+	}
+	if rhs, err = c.hoistCalls(rhs); err != nil {
+		return err
+	}
+	want := typ{kind: kInt}
+	if s.t.ext {
+		want = typ{kind: kInt32}
+	}
+	if err := c.genExprAs(rhs, want); err != nil {
+		return err
+	}
+	if s.t.ext {
+		c.emitCellOp("STD", s, false, false)
+		c.depth -= 2
+	} else {
+		c.emitCellOp("STOR", s, false, false)
+		c.depth--
+	}
+	return c.stmtEnd()
+}
+
+// assignStmt compiles "lvalue := expr".
+func (c *compiler) assignStmt() error {
+	s, err := c.lookup(c.tok.text)
+	if err != nil {
+		return err
+	}
+	c.advance()
+	var idx *expr
+	if c.accept("[") {
+		idx, err = c.parseExpr()
+		if err != nil {
+			return err
+		}
+		if err := c.expect("]"); err != nil {
+			return err
+		}
+	}
+	if err := c.expect(":="); err != nil {
+		return err
+	}
+	rhs, err := c.parseExpr()
+	if err != nil {
+		return err
+	}
+	if err := c.assignTo(s, idx, rhs); err != nil {
+		return err
+	}
+	return c.stmtEnd()
+}
+
+// assignTo generates "s[idx] := rhs".
+func (c *compiler) assignTo(s *symbol, idx *expr, rhs *expr) error {
+	var err error
+	if rhs, err = c.hoistCalls(rhs); err != nil {
+		return err
+	}
+	if idx != nil {
+		if idx, err = c.hoistCalls(idx); err != nil {
+			return err
+		}
+	}
+	t := s.t
+	target := valueType(t)
+	if idx != nil {
+		target = elemType(t)
+	}
+	if err := c.genExprAs(rhs, target); err != nil {
+		return err
+	}
+	return c.storeVarIdx(s, idx)
+}
+
+// storeVar pops the top of stack into the variable.
+func (c *compiler) storeVar(s *symbol, idx *expr) error { return c.storeVarIdx(s, idx) }
+
+func (c *compiler) storeVarIdx(s *symbol, idx *expr) error {
+	t := s.t
+	switch {
+	case t.ptr && t.ext:
+		// Value is on the stack; push the 32-bit address, then STE/STBE.
+		if err := c.loadCell32(s); err != nil {
+			return err
+		}
+		if idx != nil {
+			if err := c.genExprAs(idx, typ{kind: kInt32}); err != nil {
+				return err
+			}
+			if t.kind != kString {
+				c.emit("  DSHL 1")
+			}
+			c.emit("  DADD")
+			c.depth -= 2
+		}
+		if t.kind == kString {
+			c.emit("  STBE")
+		} else {
+			c.emit("  STE")
+		}
+		c.depth -= 3
+		return nil
+
+	case t.ptr && t.kind == kString:
+		if idx == nil {
+			c.emitCellOp("STB", s, true, false)
+			c.depth--
+			return nil
+		}
+		if err := c.genExpr(idx); err != nil {
+			return err
+		}
+		c.emitCellOp("STB", s, true, true)
+		c.depth--
+		return nil
+
+	case t.ptr:
+		op := "STOR"
+		w := 1
+		if t.kind == kInt32 {
+			op, w = "STD", 2
+		}
+		if idx == nil {
+			c.emitCellOp(op, s, true, false)
+			c.depth -= w
+			return nil
+		}
+		if err := c.genExpr(idx); err != nil {
+			return err
+		}
+		if t.kind == kInt32 {
+			c.emit("  SHL 1")
+		}
+		c.emitCellOp(op, s, true, true)
+		c.depth -= w
+		return nil
+
+	case t.arr:
+		if idx == nil {
+			return fmt.Errorf("array %s assigned without index", s.name)
+		}
+		if t.kind == kString {
+			if err := c.genIndexValue(idx, t.lo, 1); err != nil {
+				return err
+			}
+			c.emitCellOp("STB", s, false, true)
+			c.depth--
+			return nil
+		}
+		op, w, scale := "STOR", 1, 1
+		if t.kind == kInt32 {
+			op, w, scale = "STD", 2, 2
+		}
+		if err := c.genIndexValue(idx, t.lo, scale); err != nil {
+			return err
+		}
+		c.emitCellOp(op, s, false, true)
+		c.depth -= w
+		return nil
+
+	default:
+		op, w := "STOR", 1
+		if t.kind == kInt32 {
+			op, w = "STD", 2
+		}
+		if t.kind == kString {
+			op = "STB"
+		}
+		c.emitCellOp(op, s, false, false)
+		c.depth -= w
+		return nil
+	}
+}
+
+// attachDebugInfo converts the compiler symbol table into codefile symbols.
+func (c *compiler) attachDebugInfo(f *codefile.File) {
+	for i, s := range c.allSyms {
+		kind := codefile.SymGlobal
+		switch s.kind {
+		case symLocal:
+			kind = codefile.SymLocal
+		case symParam:
+			kind = codefile.SymParam
+		}
+		f.Symbols = append(f.Symbols, codefile.Symbol{
+			Proc:  int32(c.symProcs[i]),
+			Name:  s.name,
+			Kind:  kind,
+			Addr:  int16(s.addr),
+			Words: uint8(s.t.cellWords()),
+		})
+	}
+	for i := range f.Procs {
+		// talc names procedures in lower case for readability.
+		_ = i
+	}
+}

@@ -1,0 +1,102 @@
+package talc
+
+import "fmt"
+
+// tkind enumerates the dialect's data types.
+type tkind uint8
+
+const (
+	kInt    tkind = iota // 16-bit signed word
+	kInt32               // 32-bit signed doubleword
+	kString              // byte array
+	kVoid                // untyped procedure "result"
+)
+
+// typ describes a variable or expression type.
+type typ struct {
+	kind tkind
+	ptr  bool // pointer variable (implicitly dereferenced on use)
+	ext  bool // extended pointer: 32-bit byte address (with ptr)
+	arr  bool // array
+	lo   int  // array lower bound
+	hi   int  // array upper bound
+}
+
+func (t typ) String() string {
+	s := map[tkind]string{kInt: "INT", kInt32: "INT(32)", kString: "STRING", kVoid: "void"}[t.kind]
+	if t.ptr {
+		if t.ext {
+			return s + " .EXT"
+		}
+		return s + " ."
+	}
+	if t.arr {
+		return fmt.Sprintf("%s[%d:%d]", s, t.lo, t.hi)
+	}
+	return s
+}
+
+// valueWords is the register-stack width of a value of this type.
+func (t typ) valueWords() int {
+	if t.kind == kInt32 && !t.ptr {
+		return 2
+	}
+	if t.ptr && t.ext {
+		return 2
+	}
+	return 1
+}
+
+// cellWords is the memory footprint of a variable of this type.
+func (t typ) cellWords() int {
+	switch {
+	case t.ptr && t.ext:
+		return 2
+	case t.ptr:
+		return 1
+	case t.arr && t.kind == kString:
+		return (t.hi - t.lo + 2) / 2 // bytes rounded up to words
+	case t.arr && t.kind == kInt32:
+		return 2 * (t.hi - t.lo + 1)
+	case t.arr:
+		return t.hi - t.lo + 1
+	case t.kind == kInt32:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// elem is the element type of an array or pointer target.
+func (t typ) elem() typ {
+	e := t
+	e.arr, e.ptr, e.ext = false, false, false
+	return e
+}
+
+type symKind uint8
+
+const (
+	symGlobal symKind = iota
+	symLocal
+	symParam
+)
+
+// symbol is a declared variable.
+type symbol struct {
+	name string
+	t    typ
+	kind symKind
+	addr int // G word offset, or L-relative word offset (params negative)
+}
+
+// proc is a procedure signature.
+type proc struct {
+	name    string
+	result  typ // kVoid if untyped
+	params  []symbol
+	argWs   int  // total argument words
+	pep     int  // PEP index (user) or library index
+	sysProc bool // bound to the system library (SCAL)
+	main    bool
+}

@@ -1,0 +1,148 @@
+package tns
+
+import "fmt"
+
+var stackOpNames = map[uint8]string{
+	OpNOP: "NOP", OpADD: "ADD", OpSUB: "SUB", OpMPY: "MPY", OpDIV: "DIV",
+	OpMOD: "MOD", OpNEG: "NEG", OpLAND: "LAND", OpLOR: "LOR", OpXOR: "XOR",
+	OpNOT: "NOT", OpCMP: "CMP", OpUCMP: "UCMP", OpDADD: "DADD",
+	OpDSUB: "DSUB", OpDNEG: "DNEG", OpDCMP: "DCMP", OpDTST: "DTST",
+	OpDUP: "DUP", OpDDUP: "DDUP", OpDEL: "DEL", OpDDEL: "DDEL",
+	OpEXCH: "EXCH", OpXCAL: "XCAL", OpMOVB: "MOVB", OpMOVW: "MOVW",
+	OpCMPB: "CMPB", OpSCNB: "SCNB", OpDMPY: "DMPY", OpDDIV: "DDIV",
+	OpSWAB: "SWAB", OpCTOD: "CTOD", OpDTOC: "DTOC",
+}
+
+// StackOpName returns the mnemonic of a zero-operand stack operation.
+func StackOpName(op uint8) string {
+	if n, ok := stackOpNames[op]; ok {
+		return n
+	}
+	return fmt.Sprintf("STK?%d", op)
+}
+
+var condNames = [8]string{"NV", "L", "E", "LE", "G", "NE", "GE", "A"}
+
+// CondName returns the mnemonic suffix of a BCC condition.
+func CondName(c uint8) string { return condNames[c&7] }
+
+var modeNames = [4]string{"G+", "L+", "L-", "S-"}
+
+// Disassemble renders the instruction at addr in the reference assembly
+// syntax accepted by the tnsasm package.
+func Disassemble(addr uint16, w uint16) string {
+	in := Decode(w)
+	switch in.Major {
+	case MajSpecial:
+		return disasmSpecial(in)
+	case MajControl:
+		return disasmControl(addr, in)
+	}
+	var op string
+	switch in.Major {
+	case MajLoad:
+		op = "LOAD"
+	case MajStor:
+		op = "STOR"
+	case MajLdb:
+		op = "LDB"
+	case MajStb:
+		op = "STB"
+	case MajLdd:
+		op = "LDD"
+	case MajStd:
+		op = "STD"
+	}
+	s := fmt.Sprintf("%s %s%d", op, modeNames[in.Mode], in.Disp)
+	if in.Ind {
+		s += ",I"
+	}
+	if in.Idx {
+		s += ",X"
+	}
+	return s
+}
+
+func disasmSpecial(in Instr) string {
+	switch in.Sub {
+	case SubStack:
+		return StackOpName(in.Operand)
+	case SubLDI:
+		return fmt.Sprintf("LDI %d", int8(in.Operand))
+	case SubLDHI:
+		return fmt.Sprintf("LDHI %d", in.Operand)
+	case SubADDI:
+		return fmt.Sprintf("ADDI %d", int8(in.Operand))
+	case SubCMPI:
+		return fmt.Sprintf("CMPI %d", int8(in.Operand))
+	case SubLDRA:
+		return fmt.Sprintf("LDRA %d", in.Operand&7)
+	case SubSTAR:
+		return fmt.Sprintf("STAR %d", in.Operand&7)
+	case SubSETRP:
+		return fmt.Sprintf("SETRP %d", in.Operand&7)
+	case SubADDS:
+		return fmt.Sprintf("ADDS %d", int8(in.Operand))
+	case SubSVC:
+		return fmt.Sprintf("SVC %d", in.Operand)
+	case SubCASE:
+		return "CASE"
+	case SubSHL:
+		return fmt.Sprintf("SHL %d", in.Operand&15)
+	case SubSHRL:
+		return fmt.Sprintf("SHRL %d", in.Operand&15)
+	case SubSHRA:
+		return fmt.Sprintf("SHRA %d", in.Operand&15)
+	case SubANDI:
+		return fmt.Sprintf("ANDI %d", in.Operand)
+	case SubORI:
+		return fmt.Sprintf("ORI %d", in.Operand)
+	case SubLDE:
+		return "LDE"
+	case SubSTE:
+		return "STE"
+	case SubLDBE:
+		return "LDBE"
+	case SubSTBE:
+		return "STBE"
+	case SubLGA:
+		return fmt.Sprintf("LGA %d", in.Operand)
+	case SubLLA:
+		return fmt.Sprintf("LLA %d", int8(in.Operand))
+	case SubDSHL:
+		return fmt.Sprintf("DSHL %d", in.Operand&31)
+	case SubDSHRL:
+		return fmt.Sprintf("DSHRL %d", in.Operand&31)
+	case SubADM:
+		if in.Operand&1 != 0 {
+			return "ADM ,ATOMIC"
+		}
+		return "ADM"
+	case SubLDPL:
+		return fmt.Sprintf("LDPL %d", in.Operand)
+	case SubSETT:
+		return fmt.Sprintf("SETT %d", in.Operand&1)
+	}
+	return fmt.Sprintf("?SPECIAL %d,%d", in.Sub, in.Operand)
+}
+
+func disasmControl(addr uint16, in Instr) string {
+	switch in.Ctl {
+	case CtlBUN:
+		return fmt.Sprintf("BUN %d", in.BranchTargetAddr(addr))
+	case CtlBCC:
+		return fmt.Sprintf("B%s %d", CondName(in.Cond), in.BranchTargetAddr(addr))
+	case CtlBRZ:
+		if in.Cond == 1 {
+			return fmt.Sprintf("BNZ %d", in.BranchTargetAddr(addr))
+		}
+		return fmt.Sprintf("BZ %d", in.BranchTargetAddr(addr))
+	case CtlPCAL:
+		return fmt.Sprintf("PCAL %d", in.Target)
+	case CtlSCAL:
+		return fmt.Sprintf("SCAL %d", in.Target)
+	case CtlEXIT:
+		return fmt.Sprintf("EXIT %d", in.Target)
+	}
+	return fmt.Sprintf("?CTL %d", in.Ctl)
+}

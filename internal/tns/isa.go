@@ -1,0 +1,392 @@
+// Package tns defines the TNS instruction set architecture: a re-creation of
+// the 16-bit, stack-oriented CISC machine described in Andrews & Sand,
+// "Migrating a CISC Computer Family onto RISC via Object Code Translation"
+// (Tandem TR 92.1, ASPLOS-V 1992).
+//
+// The paper describes the architecture's properties without giving a full
+// encoding, so this package defines a concrete instruction set with exactly
+// the properties the paper's translator has to fight:
+//
+//   - Eight 16-bit registers R0..R7 form a register barrel ("register
+//     stack"); a 3-bit Register Pointer (RP) selects the current top. Most
+//     instructions take implied operands relative to RP, but a few address
+//     registers absolutely (LDRA, STAR, SETRP), so a translator must recover
+//     the absolute value of RP at every instruction.
+//   - ENV flags CC (condition code), K (carry) and V (overflow) are set as
+//     side effects of most operations; T enables overflow traps.
+//   - A 64K-word data space addressed via G (global, base 0), L (local frame)
+//     and S (memory-stack top), with short direct displacements, optional
+//     indirection and optional indexing by the popped top register. Byte
+//     addresses are 16 bits and cover only the lower 32K words.
+//   - Procedure calls (PCAL/XCAL/SCAL) push a three-word stack marker and
+//     leave function results on the register stack, so the caller's RP after
+//     a call depends on the callee's result size (the paper's "RP puzzle").
+//   - CASE jumps through inline tables of code addresses embedded in the
+//     instruction stream.
+//   - Long-running instructions (MOVB, MOVW, CMPB, SCNB) that a translator
+//     maps to millicode.
+//
+// # Instruction encoding
+//
+// Every instruction is one 16-bit word (CASE is followed by an inline table).
+// Bits 15..13 select a major opcode:
+//
+//	0  SPECIAL   bits 12..8 = sub-opcode, bits 7..0 = operand byte
+//	1  LOAD      memory format (word load, push)
+//	2  STOR      memory format (word store, pop)
+//	3  LDB       memory format (byte load, push zero-extended)
+//	4  STB       memory format (byte store, pop)
+//	5  LDD       memory format (doubleword load, push hi then lo)
+//	6  STD       memory format (doubleword store, pop lo then hi)
+//	7  CONTROL   bits 12..10 = sub-opcode (branches, calls, EXIT)
+//
+// Memory format (majors 1..6):
+//
+//	bit 12    I  indirect: the addressed word is itself an address
+//	bit 11    X  indexed: pop the top register and add it to the address
+//	bits 10..9   mode: 0 = G+d, 1 = L+d, 2 = L-d, 3 = S-d
+//	bits 8..0    d, unsigned 9-bit displacement
+//
+// For word operands the effective address is a word address; indexing adds
+// words. For byte operands (LDB/STB) the direct/indirect cell yields a
+// 16-bit byte address; indexing adds bytes and the sum is truncated to 16
+// bits (the truncation the Accelerator's Fast option omits).
+//
+// Control format (major 7), bits 12..10:
+//
+//	0  BUN   bits 9..0 signed word displacement relative to next instruction
+//	1  BCC   bits 9..7 condition, bits 6..0 signed displacement
+//	2  BRZ   bit 9 = sense (0: branch if zero, 1: if nonzero), bits 8..0
+//	         signed displacement; pops the tested value
+//	3  PCAL  bits 9..0 = procedure entry point (PEP) index, local codefile
+//	4  SCAL  bits 9..0 = PEP index in the system library codefile
+//	5  EXIT  bits 9..0 = number of argument words to cut from the stack
+//
+// SPECIAL sub-opcodes are listed with the Sub* constants below.
+package tns
+
+import "fmt"
+
+// Major opcodes (bits 15..13).
+const (
+	MajSpecial = 0
+	MajLoad    = 1
+	MajStor    = 2
+	MajLdb     = 3
+	MajStb     = 4
+	MajLdd     = 5
+	MajStd     = 6
+	MajControl = 7
+)
+
+// Addressing modes for memory-format instructions (bits 10..9).
+const (
+	ModeG  = 0 // G + d (globals; authentic compilers keep d <= 255)
+	ModeL  = 1 // L + d (locals; authentic compilers keep d <= 127)
+	ModeLN = 2 // L - d (parameters; authentic compilers keep d <= 31)
+	ModeS  = 3 // S - d (stack temporaries; authentic compilers keep d <= 63)
+)
+
+// Control sub-opcodes (bits 12..10 of major 7).
+const (
+	CtlBUN  = 0
+	CtlBCC  = 1
+	CtlBRZ  = 2
+	CtlPCAL = 3
+	CtlSCAL = 4
+	CtlEXIT = 5
+)
+
+// BCC condition codes (bits 9..7 of BCC). The CC flag is a three-valued
+// comparison result; conditions test it.
+const (
+	CondNever  = 0 // reserved; never branches
+	CondL      = 1 // less
+	CondE      = 2 // equal
+	CondLE     = 3
+	CondG      = 4 // greater
+	CondNE     = 5
+	CondGE     = 6
+	CondAlways = 7 // unconditional (short-range BUN alternative)
+)
+
+// SPECIAL sub-opcodes (bits 12..8 of major 0).
+const (
+	SubStack = 0  // operand byte selects a zero-operand stack operation
+	SubLDI   = 1  // push sign-extended imm8
+	SubLDHI  = 2  // top = top<<8 | imm8 (builds 16-bit constants)
+	SubADDI  = 3  // top += sign-extended imm8; sets CC, K, V
+	SubCMPI  = 4  // CC = compare(top, sign-extended imm8); does not pop
+	SubLDRA  = 5  // push a copy of R[n] (absolute register number)
+	SubSTAR  = 6  // R[n] = pop (absolute register number)
+	SubSETRP = 7  // RP = n (absolute); the post-XCAL "expected RP" clue
+	SubADDS  = 8  // S += sign-extended imm8 (allocate/free stack space)
+	SubSVC   = 9  // kernel trap n (console, halt); see Svc* constants
+	SubCASE  = 10 // pop index; inline table of code addresses follows
+	SubSHL   = 11 // top <<= n (0..15); sets CC
+	SubSHRL  = 12 // top >>= n logical; sets CC
+	SubSHRA  = 13 // top >>= n arithmetic; sets CC
+	SubANDI  = 14 // top &= zero-extended imm8; sets CC
+	SubORI   = 15 // top |= zero-extended imm8; sets CC
+	SubLDE   = 16 // pop 32-bit byte address pair, push addressed word
+	SubSTE   = 17 // pop address pair, pop value, store word
+	SubLDBE  = 18 // extended byte load
+	SubSTBE  = 19 // extended byte store
+	SubLGA   = 20 // push word address G + imm8
+	SubLLA   = 21 // push word address L + sign-extended imm8
+	SubDSHL  = 22 // 32-bit pair shift left by n
+	SubDSHRL = 23 // 32-bit pair shift right logical by n
+	SubADM   = 24 // pop word address, pop value, mem[addr] += value;
+	// operand bit 0 marks the occurrence as atomic
+	SubLDPL = 25 // push PLabel (PEP index) of local procedure imm8
+	SubSETT = 26 // ENV.T = operand bit 0 (enable/disable overflow traps)
+)
+
+// Zero-operand stack operations (operand byte of SubStack).
+const (
+	OpNOP  = 0
+	OpADD  = 1  // pop b, pop a, push a+b; sets CC, K, V
+	OpSUB  = 2  // pop b, pop a, push a-b; sets CC, K, V
+	OpMPY  = 3  // pop b, pop a, push a*b (low word); sets CC, V
+	OpDIV  = 4  // pop b, pop a, push a/b; traps on b == 0; sets CC, V
+	OpMOD  = 5  // pop b, pop a, push a mod b; traps on b == 0; sets CC
+	OpNEG  = 6  // top = -top; sets CC, V
+	OpLAND = 7  // bitwise and; sets CC
+	OpLOR  = 8  // bitwise or; sets CC
+	OpXOR  = 9  // bitwise xor; sets CC
+	OpNOT  = 10 // bitwise complement; sets CC
+	OpCMP  = 11 // pop b, pop a, CC = compare(a, b) signed
+	OpUCMP = 12 // pop b, pop a, CC = compare(a, b) unsigned
+	OpDADD = 13 // 32-bit add of top two pairs; sets CC, K, V
+	OpDSUB = 14 // 32-bit subtract; sets CC, K, V
+	OpDNEG = 15 // negate top pair; sets CC, V
+	OpDCMP = 16 // pop two pairs, CC = signed 32-bit compare
+	OpDTST = 17 // CC from top pair; no pop
+	OpDUP  = 18 // push a copy of the top word
+	OpDDUP = 19 // push a copy of the top pair
+	OpDEL  = 20 // pop and discard one word
+	OpDDEL = 21 // pop and discard a pair
+	OpEXCH = 22 // exchange the top two words
+	OpXCAL = 23 // pop a PLabel, call through it (puzzle point)
+	OpMOVB = 24 // pop count, dst baddr, src baddr; move bytes (long-running)
+	OpMOVW = 25 // pop count, dst waddr, src waddr; move words (long-running)
+	OpCMPB = 26 // pop count, b baddr, a baddr; CC = byte-string compare
+	OpSCNB = 27 // pop limit, test byte, baddr; scan; push position, CC
+	OpDMPY = 28 // 32-bit multiply of top two pairs; sets CC, V
+	OpDDIV = 29 // 32-bit divide; traps on zero divisor; sets CC, V
+	OpSWAB = 30 // swap the bytes of the top word; sets CC
+	OpCTOD = 31 // widen: pop word, push it sign-extended to a pair
+	OpDTOC = 32 // narrow: pop pair, push low word; sets CC, V on loss
+)
+
+// SVC trap numbers (operand byte of SubSVC).
+const (
+	SvcHalt    = 0 // stop the program; R[RP] is the exit status
+	SvcPutchar = 1 // write the low byte of R[RP] to the console; pops
+	SvcPutnum  = 2 // write R[RP] as a signed decimal number; pops
+	SvcPuts    = 3 // pop count, pop byte address; write bytes to console
+)
+
+// Trap codes raised by execution (interpreter and translated code agree).
+const (
+	TrapNone     = 0
+	TrapOverflow = 1 // signed 16/32-bit overflow with ENV.T set
+	TrapDivZero  = 2 // divide by zero
+	TrapStackOvf = 3 // S or L left the data space
+	TrapBadPEP   = 4 // PCAL/XCAL/SCAL index outside the PEP table
+	TrapBadSVC   = 5 // unknown SVC number
+	TrapBadOp    = 6 // undefined instruction
+	TrapAddress  = 7 // extended address outside the data space
+)
+
+// RPEmpty is the architectural value of RP when the register stack is
+// logically empty. Compilers keep the register stack empty across calls
+// (registers are dead across calls, as the paper notes), so RP at procedure
+// entry is RPEmpty plus any pending result words.
+const RPEmpty = 7
+
+// MarkerWords is the size of the stack marker pushed by PCAL/XCAL/SCAL:
+// return P, saved ENV, saved L.
+const MarkerWords = 3
+
+// ByteSpaceWords is the number of data words reachable by 16-bit byte
+// addresses (the lower half of the 64K-word data space).
+const ByteSpaceWords = 32768
+
+// DataWords is the size of the data space in 16-bit words.
+const DataWords = 65536
+
+// Instr is one decoded TNS instruction. Word is the raw encoding; the
+// remaining fields are unpacked per the format of Major.
+type Instr struct {
+	Word  uint16
+	Major uint8
+	// Memory format.
+	Ind  bool
+	Idx  bool
+	Mode uint8
+	Disp uint16
+	// Special format.
+	Sub     uint8
+	Operand uint8
+	// Control format.
+	Ctl    uint8
+	Cond   uint8
+	Target int16 // signed branch displacement, or PEP index / arg count
+}
+
+// Decode unpacks a 16-bit instruction word.
+func Decode(w uint16) Instr {
+	in := Instr{Word: w, Major: uint8(w >> 13)}
+	switch in.Major {
+	case MajSpecial:
+		in.Sub = uint8((w >> 8) & 0x1F)
+		in.Operand = uint8(w & 0xFF)
+	case MajControl:
+		in.Ctl = uint8((w >> 10) & 0x7)
+		switch in.Ctl {
+		case CtlBUN:
+			in.Target = signExtend(w&0x3FF, 10)
+		case CtlBCC:
+			in.Cond = uint8((w >> 7) & 0x7)
+			in.Target = signExtend(w&0x7F, 7)
+		case CtlBRZ:
+			in.Cond = uint8((w >> 9) & 0x1)
+			in.Target = signExtend(w&0x1FF, 9)
+		default: // PCAL, SCAL, EXIT
+			in.Target = int16(w & 0x3FF)
+		}
+	default: // memory format
+		in.Ind = w&(1<<12) != 0
+		in.Idx = w&(1<<11) != 0
+		in.Mode = uint8((w >> 9) & 0x3)
+		in.Disp = w & 0x1FF
+	}
+	return in
+}
+
+func signExtend(v uint16, bits uint) int16 {
+	shift := 16 - bits
+	return int16(v<<shift) >> shift
+}
+
+// Encode helpers. Each returns the 16-bit instruction word and panics on
+// out-of-range fields; they are builders for compilers and tests, not
+// untrusted-input parsers.
+
+// EncMem builds a memory-format instruction.
+func EncMem(major uint8, ind, idx bool, mode uint8, disp uint16) uint16 {
+	if major < MajLoad || major > MajStd {
+		panic(fmt.Sprintf("tns: EncMem major %d", major))
+	}
+	if disp > 0x1FF {
+		panic(fmt.Sprintf("tns: EncMem displacement %d out of range", disp))
+	}
+	w := uint16(major)<<13 | uint16(mode&3)<<9 | disp
+	if ind {
+		w |= 1 << 12
+	}
+	if idx {
+		w |= 1 << 11
+	}
+	return w
+}
+
+// EncSpecial builds a SPECIAL-format instruction.
+func EncSpecial(sub uint8, operand uint8) uint16 {
+	if sub > 0x1F {
+		panic(fmt.Sprintf("tns: EncSpecial sub %d out of range", sub))
+	}
+	return uint16(MajSpecial)<<13 | uint16(sub)<<8 | uint16(operand)
+}
+
+// EncStack builds a zero-operand stack operation.
+func EncStack(op uint8) uint16 { return EncSpecial(SubStack, op) }
+
+// EncBUN builds an unconditional branch with the given signed displacement
+// (relative to the next instruction).
+func EncBUN(disp int16) uint16 {
+	if disp < -512 || disp > 511 {
+		panic(fmt.Sprintf("tns: BUN displacement %d out of range", disp))
+	}
+	return uint16(MajControl)<<13 | uint16(CtlBUN)<<10 | uint16(disp)&0x3FF
+}
+
+// EncBCC builds a conditional branch on CC.
+func EncBCC(cond uint8, disp int16) uint16 {
+	if disp < -64 || disp > 63 {
+		panic(fmt.Sprintf("tns: BCC displacement %d out of range", disp))
+	}
+	if cond > 7 {
+		panic("tns: BCC condition out of range")
+	}
+	return uint16(MajControl)<<13 | uint16(CtlBCC)<<10 |
+		uint16(cond)<<7 | uint16(disp)&0x7F
+}
+
+// EncBRZ builds a pop-and-branch-if-zero (nonzero when sense is true).
+func EncBRZ(nonzero bool, disp int16) uint16 {
+	if disp < -256 || disp > 255 {
+		panic(fmt.Sprintf("tns: BRZ displacement %d out of range", disp))
+	}
+	w := uint16(MajControl)<<13 | uint16(CtlBRZ)<<10 | uint16(disp)&0x1FF
+	if nonzero {
+		w |= 1 << 9
+	}
+	return w
+}
+
+// EncPCAL, EncSCAL and EncEXIT build call and return instructions.
+func EncPCAL(pep uint16) uint16 { return encCtl10(CtlPCAL, pep) }
+
+// EncSCAL builds a call into the system library codefile.
+func EncSCAL(pep uint16) uint16 { return encCtl10(CtlSCAL, pep) }
+
+// EncEXIT builds a procedure return cutting back args argument words.
+func EncEXIT(args uint16) uint16 { return encCtl10(CtlEXIT, args) }
+
+func encCtl10(ctl uint8, v uint16) uint16 {
+	if v > 0x3FF {
+		panic(fmt.Sprintf("tns: control operand %d out of range", v))
+	}
+	return uint16(MajControl)<<13 | uint16(ctl)<<10 | v
+}
+
+// BranchTargetAddr returns the branch target for a control-transfer
+// instruction located at addr (BUN/BCC/BRZ displacements are relative to
+// the next instruction).
+func (in Instr) BranchTargetAddr(addr uint16) uint16 {
+	return addr + 1 + uint16(in.Target)
+}
+
+// IsBranch reports whether the instruction is a PC-relative branch.
+func (in Instr) IsBranch() bool {
+	return in.Major == MajControl &&
+		(in.Ctl == CtlBUN || in.Ctl == CtlBCC || in.Ctl == CtlBRZ)
+}
+
+// IsUnconditionalFlow reports whether control never falls through to the
+// next word (unconditional branch, always-taken BCC, EXIT, BRX-style ops).
+func (in Instr) IsUnconditionalFlow() bool {
+	switch in.Major {
+	case MajControl:
+		return in.Ctl == CtlBUN || in.Ctl == CtlEXIT ||
+			(in.Ctl == CtlBCC && in.Cond == CondAlways)
+	case MajSpecial:
+		if in.Sub == SubCASE {
+			return true
+		}
+		if in.Sub == SubSVC && in.Operand == SvcHalt {
+			return true
+		}
+	}
+	return false
+}
+
+// IsCall reports whether the instruction is a procedure call of any kind.
+func (in Instr) IsCall() bool {
+	if in.Major == MajControl && (in.Ctl == CtlPCAL || in.Ctl == CtlSCAL) {
+		return true
+	}
+	return in.Major == MajSpecial && in.Sub == SubStack && in.Operand == OpXCAL
+}

@@ -1,0 +1,233 @@
+package tns
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeMemFormat(t *testing.T) {
+	cases := []struct {
+		w     uint16
+		major uint8
+		ind   bool
+		idx   bool
+		mode  uint8
+		disp  uint16
+	}{
+		{EncMem(MajLoad, false, false, ModeG, 5), MajLoad, false, false, ModeG, 5},
+		{EncMem(MajStor, true, false, ModeL, 127), MajStor, true, false, ModeL, 127},
+		{EncMem(MajLdb, false, true, ModeLN, 3), MajLdb, false, true, ModeLN, 3},
+		{EncMem(MajStd, true, true, ModeS, 511), MajStd, true, true, ModeS, 511},
+	}
+	for _, c := range cases {
+		in := Decode(c.w)
+		if in.Major != c.major || in.Ind != c.ind || in.Idx != c.idx ||
+			in.Mode != c.mode || in.Disp != c.disp {
+			t.Errorf("Decode(%04x) = %+v, want %+v", c.w, in, c)
+		}
+	}
+}
+
+func TestMemEncodeRoundTrip(t *testing.T) {
+	f := func(major uint8, ind, idx bool, mode uint8, disp uint16) bool {
+		maj := MajLoad + major%6
+		d := disp & 0x1FF
+		w := EncMem(maj, ind, idx, mode&3, d)
+		in := Decode(w)
+		return in.Major == maj && in.Ind == ind && in.Idx == idx &&
+			in.Mode == mode&3 && in.Disp == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBranchEncodeRoundTrip(t *testing.T) {
+	for disp := -512; disp <= 511; disp++ {
+		in := Decode(EncBUN(int16(disp)))
+		if in.Ctl != CtlBUN || int(in.Target) != disp {
+			t.Fatalf("BUN %d decoded to %+v", disp, in)
+		}
+	}
+	for disp := -64; disp <= 63; disp++ {
+		for cond := uint8(0); cond < 8; cond++ {
+			in := Decode(EncBCC(cond, int16(disp)))
+			if in.Ctl != CtlBCC || in.Cond != cond || int(in.Target) != disp {
+				t.Fatalf("BCC %d,%d decoded to %+v", cond, disp, in)
+			}
+		}
+	}
+	for disp := -256; disp <= 255; disp++ {
+		in := Decode(EncBRZ(true, int16(disp)))
+		if in.Ctl != CtlBRZ || in.Cond != 1 || int(in.Target) != disp {
+			t.Fatalf("BNZ %d decoded to %+v", disp, in)
+		}
+	}
+}
+
+func TestBranchTargetAddr(t *testing.T) {
+	in := Decode(EncBUN(-3))
+	if got := in.BranchTargetAddr(10); got != 8 {
+		t.Errorf("backward target = %d, want 8", got)
+	}
+	in = Decode(EncBUN(5))
+	if got := in.BranchTargetAddr(10); got != 16 {
+		t.Errorf("forward target = %d, want 16", got)
+	}
+}
+
+func TestControlEncodings(t *testing.T) {
+	in := Decode(EncPCAL(123))
+	if in.Ctl != CtlPCAL || in.Target != 123 {
+		t.Errorf("PCAL: %+v", in)
+	}
+	in = Decode(EncSCAL(7))
+	if in.Ctl != CtlSCAL || in.Target != 7 {
+		t.Errorf("SCAL: %+v", in)
+	}
+	in = Decode(EncEXIT(2))
+	if in.Ctl != CtlEXIT || in.Target != 2 {
+		t.Errorf("EXIT: %+v", in)
+	}
+}
+
+func TestSpecialEncodings(t *testing.T) {
+	in := Decode(EncSpecial(SubLDI, 0xFE))
+	if in.Sub != SubLDI || in.Operand != 0xFE {
+		t.Errorf("LDI: %+v", in)
+	}
+	in = Decode(EncStack(OpDADD))
+	if in.Sub != SubStack || in.Operand != OpDADD {
+		t.Errorf("DADD: %+v", in)
+	}
+}
+
+func TestRPDeltaConsistentWithPops(t *testing.T) {
+	// For every encodable instruction, RPDelta (when known) must equal
+	// pushes - pops, and pops must never exceed 8.
+	words := allInstructionWords()
+	for _, w := range words {
+		in := Decode(w)
+		d := in.RPDelta()
+		p := in.Pops()
+		if p < 0 || p > 8 {
+			t.Errorf("%s: pops %d out of range", Disassemble(0, w), p)
+		}
+		if d != RPUnknown && (d < -8 || d > 8) {
+			t.Errorf("%s: delta %d out of range", Disassemble(0, w), d)
+		}
+	}
+}
+
+func TestIsPredicates(t *testing.T) {
+	if !Decode(EncBUN(0)).IsBranch() {
+		t.Error("BUN should be a branch")
+	}
+	if !Decode(EncBUN(0)).IsUnconditionalFlow() {
+		t.Error("BUN is unconditional")
+	}
+	if Decode(EncBCC(CondL, 0)).IsUnconditionalFlow() {
+		t.Error("BL is conditional")
+	}
+	if !Decode(EncBCC(CondAlways, 0)).IsUnconditionalFlow() {
+		t.Error("BA is unconditional")
+	}
+	if !Decode(EncPCAL(0)).IsCall() || !Decode(EncSCAL(0)).IsCall() ||
+		!Decode(EncStack(OpXCAL)).IsCall() {
+		t.Error("calls not recognized")
+	}
+	if Decode(EncStack(OpADD)).IsCall() {
+		t.Error("ADD is not a call")
+	}
+	if !Decode(EncEXIT(0)).IsUnconditionalFlow() {
+		t.Error("EXIT never falls through")
+	}
+	if !Decode(EncSpecial(SubCASE, 0)).IsUnconditionalFlow() {
+		t.Error("CASE never falls through")
+	}
+}
+
+func TestClassCovers(t *testing.T) {
+	for _, w := range allInstructionWords() {
+		in := Decode(w)
+		if c := in.Class(); c >= NumCostClasses {
+			t.Errorf("%s: class %d out of range", Disassemble(0, w), c)
+		}
+	}
+	if Decode(EncStack(OpMOVB)).Class() != ClassLong {
+		t.Error("MOVB should be ClassLong")
+	}
+	if Decode(EncStack(OpXCAL)).Class() != ClassCall {
+		t.Error("XCAL should be ClassCall")
+	}
+	if Decode(EncMem(MajLoad, true, false, ModeG, 0)).Class() != ClassMemInd {
+		t.Error("indirect LOAD should be ClassMemInd")
+	}
+}
+
+// allInstructionWords enumerates one instance of every defined instruction.
+func allInstructionWords() []uint16 {
+	var out []uint16
+	for op := uint8(0); op <= OpDTOC; op++ {
+		out = append(out, EncStack(op))
+	}
+	for sub := uint8(SubLDI); sub <= SubSETT; sub++ {
+		out = append(out, EncSpecial(sub, 1))
+	}
+	for maj := uint8(MajLoad); maj <= MajStd; maj++ {
+		for mode := uint8(0); mode < 4; mode++ {
+			out = append(out, EncMem(maj, false, false, mode, 1))
+			out = append(out, EncMem(maj, true, true, mode, 1))
+		}
+	}
+	out = append(out, EncBUN(1), EncBCC(CondE, 1), EncBRZ(false, 1),
+		EncPCAL(0), EncSCAL(0), EncEXIT(0))
+	return out
+}
+
+func TestDisassembleStable(t *testing.T) {
+	cases := map[uint16]string{
+		EncMem(MajLoad, false, false, ModeG, 12): "LOAD G+12",
+		EncMem(MajStor, true, true, ModeL, 3):    "STOR L+3,I,X",
+		EncMem(MajLdb, false, true, ModeS, 2):    "LDB S-2,X",
+		EncStack(OpDADD):                         "DADD",
+		EncSpecial(SubLDI, 0xFB):                 "LDI -5",
+		EncSpecial(SubSETRP, 7):                  "SETRP 7",
+		EncPCAL(9):                               "PCAL 9",
+		EncEXIT(2):                               "EXIT 2",
+		EncSpecial(SubADM, 1):                    "ADM ,ATOMIC",
+	}
+	for w, want := range cases {
+		if got := Disassemble(0, w); got != want {
+			t.Errorf("Disassemble(%04x) = %q, want %q", w, got, want)
+		}
+	}
+	// Branch targets are printed as absolute addresses.
+	if got := Disassemble(100, EncBCC(CondNE, -4)); got != "BNE 97" {
+		t.Errorf("BNE disasm = %q", got)
+	}
+}
+
+// TestDisassembleAllWords: every defined instruction (and arbitrary words)
+// disassembles to a non-empty string without panicking.
+func TestDisassembleAllWords(t *testing.T) {
+	for _, w := range allInstructionWords() {
+		if s := Disassemble(5, w); len(s) == 0 {
+			t.Errorf("empty disassembly for %04x", w)
+		}
+	}
+	for w := 0; w < 0x10000; w += 37 {
+		_ = Disassemble(uint16(w), uint16(w))
+	}
+	// All SVC forms and all conditions.
+	for n := uint8(0); n < 8; n++ {
+		if CondName(n) == "" {
+			t.Error("empty cond name")
+		}
+	}
+	for op := uint8(0); op < 64; op++ {
+		if StackOpName(op) == "" {
+			t.Error("empty stack op name")
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package tns
+
+// Instruction metadata used by the interpreter's cost accounting and by the
+// Accelerator's analyses: net effect on RP, flag side effects, and the cost
+// class used by the CISC machine models.
+
+// CostClass groups instructions by microcode cost for the machine models.
+type CostClass uint8
+
+const (
+	ClassSimple CostClass = iota // register-stack ALU ops, immediates
+	ClassMem                     // direct loads and stores
+	ClassMemInd                  // indirect or indexed loads and stores
+	ClassMemExt                  // extended (32-bit) addressing
+	ClassDouble                  // 32-bit paired-register arithmetic
+	ClassMulDiv                  // multiply and divide
+	ClassBranch                  // taken or untaken branches, CASE
+	ClassCall                    // PCAL, XCAL, SCAL
+	ClassExit                    // EXIT
+	ClassLong                    // MOVB-class long-running instructions
+	ClassSVC                     // kernel traps
+	NumCostClasses
+)
+
+// Class returns the cost class of an instruction.
+func (in Instr) Class() CostClass {
+	switch in.Major {
+	case MajLoad, MajStor, MajLdb, MajStb:
+		if in.Ind || in.Idx {
+			return ClassMemInd
+		}
+		return ClassMem
+	case MajLdd, MajStd:
+		if in.Ind || in.Idx {
+			return ClassMemInd
+		}
+		return ClassMem
+	case MajControl:
+		switch in.Ctl {
+		case CtlPCAL, CtlSCAL:
+			return ClassCall
+		case CtlEXIT:
+			return ClassExit
+		default:
+			return ClassBranch
+		}
+	case MajSpecial:
+		switch in.Sub {
+		case SubStack:
+			switch in.Operand {
+			case OpMPY, OpDIV, OpMOD, OpDMPY, OpDDIV:
+				return ClassMulDiv
+			case OpDADD, OpDSUB, OpDNEG, OpDCMP, OpDTST, OpDDUP, OpDDEL,
+				OpCTOD, OpDTOC:
+				return ClassDouble
+			case OpMOVB, OpMOVW, OpCMPB, OpSCNB:
+				return ClassLong
+			case OpXCAL:
+				return ClassCall
+			}
+			return ClassSimple
+		case SubLDE, SubSTE, SubLDBE, SubSTBE:
+			return ClassMemExt
+		case SubCASE:
+			return ClassBranch
+		case SubSVC:
+			return ClassSVC
+		case SubADM:
+			return ClassMemInd
+		case SubDSHL, SubDSHRL:
+			return ClassDouble
+		}
+		return ClassSimple
+	}
+	return ClassSimple
+}
+
+// RPUnknown is returned by RPDelta for instructions whose net register-stack
+// effect cannot be determined locally (calls, whose delta is the callee's
+// result size, and SETRP, which sets RP absolutely).
+const RPUnknown = -128
+
+// RPDelta returns the net change to RP caused by the instruction, or
+// RPUnknown for calls and SETRP. Memory-format deltas include the index pop.
+func (in Instr) RPDelta() int {
+	switch in.Major {
+	case MajLoad:
+		return 1 - idxPop(in)
+	case MajStor:
+		return -1 - idxPop(in)
+	case MajLdb:
+		return 1 - idxPop(in)
+	case MajStb:
+		return -1 - idxPop(in)
+	case MajLdd:
+		return 2 - idxPop(in)
+	case MajStd:
+		return -2 - idxPop(in)
+	case MajControl:
+		switch in.Ctl {
+		case CtlBRZ:
+			return -1
+		case CtlPCAL, CtlSCAL:
+			return RPUnknown
+		}
+		return 0
+	case MajSpecial:
+		switch in.Sub {
+		case SubLDI, SubLGA, SubLLA, SubLDPL, SubLDRA:
+			return 1
+		case SubSTAR:
+			return -1
+		case SubSETRP:
+			return RPUnknown
+		case SubCASE:
+			return -1
+		case SubLDE:
+			return -1 // pop 2-word address, push 1 word
+		case SubSTE:
+			return -3
+		case SubLDBE:
+			return -1
+		case SubSTBE:
+			return -3
+		case SubADM:
+			return -2
+		case SubStack:
+			return stackOpDelta(in.Operand)
+		}
+		return 0 // LDHI, ADDI, CMPI, shifts, ANDI, ORI, ADDS, SETT, SVC*
+	}
+	return 0
+}
+
+func idxPop(in Instr) int {
+	if in.Idx {
+		return 1
+	}
+	return 0
+}
+
+func stackOpDelta(op uint8) int {
+	switch op {
+	case OpADD, OpSUB, OpMPY, OpDIV, OpMOD, OpLAND, OpLOR, OpXOR:
+		return -1
+	case OpCMP, OpUCMP:
+		return -2
+	case OpDADD, OpDSUB:
+		return -2
+	case OpDCMP:
+		return -4
+	case OpDMPY, OpDDIV:
+		return -2
+	case OpDUP:
+		return 1
+	case OpDDUP:
+		return 2
+	case OpDEL:
+		return -1
+	case OpDDEL:
+		return -2
+	case OpXCAL:
+		return RPUnknown // pops the PLabel, then the callee's result arrives
+	case OpMOVB, OpMOVW:
+		return -3
+	case OpCMPB:
+		return -3
+	case OpSCNB:
+		return -2 // pops 3, pushes position
+	case OpCTOD:
+		return 1
+	case OpDTOC:
+		return -1
+	}
+	// NOP, NEG, NOT, DNEG, DTST, EXCH, SWAB: no net change.
+	return 0
+}
+
+// Pops returns how many register-stack words the instruction consumes from
+// the top before pushing its results (used by random-program generators and
+// the compiler's depth tracking).
+func (in Instr) Pops() int {
+	switch in.Major {
+	case MajLoad, MajLdb:
+		return idxPop(in)
+	case MajStor, MajStb:
+		return 1 + idxPop(in)
+	case MajLdd:
+		return idxPop(in)
+	case MajStd:
+		return 2 + idxPop(in)
+	case MajControl:
+		if in.Ctl == CtlBRZ {
+			return 1
+		}
+		return 0
+	case MajSpecial:
+		switch in.Sub {
+		case SubStack:
+			return stackOpPops(in.Operand)
+		case SubCASE:
+			return 1
+		case SubLDE, SubLDBE:
+			return 2
+		case SubSTE, SubSTBE:
+			return 3
+		case SubADM:
+			return 2
+		case SubADDI, SubCMPI, SubSHL, SubSHRL, SubSHRA, SubANDI, SubORI,
+			SubLDHI:
+			return 1 // operate on the top in place
+		case SubDSHL, SubDSHRL:
+			return 2
+		case SubSVC:
+			switch in.Operand {
+			case SvcHalt, SvcPutchar, SvcPutnum:
+				return 1
+			case SvcPuts:
+				return 2
+			}
+		}
+	}
+	return 0
+}
+
+func stackOpPops(op uint8) int {
+	switch op {
+	case OpADD, OpSUB, OpMPY, OpDIV, OpMOD, OpLAND, OpLOR, OpXOR, OpCMP,
+		OpUCMP:
+		return 2
+	case OpNEG, OpNOT, OpSWAB, OpCTOD, OpDEL:
+		return 1
+	case OpDADD, OpDSUB, OpDCMP, OpDMPY, OpDDIV:
+		return 4
+	case OpDNEG, OpDTST, OpDDEL, OpDTOC, OpEXCH, OpDUP:
+		return 2
+	case OpDDUP:
+		return 2
+	case OpXCAL:
+		return 1
+	case OpMOVB, OpMOVW, OpCMPB, OpSCNB:
+		return 3
+	}
+	return 0
+}
+
+// FlagEffect describes which ENV flags an instruction writes.
+type FlagEffect struct{ CC, K, V bool }
+
+// Flags returns the instruction's flag side effects. The Accelerator's
+// liveness pass uses this to elide dead flag computation, which the paper
+// names as the most important single optimization.
+func (in Instr) Flags() FlagEffect {
+	switch in.Major {
+	case MajLoad, MajLdb, MajLdd:
+		return FlagEffect{CC: true}
+	case MajSpecial:
+		switch in.Sub {
+		case SubADDI:
+			return FlagEffect{CC: true, K: true, V: true}
+		case SubCMPI:
+			return FlagEffect{CC: true}
+		case SubSHL, SubSHRL, SubSHRA, SubANDI, SubORI, SubDSHL, SubDSHRL:
+			return FlagEffect{CC: true}
+		case SubLDE, SubLDBE:
+			return FlagEffect{CC: true}
+		case SubADM:
+			return FlagEffect{CC: true, K: true, V: true}
+		case SubStack:
+			switch in.Operand {
+			case OpADD, OpSUB, OpDADD, OpDSUB:
+				return FlagEffect{CC: true, K: true, V: true}
+			case OpMPY, OpDIV, OpNEG, OpDNEG, OpDMPY, OpDDIV, OpDTOC:
+				return FlagEffect{CC: true, V: true}
+			case OpMOD, OpLAND, OpLOR, OpXOR, OpNOT, OpCMP, OpUCMP, OpDCMP,
+				OpDTST, OpSWAB, OpCMPB, OpSCNB:
+				return FlagEffect{CC: true}
+			}
+		}
+	}
+	return FlagEffect{}
+}

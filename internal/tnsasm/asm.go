@@ -1,0 +1,490 @@
+// Package tnsasm assembles TNS assembly source into codefiles. It accepts
+// the mnemonics produced by the tns package's disassembler, so
+// assemble/disassemble round trips are testable, and adds labels, procedure
+// directives and CASE-table directives. It exists for unit tests, for
+// hand-coded library routines, and for the Accelerator's test corpus; the
+// mini-TAL compiler is the main route to TNS code.
+//
+// Syntax (one statement per line, ';' starts a comment):
+//
+//	PROC name [RESULT n] [ARGS n]   begin a procedure (entered in the PEP)
+//	ENDPROC                         end it
+//	GLOBALS n                       reserve n words of globals
+//	DATA addr: w0 w1 ...            initialized global data words
+//	MAIN name                       designate the main procedure
+//	label:                          define a code label
+//	WORD n | WORD label             emit a raw code word
+//	CASETAB l0,l1,...               emit a CASE table (count + addresses)
+//	STMT [line]                     mark a statement boundary (debug info)
+//	<mnemonic> [operands]           one TNS instruction
+//
+// Branches take a label or an absolute address. Memory operands are written
+// like the disassembler prints them: G+12, L+3, L-2, S-1, with optional
+// ",I" and ",X" suffixes.
+package tnsasm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tnsr/internal/codefile"
+	"tnsr/internal/tns"
+)
+
+// Assemble parses and assembles source into a codefile named name.
+func Assemble(name, source string) (*codefile.File, error) {
+	a := &asm{
+		file:     &codefile.File{Name: name},
+		labels:   map[string]uint16{},
+		stackOps: map[string]uint8{},
+		curProc:  -1,
+	}
+	for op, n := range stackOpTable() {
+		a.stackOps[n] = op
+	}
+	lines := strings.Split(source, "\n")
+	for i, line := range lines {
+		if err := a.line(line); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", name, i+1, err)
+		}
+	}
+	if a.curProc >= 0 {
+		return nil, fmt.Errorf("%s: missing ENDPROC", name)
+	}
+	if err := a.fixup(); err != nil {
+		return nil, err
+	}
+	if a.mainName != "" {
+		idx := a.file.ProcByName(a.mainName)
+		if idx < 0 {
+			return nil, fmt.Errorf("%s: MAIN %q not defined", name, a.mainName)
+		}
+		a.file.MainPEP = uint16(idx)
+	}
+	return a.file, nil
+}
+
+// MustAssemble is Assemble for test fixtures; it panics on error.
+func MustAssemble(name, source string) *codefile.File {
+	f, err := Assemble(name, source)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type patch struct {
+	addr  uint16
+	label string
+	kind  uint8 // 'b' = branch disp into instr, 'w' = absolute word
+	line  string
+}
+
+type asm struct {
+	file     *codefile.File
+	labels   map[string]uint16
+	patches  []patch
+	stackOps map[string]uint8
+	curProc  int
+	mainName string
+}
+
+func stackOpTable() map[uint8]string {
+	m := map[uint8]string{}
+	for op := uint8(0); op <= tns.OpDTOC; op++ {
+		n := tns.StackOpName(op)
+		if !strings.HasPrefix(n, "STK?") {
+			m[op] = n
+		}
+	}
+	return m
+}
+
+func (a *asm) emit(w uint16) { a.file.Code = append(a.file.Code, w) }
+
+func (a *asm) here() uint16 { return uint16(len(a.file.Code)) }
+
+func (a *asm) line(raw string) error {
+	line := raw
+	if i := strings.IndexByte(line, ';'); i >= 0 {
+		line = line[:i]
+	}
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return nil
+	}
+	// Labels, possibly followed by an instruction on the same line.
+	for {
+		i := strings.IndexByte(line, ':')
+		if i < 0 || strings.ContainsAny(line[:i], " \t") {
+			break
+		}
+		// "DATA addr:" also contains ':' but has a space before it.
+		label := line[:i]
+		if _, dup := a.labels[label]; dup {
+			return fmt.Errorf("duplicate label %q", label)
+		}
+		a.labels[label] = a.here()
+		line = strings.TrimSpace(line[i+1:])
+		if line == "" {
+			return nil
+		}
+	}
+	fields := strings.Fields(line)
+	op := strings.ToUpper(fields[0])
+	rest := strings.TrimSpace(line[len(fields[0]):])
+	switch op {
+	case "PROC":
+		return a.procDirective(fields[1:])
+	case "ENDPROC":
+		if a.curProc < 0 {
+			return fmt.Errorf("ENDPROC outside PROC")
+		}
+		a.curProc = -1
+		return nil
+	case "GLOBALS":
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			return fmt.Errorf("GLOBALS: %w", err)
+		}
+		a.file.GlobalWords = uint16(n)
+		return nil
+	case "MAIN":
+		a.mainName = rest
+		return nil
+	case "DATA":
+		return a.dataDirective(rest)
+	case "STMT":
+		ln := 0
+		if rest != "" {
+			v, err := strconv.Atoi(rest)
+			if err != nil {
+				return fmt.Errorf("STMT: %w", err)
+			}
+			ln = v
+		}
+		a.file.Statements = append(a.file.Statements,
+			codefile.Statement{Addr: a.here(), Line: int32(ln)})
+		return nil
+	case "WORD":
+		return a.wordDirective(rest)
+	case "CASETAB":
+		labels := splitList(rest)
+		a.emit(uint16(len(labels)))
+		for _, l := range labels {
+			a.patches = append(a.patches,
+				patch{addr: a.here(), label: l, kind: 'w', line: raw})
+			a.emit(0)
+		}
+		return nil
+	}
+	if a.curProc < 0 {
+		return fmt.Errorf("instruction %q outside PROC", op)
+	}
+	return a.instruction(op, rest, raw)
+}
+
+func (a *asm) procDirective(args []string) error {
+	if a.curProc >= 0 {
+		return fmt.Errorf("nested PROC")
+	}
+	if len(args) < 1 {
+		return fmt.Errorf("PROC needs a name")
+	}
+	p := codefile.Proc{Name: args[0], Entry: a.here(), ResultWords: -1}
+	for i := 1; i+1 < len(args); i += 2 {
+		v, err := strconv.Atoi(args[i+1])
+		if err != nil {
+			return fmt.Errorf("PROC %s: %w", args[i], err)
+		}
+		switch strings.ToUpper(args[i]) {
+		case "RESULT":
+			p.ResultWords = int8(v)
+		case "ARGS":
+			p.ArgWords = uint8(v)
+		default:
+			return fmt.Errorf("PROC: unknown attribute %q", args[i])
+		}
+	}
+	a.file.Procs = append(a.file.Procs, p)
+	a.curProc = len(a.file.Procs) - 1
+	return nil
+}
+
+func (a *asm) dataDirective(rest string) error {
+	i := strings.IndexByte(rest, ':')
+	if i < 0 {
+		return fmt.Errorf("DATA needs \"addr:\"")
+	}
+	addr, err := strconv.Atoi(strings.TrimSpace(rest[:i]))
+	if err != nil {
+		return fmt.Errorf("DATA: %w", err)
+	}
+	var words []uint16
+	for _, f := range strings.Fields(rest[i+1:]) {
+		v, err := parseInt(f)
+		if err != nil {
+			return fmt.Errorf("DATA: %w", err)
+		}
+		words = append(words, uint16(v))
+	}
+	a.file.Data = append(a.file.Data,
+		codefile.DataSeg{Addr: uint16(addr), Words: words})
+	return nil
+}
+
+func (a *asm) wordDirective(rest string) error {
+	if v, err := parseInt(rest); err == nil {
+		a.emit(uint16(v))
+		return nil
+	}
+	a.patches = append(a.patches,
+		patch{addr: a.here(), label: rest, kind: 'w'})
+	a.emit(0)
+	return nil
+}
+
+func (a *asm) instruction(op, rest, raw string) error {
+	// Zero-operand stack operations.
+	if code, ok := a.stackOps[op]; ok && rest == "" {
+		a.emit(tns.EncStack(code))
+		return nil
+	}
+	switch op {
+	case "LDE", "STE", "LDBE", "STBE":
+		sub := map[string]uint8{
+			"LDE": tns.SubLDE, "STE": tns.SubSTE,
+			"LDBE": tns.SubLDBE, "STBE": tns.SubSTBE,
+		}[op]
+		a.emit(tns.EncSpecial(sub, 0))
+		return nil
+	case "LOAD", "STOR", "LDB", "STB", "LDD", "STD":
+		return a.memInstr(op, rest)
+	case "LDI", "LDHI", "ADDI", "CMPI", "ADDS", "ANDI", "ORI", "LGA", "LLA",
+		"SVC", "LDPL", "SETT", "SHL", "SHRL", "SHRA", "DSHL", "DSHRL",
+		"LDRA", "STAR", "SETRP":
+		v, err := parseInt(rest)
+		if err != nil {
+			return fmt.Errorf("%s: %w", op, err)
+		}
+		if err := checkOperandRange(op, v); err != nil {
+			return err
+		}
+		sub := map[string]uint8{
+			"LDI": tns.SubLDI, "LDHI": tns.SubLDHI, "ADDI": tns.SubADDI,
+			"CMPI": tns.SubCMPI, "ADDS": tns.SubADDS, "ANDI": tns.SubANDI,
+			"ORI": tns.SubORI, "LGA": tns.SubLGA, "LLA": tns.SubLLA,
+			"SVC": tns.SubSVC, "LDPL": tns.SubLDPL, "SETT": tns.SubSETT,
+			"SHL": tns.SubSHL, "SHRL": tns.SubSHRL, "SHRA": tns.SubSHRA,
+			"DSHL": tns.SubDSHL, "DSHRL": tns.SubDSHRL, "LDRA": tns.SubLDRA,
+			"STAR": tns.SubSTAR, "SETRP": tns.SubSETRP,
+		}[op]
+		a.emit(tns.EncSpecial(sub, uint8(v)))
+		return nil
+	case "ADM":
+		if strings.Contains(strings.ToUpper(rest), "ATOMIC") {
+			a.emit(tns.EncSpecial(tns.SubADM, 1))
+		} else {
+			a.emit(tns.EncSpecial(tns.SubADM, 0))
+		}
+		return nil
+	case "CASE":
+		a.emit(tns.EncSpecial(tns.SubCASE, 0))
+		return nil
+	case "PCAL", "SCAL", "EXIT":
+		return a.callInstr(op, rest)
+	case "BUN", "BZ", "BNZ",
+		"BL", "BE", "BLE", "BG", "BNE", "BGE", "BA", "BNV":
+		return a.branch(op, rest, raw)
+	}
+	return fmt.Errorf("unknown mnemonic %q", op)
+}
+
+func (a *asm) memInstr(op, rest string) error {
+	var major uint8
+	switch op {
+	case "LOAD":
+		major = tns.MajLoad
+	case "STOR":
+		major = tns.MajStor
+	case "LDB":
+		major = tns.MajLdb
+	case "STB":
+		major = tns.MajStb
+	case "LDD":
+		major = tns.MajLdd
+	case "STD":
+		major = tns.MajStd
+	}
+	parts := splitList(rest)
+	if len(parts) == 0 {
+		return fmt.Errorf("%s needs an address", op)
+	}
+	addr := parts[0]
+	var mode uint8
+	switch {
+	case strings.HasPrefix(addr, "G+"):
+		mode = tns.ModeG
+	case strings.HasPrefix(addr, "L+"):
+		mode = tns.ModeL
+	case strings.HasPrefix(addr, "L-"):
+		mode = tns.ModeLN
+	case strings.HasPrefix(addr, "S-"):
+		mode = tns.ModeS
+	default:
+		return fmt.Errorf("%s: bad address %q", op, addr)
+	}
+	d, err := strconv.Atoi(addr[2:])
+	if err != nil || d < 0 || d > 511 {
+		return fmt.Errorf("%s: bad displacement %q", op, addr)
+	}
+	var ind, idx bool
+	for _, p := range parts[1:] {
+		switch strings.ToUpper(p) {
+		case "I":
+			ind = true
+		case "X":
+			idx = true
+		default:
+			return fmt.Errorf("%s: bad suffix %q", op, p)
+		}
+	}
+	a.emit(tns.EncMem(major, ind, idx, mode, uint16(d)))
+	return nil
+}
+
+func (a *asm) callInstr(op, rest string) error {
+	// Numeric PEP index or, for PCAL, a procedure name.
+	if v, err := parseInt(rest); err == nil {
+		switch op {
+		case "PCAL":
+			a.emit(tns.EncPCAL(uint16(v)))
+		case "SCAL":
+			a.emit(tns.EncSCAL(uint16(v)))
+		case "EXIT":
+			a.emit(tns.EncEXIT(uint16(v)))
+		}
+		return nil
+	}
+	if op != "PCAL" {
+		return fmt.Errorf("%s: bad operand %q", op, rest)
+	}
+	a.patches = append(a.patches, patch{addr: a.here(), label: rest, kind: 'p'})
+	a.emit(tns.EncPCAL(0))
+	return nil
+}
+
+func (a *asm) branch(op, rest, raw string) error {
+	a.patches = append(a.patches,
+		patch{addr: a.here(), label: rest, kind: 'b', line: raw})
+	// Emit with displacement 0; fixup rewrites it.
+	switch op {
+	case "BUN":
+		a.emit(tns.EncBUN(0))
+	case "BZ":
+		a.emit(tns.EncBRZ(false, 0))
+	case "BNZ":
+		a.emit(tns.EncBRZ(true, 0))
+	default:
+		cond := map[string]uint8{
+			"BNV": tns.CondNever, "BL": tns.CondL, "BE": tns.CondE,
+			"BLE": tns.CondLE, "BG": tns.CondG, "BNE": tns.CondNE,
+			"BGE": tns.CondGE, "BA": tns.CondAlways,
+		}[op]
+		a.emit(tns.EncBCC(cond, 0))
+	}
+	return nil
+}
+
+func (a *asm) fixup() error {
+	for _, p := range a.patches {
+		var target uint16
+		if p.kind == 'p' {
+			idx := a.file.ProcByName(p.label)
+			if idx < 0 {
+				return fmt.Errorf("undefined procedure %q", p.label)
+			}
+			a.file.Code[p.addr] = tns.EncPCAL(uint16(idx))
+			continue
+		}
+		if t, ok := a.labels[p.label]; ok {
+			target = t
+		} else if v, err := parseInt(p.label); err == nil {
+			target = uint16(v)
+		} else {
+			return fmt.Errorf("undefined label %q", p.label)
+		}
+		switch p.kind {
+		case 'w':
+			a.file.Code[p.addr] = target
+		case 'b':
+			disp := int(target) - int(p.addr) - 1
+			in := tns.Decode(a.file.Code[p.addr])
+			var w uint16
+			switch in.Ctl {
+			case tns.CtlBUN:
+				if disp < -512 || disp > 511 {
+					return fmt.Errorf("branch to %q out of range (%d)", p.label, disp)
+				}
+				w = tns.EncBUN(int16(disp))
+			case tns.CtlBCC:
+				if disp < -64 || disp > 63 {
+					return fmt.Errorf("branch to %q out of range (%d)", p.label, disp)
+				}
+				w = tns.EncBCC(in.Cond, int16(disp))
+			case tns.CtlBRZ:
+				if disp < -256 || disp > 255 {
+					return fmt.Errorf("branch to %q out of range (%d)", p.label, disp)
+				}
+				w = tns.EncBRZ(in.Cond == 1, int16(disp))
+			}
+			a.file.Code[p.addr] = w
+		}
+	}
+	return nil
+}
+
+func checkOperandRange(op string, v int) error {
+	var lo, hi int
+	switch op {
+	case "LDI", "ADDI", "CMPI", "ADDS", "LLA":
+		lo, hi = -128, 127
+	case "LDHI", "ANDI", "ORI", "SVC", "LGA", "LDPL":
+		lo, hi = 0, 255
+	case "SHL", "SHRL", "SHRA":
+		lo, hi = 0, 15
+	case "DSHL", "DSHRL":
+		lo, hi = 0, 31
+	case "LDRA", "STAR", "SETRP":
+		lo, hi = 0, 7
+	case "SETT":
+		lo, hi = 0, 1
+	default:
+		lo, hi = 0, 255
+	}
+	if v < lo || v > hi {
+		return fmt.Errorf("%s: operand %d out of range [%d,%d]", op, v, lo, hi)
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseInt(s string) (int, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		v, err := strconv.ParseInt(s[2:], 16, 32)
+		return int(v), err
+	}
+	return strconv.Atoi(s)
+}

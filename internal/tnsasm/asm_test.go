@@ -1,0 +1,221 @@
+package tnsasm
+
+import (
+	"strings"
+	"testing"
+
+	"tnsr/internal/tns"
+)
+
+func TestAssembleBasics(t *testing.T) {
+	f, err := Assemble("t", `
+; a comment
+GLOBALS 10
+MAIN main
+PROC main RESULT 0 ARGS 0
+  LDI 5
+  STOR G+0
+  EXIT 0
+ENDPROC
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.GlobalWords != 10 || len(f.Procs) != 1 || f.Procs[0].Name != "main" {
+		t.Errorf("file: %+v", f)
+	}
+	if len(f.Code) != 3 {
+		t.Fatalf("code len = %d", len(f.Code))
+	}
+	if tns.Decode(f.Code[0]).Sub != tns.SubLDI {
+		t.Error("first instruction should be LDI")
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	f, err := Assemble("t", `
+MAIN main
+PROC main
+top:
+  LDI 1
+  BNZ top
+  BUN end
+  NOP
+end:
+  EXIT 0
+ENDPROC
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BNZ at addr 1 targets addr 0: disp -2.
+	in := tns.Decode(f.Code[1])
+	if in.Ctl != tns.CtlBRZ || in.BranchTargetAddr(1) != 0 {
+		t.Errorf("BNZ: %+v", in)
+	}
+	in = tns.Decode(f.Code[2])
+	if in.Ctl != tns.CtlBUN || in.BranchTargetAddr(2) != 4 {
+		t.Errorf("BUN: %+v target=%d", in, in.BranchTargetAddr(2))
+	}
+}
+
+func TestPCALByName(t *testing.T) {
+	f, err := Assemble("t", `
+MAIN main
+PROC helper
+  EXIT 0
+ENDPROC
+PROC main
+  PCAL helper
+  EXIT 0
+ENDPROC
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tns.Decode(f.Code[1])
+	if in.Ctl != tns.CtlPCAL || in.Target != 0 {
+		t.Errorf("PCAL: %+v", in)
+	}
+	if f.MainPEP != 1 {
+		t.Errorf("MainPEP = %d", f.MainPEP)
+	}
+}
+
+func TestCaseTable(t *testing.T) {
+	f, err := Assemble("t", `
+MAIN main
+PROC main
+  LDI 0
+  CASE
+CASETAB a, b
+a:
+  EXIT 0
+b:
+  EXIT 0
+ENDPROC
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Code: LDI, CASE, count=2, addrA, addrB, EXIT, EXIT.
+	if f.Code[2] != 2 {
+		t.Errorf("table count = %d", f.Code[2])
+	}
+	if f.Code[3] != 5 || f.Code[4] != 6 {
+		t.Errorf("table entries = %d,%d", f.Code[3], f.Code[4])
+	}
+}
+
+func TestDataAndWordDirectives(t *testing.T) {
+	f, err := Assemble("t", `
+GLOBALS 8
+DATA 2: 10 0x20 -1
+MAIN main
+PROC main
+  BUN skip
+  WORD 0xBEEF
+  WORD lab
+skip:
+lab:
+  EXIT 0
+ENDPROC
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Data) != 1 || f.Data[0].Addr != 2 ||
+		f.Data[0].Words[1] != 0x20 || f.Data[0].Words[2] != 0xFFFF {
+		t.Errorf("data: %+v", f.Data)
+	}
+	if f.Code[1] != 0xBEEF || f.Code[2] != 3 {
+		t.Errorf("words: %04x %04x", f.Code[1], f.Code[2])
+	}
+}
+
+func TestStatementMarkers(t *testing.T) {
+	f, err := Assemble("t", `
+MAIN main
+PROC main
+  STMT 10
+  LDI 1
+  STMT 11
+  DEL
+  EXIT 0
+ENDPROC
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Statements) != 2 || f.Statements[0].Addr != 0 ||
+		f.Statements[1].Addr != 1 || f.Statements[1].Line != 11 {
+		t.Errorf("statements: %+v", f.Statements)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"PROC a\nPROC b\nENDPROC\nENDPROC", // nested
+		"LDI 1",                            // instruction outside proc
+		"PROC a\n BUN nowhere\nENDPROC",    // undefined label
+		"PROC a\n FROB 1\nENDPROC",         // unknown mnemonic
+		"PROC a\n LOAD Q+1\nENDPROC",       // bad address mode
+		"PROC a\nlab:\nlab:\nENDPROC",      // duplicate label
+		"PROC a\nENDPROC\nMAIN zz",         // main not defined
+		"PROC a",                           // missing ENDPROC
+	}
+	for _, src := range cases {
+		if _, err := Assemble("t", src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+// TestDisassemblerRoundTrip assembles every disassembled form back to the
+// identical word, tying the assembler and disassembler together.
+func TestDisassemblerRoundTrip(t *testing.T) {
+	var words []uint16
+	for op := uint8(0); op <= tns.OpDTOC; op++ {
+		words = append(words, tns.EncStack(op))
+	}
+	for sub := uint8(tns.SubLDI); sub <= tns.SubSETT; sub++ {
+		switch sub {
+		case tns.SubCASE: // CASE needs its table
+		case tns.SubLDE, tns.SubSTE, tns.SubLDBE, tns.SubSTBE:
+			words = append(words, tns.EncSpecial(sub, 0))
+		case tns.SubADM:
+			words = append(words, tns.EncSpecial(sub, 0), tns.EncSpecial(sub, 1))
+		case tns.SubSETT:
+			words = append(words, tns.EncSpecial(sub, 1))
+		default:
+			words = append(words, tns.EncSpecial(sub, 3))
+		}
+	}
+	for maj := uint8(tns.MajLoad); maj <= tns.MajStd; maj++ {
+		words = append(words,
+			tns.EncMem(maj, false, false, tns.ModeG, 9),
+			tns.EncMem(maj, true, false, tns.ModeL, 9),
+			tns.EncMem(maj, false, true, tns.ModeLN, 9),
+			tns.EncMem(maj, true, true, tns.ModeS, 9))
+	}
+	words = append(words, tns.EncPCAL(4), tns.EncSCAL(5), tns.EncEXIT(2))
+
+	var src strings.Builder
+	src.WriteString("MAIN main\nPROC main\n")
+	for i, w := range words {
+		src.WriteString(tns.Disassemble(uint16(i), w))
+		src.WriteByte('\n')
+	}
+	src.WriteString("ENDPROC\n")
+	f, err := Assemble("rt", src.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range words {
+		if f.Code[i] != w {
+			t.Errorf("word %d: assembled %04x (%s), want %04x (%s)",
+				i, f.Code[i], tns.Disassemble(uint16(i), f.Code[i]),
+				w, tns.Disassemble(uint16(i), w))
+		}
+	}
+}

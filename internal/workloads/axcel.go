@@ -1,0 +1,190 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// axcelSource generates the "Axcel" workload: the Accelerator translating a
+// synthetic program. It decodes an instruction stream, recovers basic
+// blocks with a depth-first search over an explicit work stack, computes a
+// value-numbering-style hash over each block, and sorts the block table —
+// the pointer- and table-heavy integer code of an object-code translator.
+func axcelSource(iterations int) string {
+	src := `
+! "Axcel" workload: translator-like flow analysis over a code image.
+LITERAL runs = @ITER@;
+LITERAL codelen = 384;
+LITERAL maxblocks = 96;
+
+INT image[0:383];       ! synthetic instruction stream
+INT kindtab[0:383];     ! decoded kind per word
+INT leaders[0:95];      ! discovered block leader addresses
+INT bhash[0:95];        ! per-block value hash
+INT nlead;
+INT stack[0:63];
+INT sp;
+INT seed;
+INT checksum;
+
+! instruction kinds
+LITERAL kalu = 0, kload = 1, kstore = 2, kbranch = 3, kcall = 4, kexit = 5;
+
+INT PROC nextrand;
+BEGIN
+  ! Mixed-word generator: low byte times 109 plus high bits; full-period
+  ! enough for benchmark variety and free of low-bit cycling.
+  seed := (seed LAND 255) * 109 + (seed >> 8) + 89;
+  RETURN seed LAND 32767;
+END;
+
+! build a synthetic code image: mostly ALU and memory ops; a branch every
+! 8th word keeps the flow graph connected, and exits are rare.
+PROC buildimage;
+BEGIN
+  INT i; INT r;
+  FOR i := 0 TO codelen - 1 DO
+  BEGIN
+    IF i LAND 7 = 7 THEN
+      image[i] := kbranch * 4096 + (nextrand \ codelen)
+    ELSE
+    BEGIN
+      r := (nextrand >> 7) LAND 15;
+      IF r < 8 THEN image[i] := kalu * 4096 + (nextrand LAND 4095)
+      ELSE IF r < 11 THEN image[i] := kload * 4096 + (nextrand LAND 4095)
+      ELSE IF r < 13 THEN image[i] := kstore * 4096 + (nextrand LAND 4095)
+      ELSE IF r < 15 THEN
+        image[i] := kcall * 4096 + (nextrand \ codelen)
+      ELSE image[i] := kexit * 4096;
+    END;
+  END;
+END;
+
+PROC push(v); INT v;
+BEGIN
+  IF sp < 63 THEN
+  BEGIN
+    stack[sp] := v;
+    sp := sp + 1;
+  END;
+END;
+
+INT PROC pop;
+BEGIN
+  IF sp = 0 THEN RETURN -1;
+  sp := sp - 1;
+  RETURN stack[sp];
+END;
+
+! depth-first reachability, marking leaders (the CASE-table search shape).
+PROC analyze;
+BEGIN
+  INT a; INT w; INT kind; INT target;
+  FOR a := 0 TO codelen - 1 DO kindtab[a] := -1;
+  sp := 0;
+  nlead := 0;
+  ! seed the search from four "procedure entries"
+  CALL push(0);
+  CALL push(96);
+  CALL push(192);
+  CALL push(288);
+  a := pop;
+  WHILE a >= 0 DO
+  BEGIN
+    IF a < codelen AND kindtab[a] = -1 THEN
+    BEGIN
+      w := image[a];
+      kind := w >> 12;
+      kindtab[a] := kind;
+      target := w LAND 4095;
+      CASE kind OF
+      BEGIN
+        CALL push(a + 1);                    ! alu
+        CALL push(a + 1);                    ! load
+        CALL push(a + 1);                    ! store
+        BEGIN                                ! branch
+          IF target < codelen THEN
+          BEGIN
+            IF nlead < maxblocks THEN
+            BEGIN
+              leaders[nlead] := target;
+              nlead := nlead + 1;
+            END;
+            CALL push(target);
+          END;
+          CALL push(a + 1);
+        END;
+        BEGIN                                ! call
+          IF target < codelen THEN CALL push(target);
+          CALL push(a + 1);
+        END;
+        OTHERWISE sp := sp;                  ! exit: no successors
+      END;
+    END;
+    a := pop;
+  END;
+END;
+
+! hash each block (value-numbering flavour).
+PROC hashblocks;
+BEGIN
+  INT i; INT a; INT h; INT steps;
+  FOR i := 0 TO nlead - 1 DO
+  BEGIN
+    a := leaders[i];
+    h := 0;
+    steps := 0;
+    WHILE a < codelen AND steps < 24 DO
+    BEGIN
+      h := (h << 1) XOR image[a] XOR (h >> 11);
+      IF kindtab[a] = kbranch OR kindtab[a] = kexit THEN a := codelen
+      ELSE a := a + 1;
+      steps := steps + 1;
+    END;
+    bhash[i] := h LAND 32767;
+  END;
+END;
+
+! insertion sort of the block hash table (PMap ordering flavour).
+PROC sortblocks;
+BEGIN
+  INT i; INT j; INT key; INT keyl;
+  FOR i := 1 TO nlead - 1 DO
+  BEGIN
+    key := bhash[i];
+    keyl := leaders[i];
+    j := i - 1;
+    WHILE j >= 0 AND bhash[j] > key DO
+    BEGIN
+      bhash[j + 1] := bhash[j];
+      leaders[j + 1] := leaders[j];
+      j := j - 1;
+    END;
+    bhash[j + 1] := key;
+    leaders[j + 1] := keyl;
+  END;
+END;
+
+PROC main MAIN;
+BEGIN
+  INT run; INT i;
+  checksum := 0;
+  seed := 12345;
+  FOR run := 1 TO runs DO
+  BEGIN
+    CALL buildimage;
+    CALL analyze;
+    CALL hashblocks;
+    CALL sortblocks;
+    FOR i := 0 TO nlead - 1 DO
+      checksum := checksum XOR (bhash[i] XOR leaders[i]);
+    checksum := checksum XOR nlead;
+  END;
+  PUTNUM(checksum);
+  PUTCHAR(10);
+  PUTNUM(nlead);
+  PUTCHAR(10);
+END;
+`
+	return strings.ReplaceAll(src, "@ITER@", fmt.Sprint(iterations))
+}

@@ -1,0 +1,228 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// dhrystoneSource generates the TAL-coded Dhrystone. Records are arrays
+// with DEFINEd field offsets (the TAL idiom for records); the ext variant
+// accesses records through extended 32-bit pointers, reproducing the
+// paper's "32-bit addressing" measurement column.
+func dhrystoneSource(ext bool, iterations int) string {
+	ptrDecl := "INT .PtrGlob; INT .PtrGlobNext;"
+	mkPtr := "@PtrGlob := @RecGlob; @PtrGlobNext := @RecGlobNext;"
+	localPtr := "INT .p;"
+	takeGlob := "@p := @PtrGlob;"
+	if ext {
+		ptrDecl = "INT .EXT PtrGlob; INT .EXT PtrGlobNext;"
+		mkPtr = "@PtrGlob := $XADR(RecGlob); @PtrGlobNext := $XADR(RecGlobNext);"
+		localPtr = "INT .EXT p;"
+		takeGlob = "@p := @PtrGlob;"
+	}
+	src := `
+! Dhrystone, TAL-coded, per Andrys & Sand measurement suite shape.
+! Records are word arrays with DEFINEd component offsets.
+LITERAL identical = 0, rraining = 1, reversed = 2;   ! enumeration
+LITERAL fldnext = 0, flddiscr = 1, fldenum = 2, fldint = 3, fldstr = 4;
+LITERAL recwords = 20;
+LITERAL runs = @ITER@;
+
+INT RecGlob[0:19];
+INT RecGlobNext[0:19];
+@PTRDECL@
+INT IntGlob;
+INT BoolGlob;
+INT Char1Glob;
+INT Char2Glob;
+INT Arr1Glob[0:49];
+INT Arr2Glob[0:339];          ! 17x20 two-dimensional array, flattened
+STRING Str1Glob[0:30] := "DHRYSTONE PROGRAM, 1'ST STRING";
+STRING Str2Glob[0:30] := "DHRYSTONE PROGRAM, 2'ND STRING";
+STRING StrLoc1[0:30];
+STRING StrLoc2[0:30];
+INT checksum;
+
+PROC proc7(a, b, r); INT a; INT b; INT .r;
+BEGIN
+  r := a + 2 + b;
+END;
+
+PROC proc6(enumval, r); INT enumval; INT .r;
+BEGIN
+  r := enumval;
+  IF enumval = rraining THEN r := identical;
+  CASE enumval OF
+  BEGIN
+    r := identical;       ! identical
+    r := reversed;        ! rraining
+    r := rraining;        ! reversed
+    OTHERWISE r := enumval;
+  END;
+END;
+
+PROC proc3(pp); INT .pp;
+BEGIN
+  ! In the reference Dhrystone this reassigns a pointer; here it updates
+  ! the record's integer component through the global pointer.
+  IF IntGlob > 99 THEN
+    CALL proc7(10, IntGlob, @pp)
+  ELSE
+    pp := IntGlob + 3;
+END;
+
+PROC proc1;
+BEGIN
+  @LOCALPTR@
+  @TAKEGLOB@
+  p[fldint] := 5;
+  p[fldenum] := reversed;
+  CALL proc3(@IntGlob);
+  IF p[flddiscr] = identical THEN
+  BEGIN
+    p[fldint] := 6;
+    CALL proc6(p[fldenum], @Char1Glob);
+    ! copy next-record linkage via the global record
+    p[fldnext] := RecGlobNext[fldnext];
+    CALL proc7(p[fldint], 10, @IntGlob);
+  END
+  ELSE
+    p[fldstr] := p[fldstr] + 1;
+END;
+
+PROC proc2(x); INT .x;
+BEGIN
+  INT loc; INT done;
+  loc := x + 10;
+  done := 0;
+  WHILE done = 0 DO
+  BEGIN
+    IF Char1Glob = "A" THEN
+    BEGIN
+      loc := loc - 1;
+      x := loc - IntGlob;
+      done := 1;
+    END
+    ELSE done := 1;
+  END;
+END;
+
+PROC proc4;
+BEGIN
+  INT boolloc;
+  boolloc := Char1Glob = "A";
+  boolloc := boolloc LOR BoolGlob;
+  Char2Glob := "B";
+END;
+
+PROC proc5;
+BEGIN
+  Char1Glob := "A";
+  BoolGlob := 0;
+END;
+
+INT PROC func1(ch1, ch2); INT ch1; INT ch2;
+BEGIN
+  INT chloc1; INT chloc2;
+  chloc1 := ch1;
+  chloc2 := chloc1;
+  IF chloc2 <> ch2 THEN RETURN identical;
+  Char1Glob := chloc1;
+  RETURN rraining;
+END;
+
+INT PROC func2(sp1, sp2); STRING .sp1; STRING .sp2;
+BEGIN
+  INT intloc; INT chloc;
+  intloc := 2;
+  WHILE intloc <= 2 DO
+    IF func1(sp1[intloc], sp2[intloc + 1]) = identical THEN
+    BEGIN
+      chloc := "A";
+      intloc := intloc + 1;
+    END
+    ELSE intloc := intloc + 1;
+  IF chloc >= "W" AND chloc < "Z" THEN intloc := 7;
+  IF chloc = "R" THEN RETURN 1;
+  IF COMPAREBYTES(@sp1, @sp2, 30) > 0 THEN
+  BEGIN
+    intloc := intloc + 7;
+    IntGlob := intloc;
+    RETURN 1;
+  END;
+  RETURN 0;
+END;
+
+INT PROC func3(enumval); INT enumval;
+BEGIN
+  INT enumloc;
+  enumloc := enumval;
+  IF enumloc = reversed THEN RETURN 1;
+  RETURN 0;
+END;
+
+PROC proc8(arr1, arr2, intval1, intval2); INT .arr1; INT .arr2;
+  INT intval1; INT intval2;
+BEGIN
+  INT intloc; INT idx;
+  intloc := intval1 + 5;
+  arr1[intloc] := intval2;
+  arr1[intloc + 1] := arr1[intloc];
+  arr1[intloc + 30] := intloc;
+  FOR idx := intloc TO intloc + 1 DO
+    arr2[intloc * 2 + idx] := intloc;
+  arr2[intloc * 2 + 19] := arr1[intloc];
+  IntGlob := 5;
+END;
+
+PROC main MAIN;
+BEGIN
+  INT i; INT intloc1; INT intloc2; INT intloc3; INT chindex;
+  @MKPTR@
+  RecGlob[flddiscr] := identical;
+  RecGlob[fldenum]  := rraining;
+  RecGlob[fldint]   := 40;
+  RecGlobNext[fldnext] := 17;
+  MOVE StrLoc1 := Str1Glob FOR 30 BYTES;
+  checksum := 0;
+  FOR i := 1 TO runs DO
+  BEGIN
+    CALL proc5;
+    CALL proc4;
+    intloc1 := 2;
+    intloc2 := 3;
+    MOVE StrLoc2 := Str2Glob FOR 30 BYTES;
+    BoolGlob := NOT func2(@StrLoc1, @StrLoc2);
+    WHILE intloc1 < intloc2 DO
+    BEGIN
+      intloc3 := 5 * intloc1 - intloc2;
+      CALL proc7(intloc1, intloc2, @intloc3);
+      intloc1 := intloc1 + 1;
+    END;
+    CALL proc8(@Arr1Glob, @Arr2Glob, intloc1, intloc3);
+    CALL proc1;
+    FOR chindex := "A" TO Char2Glob DO
+    BEGIN
+      IF func1(chindex, "C") = func3(RecGlob[fldenum]) THEN
+        CALL proc6(identical, @RecGlob[fldenum]);
+    END;
+    intloc3 := intloc2 * intloc1;
+    intloc2 := intloc3 / 3;
+    intloc2 := 7 * (intloc3 - intloc2) - intloc1;
+    CALL proc2(@intloc1);
+    checksum := checksum XOR (intloc1 + intloc2 + intloc3 + IntGlob
+                + BoolGlob + Char1Glob + Char2Glob + RecGlob[fldint]);
+  END;
+  PUTNUM(checksum);
+  PUTCHAR(10);
+  PUTNUM(IntGlob);
+  PUTCHAR(10);
+END;
+`
+	src = strings.ReplaceAll(src, "@PTRDECL@", ptrDecl)
+	src = strings.ReplaceAll(src, "@MKPTR@", mkPtr)
+	src = strings.ReplaceAll(src, "@LOCALPTR@", localPtr)
+	src = strings.ReplaceAll(src, "@TAKEGLOB@", takeGlob)
+	src = strings.ReplaceAll(src, "@ITER@", fmt.Sprint(iterations))
+	return src
+}

@@ -1,0 +1,232 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SyslibSource is the system-library codefile: a miniature Guardian-style
+// keyed file system plus transaction journaling, written in mini-TAL. ET1
+// spends nearly all of its cycles here, reached through SCAL calls — the
+// paper: ET1 "mostly measures work occurring within the OS kernel, file
+// system, SQL data base, and transaction monitor".
+//
+// Library PEP map (SYSPROC indexes follow declaration order, including the
+// internal helpers):
+//
+//	0 fs_size   1 fs_base   (internal helpers)
+//	2 fs_init        ()                 initialize the files
+//	3 fs_readrec     (fileid, key) -> record word address
+//	4 fs_writefld    (fileid, key, fld, val16)    write one field
+//	5 fs_adddbl      (fileid, key, fld, hi, lo)   32-bit add to a field pair
+//	6 lockslot       (internal helper)
+//	7 fs_lock        (fileid, key) -> 0/1         set a record lock
+//	8 fs_unlock      (fileid, key)
+//	9 tx_begin       () -> txid
+//	10 tx_journal    (txid, a, b, c)              append a journal entry
+//	11 tx_end        (txid) -> checksum word
+const SyslibSource = `
+! Miniature keyed file system + transaction monitor (the ET1 substrate).
+LITERAL recwords = 8;
+LITERAL naccts = 100, ntellers = 20, nbranches = 5;
+LITERAL jwords = 4, jslots = 64;
+
+! File storage: fixed tables of fixed-size records, key = record number.
+INT accts[0:799];        ! 100 * 8
+INT tellers[0:159];      ! 20 * 8
+INT branches[0:39];      ! 5 * 8
+INT locks[0:124];        ! lock bits for every record of every file
+INT journal[0:255];      ! 64 entries * 4 words, a ring
+INT jhead;
+INT txseq;
+INT workbuf[0:7];
+
+INT PROC fs_size(fileid); INT fileid;
+BEGIN
+  IF fileid = 0 THEN RETURN naccts;
+  IF fileid = 1 THEN RETURN ntellers;
+  RETURN nbranches;
+END;
+
+! fs_base: word address of a record (bounds-checked modulo the file).
+INT PROC fs_base(fileid, key); INT fileid; INT key;
+BEGIN
+  INT k;
+  k := key;
+  IF k < 0 THEN k := -k;
+  k := k \ fs_size(fileid);
+  IF fileid = 0 THEN RETURN @accts[k * recwords];
+  IF fileid = 1 THEN RETURN @tellers[k * recwords];
+  RETURN @branches[k * recwords];
+END;
+
+PROC fs_init;
+BEGIN
+  INT i;
+  FOR i := 0 TO 799 DO accts[i] := 0;
+  FOR i := 0 TO 159 DO tellers[i] := 0;
+  FOR i := 0 TO 39 DO branches[i] := 0;
+  FOR i := 0 TO 124 DO locks[i] := 0;
+  FOR i := 0 TO 255 DO journal[i] := 0;
+  jhead := 0;
+  txseq := 0;
+  FOR i := 0 TO naccts - 1 DO
+  BEGIN
+    accts[i * recwords] := i;            ! key field
+    accts[i * recwords + 1] := 100;      ! balance hi:lo start at 100
+  END;
+END;
+
+INT PROC fs_readrec(fileid, key); INT fileid; INT key;
+BEGIN
+  INT .p;
+  @p := fs_base(fileid, key);
+  ! copy the record into the shared work buffer (MOVW block move)
+  MOVE workbuf := p FOR recwords WORDS;
+  RETURN @p;
+END;
+
+PROC fs_writefld(fileid, key, fld, val); INT fileid; INT key; INT fld;
+  INT val;
+BEGIN
+  INT .p;
+  @p := fs_base(fileid, key);
+  p[fld] := val;
+END;
+
+! 32-bit add into a pair of record words (balances), through an INT(32)
+! pointer: the paired-register path the Accelerator packs into one RISC
+! register.
+PROC fs_adddbl(fileid, key, fld, hi, lo); INT fileid; INT key; INT fld;
+  INT hi; INT lo;
+BEGIN
+  INT(32) .p;
+  @p := fs_base(fileid, key) + fld;
+  p := p + ($DBL(hi) << 16) + $DBL(lo);
+END;
+
+INT PROC lockslot(fileid, key); INT fileid; INT key;
+BEGIN
+  INT k;
+  k := key;
+  IF k < 0 THEN k := -k;
+  k := k \ fs_size(fileid);
+  IF fileid = 0 THEN RETURN k;
+  IF fileid = 1 THEN RETURN naccts + k;
+  RETURN naccts + ntellers + k;
+END;
+
+INT PROC fs_lock(fileid, key); INT fileid; INT key;
+BEGIN
+  INT s;
+  s := lockslot(fileid, key);
+  IF locks[s] <> 0 THEN RETURN 0;
+  locks[s] := 1;
+  RETURN 1;
+END;
+
+PROC fs_unlock(fileid, key); INT fileid; INT key;
+BEGIN
+  locks[lockslot(fileid, key)] := 0;
+END;
+
+INT PROC tx_begin;
+BEGIN
+  txseq := (txseq + 1) LAND 16383;
+  RETURN txseq;
+END;
+
+PROC tx_journal(txid, a, b, cc); INT txid; INT a; INT b; INT cc;
+BEGIN
+  INT base;
+  base := (jhead LAND 63) * jwords;
+  journal[base] := txid;
+  journal[base + 1] := a;
+  journal[base + 2] := b;
+  journal[base + 3] := cc;
+  jhead := (jhead + 1) LAND 16383;
+END;
+
+INT PROC tx_end(txid); INT txid;
+BEGIN
+  INT h; INT i; INT base;
+  ! "flush": checksum the last few journal entries
+  h := txid;
+  FOR i := 0 TO 3 DO
+  BEGIN
+    base := ((jhead - 1 - i) LAND 63) * jwords;
+    h := h XOR journal[base] XOR journal[base + 2];
+  END;
+  RETURN h LAND 32767;
+END;
+
+PROC unused MAIN;
+BEGIN
+END;
+`
+
+// et1Source generates the ET1 debit/credit driver: small application code
+// that spends its time in library calls, as in the paper.
+func et1Source(iterations int) string {
+	src := `
+! ET1 debit/credit driver.
+LITERAL runs = @ITER@;
+
+SYSPROC fs_init = 2;
+INT SYSPROC fs_readrec = 3;
+SYSPROC fs_writefld = 4;
+SYSPROC fs_adddbl = 5;
+INT SYSPROC fs_lock = 7;
+SYSPROC fs_unlock = 8;
+INT SYSPROC tx_begin = 9;
+SYSPROC tx_journal = 10;
+INT SYSPROC tx_end = 11;
+
+INT seed;
+INT checksum;
+INT aborted;
+
+INT PROC nextrand;
+BEGIN
+  ! Mixed-word generator: low byte times 109 plus high bits; full-period
+  ! enough for benchmark variety and free of low-bit cycling.
+  seed := (seed LAND 255) * 109 + (seed >> 8) + 89;
+  RETURN seed LAND 32767;
+END;
+
+PROC main MAIN;
+BEGIN
+  INT run; INT acct; INT teller; INT branch; INT amount; INT txid; INT ok;
+  CALL fs_init;
+  seed := 9377;
+  checksum := 0;
+  aborted := 0;
+  FOR run := 1 TO runs DO
+  BEGIN
+    acct := (nextrand >> 5) \ 100;
+    teller := (nextrand >> 5) \ 20;
+    branch := teller \ 5;
+    amount := ((nextrand >> 4) \ 200) - 100;
+    txid := tx_begin;
+    ok := fs_lock(0, acct);
+    IF ok = 1 THEN
+    BEGIN
+      CALL fs_readrec(0, acct);
+      CALL fs_adddbl(0, acct, 1, 0, amount);
+      CALL fs_adddbl(1, teller, 1, 0, amount);
+      CALL fs_adddbl(2, branch, 1, 0, amount);
+      CALL fs_writefld(1, teller, 3, acct);
+      CALL tx_journal(txid, acct, teller, amount);
+      CALL fs_unlock(0, acct);
+      checksum := checksum XOR tx_end(txid);
+    END
+    ELSE aborted := aborted + 1;
+  END;
+  PUTNUM(checksum);
+  PUTCHAR(10);
+  PUTNUM(aborted);
+  PUTCHAR(10);
+END;
+`
+	return strings.ReplaceAll(src, "@ITER@", fmt.Sprint(iterations))
+}

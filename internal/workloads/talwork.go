@@ -1,0 +1,176 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// talWorkSource generates the "TAL" workload: a compiler front end (lexer,
+// keyword recognition, symbol hash table, expression parser skeleton) run
+// repeatedly over embedded program text. It stands in for measuring the TAL
+// compiler compiling itself: token/branch/call-heavy integer code with
+// byte scanning and table lookups.
+func talWorkSource(iterations int) string {
+	program := "INT PROC FIB N BEGIN IF N LESS 2 THEN RETURN N END " +
+		"RETURN FIB N MINUS 1 PLUS FIB N MINUS 2 END " +
+		"PROC MAIN BEGIN RESULT ASSIGN FIB 12 WHILE RESULT GREATER 0 DO " +
+		"RESULT ASSIGN RESULT MINUS 3 END CALL PRINT RESULT END " +
+		"INT TABLE 40 INT POINTER P BEGIN P ASSIGN TABLE INDEX 7 END "
+	src := `
+! "TAL" workload: a compiler front end over embedded source text.
+LITERAL runs = @ITER@;
+LITERAL srclen = @SRCLEN@;
+LITERAL hsize = 64;
+LITERAL maxtoks = 300;
+
+STRING source[0:@SRCHI@] := "@SRC@";
+INT hkey[0:63];          ! symbol hash table: key hashes
+INT hcount[0:63];        ! occurrence counts
+INT toks[0:299];         ! token kind stream
+INT tokval[0:299];       ! token hash values
+INT ntoks;
+INT checksum;
+
+! token kinds
+LITERAL tkword = 1, tknum = 2, tkother = 3;
+
+INT PROC hash(start, len); INT start; INT len;
+BEGIN
+  INT h; INT i;
+  h := 0;
+  FOR i := 0 TO len - 1 DO
+    h := ((h << 2) LAND 8191) + source[start + i] XOR (h >> 9);
+  RETURN h LAND 1023;
+END;
+
+PROC record(h); INT h;
+BEGIN
+  INT slot; INT probes;
+  slot := h LAND 63;
+  probes := 0;
+  WHILE probes < 64 DO
+  BEGIN
+    IF hcount[slot] = 0 THEN
+    BEGIN
+      hkey[slot] := h;
+      hcount[slot] := 1;
+      RETURN;
+    END;
+    IF hkey[slot] = h THEN
+    BEGIN
+      hcount[slot] := hcount[slot] + 1;
+      RETURN;
+    END;
+    slot := (slot + 1) LAND 63;
+    probes := probes + 1;
+  END;
+END;
+
+INT PROC isletter(ch); INT ch;
+BEGIN
+  IF ch >= "A" AND ch <= "Z" THEN RETURN 1;
+  RETURN 0;
+END;
+
+INT PROC isdigit(ch); INT ch;
+BEGIN
+  IF ch >= "0" AND ch <= "9" THEN RETURN 1;
+  RETURN 0;
+END;
+
+! lex: tokenize the source, filling toks/tokval.
+PROC lex;
+BEGIN
+  INT pos; INT ch; INT start; INT h;
+  pos := 0;
+  ntoks := 0;
+  WHILE pos < srclen AND ntoks < maxtoks DO
+  BEGIN
+    ch := source[pos];
+    IF ch = " " THEN pos := pos + 1
+    ELSE IF isletter(ch) = 1 THEN
+    BEGIN
+      start := pos;
+      WHILE pos < srclen AND isletter(source[pos]) = 1 DO pos := pos + 1;
+      h := hash(start, pos - start);
+      CALL record(h);
+      toks[ntoks] := tkword;
+      tokval[ntoks] := h;
+      ntoks := ntoks + 1;
+    END
+    ELSE IF isdigit(ch) = 1 THEN
+    BEGIN
+      start := 0;
+      WHILE pos < srclen AND isdigit(source[pos]) = 1 DO
+      BEGIN
+        start := start * 10 + (source[pos] - "0");
+        pos := pos + 1;
+      END;
+      toks[ntoks] := tknum;
+      tokval[ntoks] := start;
+      ntoks := ntoks + 1;
+    END
+    ELSE
+    BEGIN
+      toks[ntoks] := tkother;
+      tokval[ntoks] := ch;
+      ntoks := ntoks + 1;
+      pos := pos + 1;
+    END;
+  END;
+END;
+
+! parse: a recursive-descent skeleton over the token stream, counting
+! constructs by keyword hash class.
+INT pos2;
+INT PROC parseexpr(deep); INT deep;
+BEGIN
+  INT n; INT k;
+  n := 0;
+  IF deep > 6 THEN RETURN 0;
+  WHILE pos2 < ntoks DO
+  BEGIN
+    k := toks[pos2];
+    pos2 := pos2 + 1;
+    CASE k OF
+    BEGIN
+      n := n;                              ! 0: unused
+      n := (n + 1) LAND 8191;              ! word
+      n := (n + tokval[pos2 - 1] \ 7) LAND 8191;  ! number
+      OTHERWISE
+        IF tokval[pos2 - 1] = "(" THEN n := n + parseexpr(deep + 1)
+        ELSE IF deep > 0 THEN RETURN n;
+    END;
+  END;
+  RETURN n;
+END;
+
+PROC main MAIN;
+BEGIN
+  INT run; INT i;
+  checksum := 0;
+  FOR run := 1 TO runs DO
+  BEGIN
+    FOR i := 0 TO 63 DO
+    BEGIN
+      hkey[i] := 0;
+      hcount[i] := 0;
+    END;
+    CALL lex;
+    pos2 := 0;
+    checksum := checksum XOR (parseexpr(0) + ntoks);
+    FOR i := 0 TO 63 DO
+      checksum := checksum XOR (hcount[i] * (i + 1));
+  END;
+  PUTNUM(checksum);
+  PUTCHAR(10);
+  PUTNUM(ntoks);
+  PUTCHAR(10);
+END;
+`
+	src = strings.ReplaceAll(src, "@SRC@", program)
+	src = strings.ReplaceAll(src, "@SRCLEN@", fmt.Sprint(len(program)))
+	src = strings.ReplaceAll(src, "@SRCHI@", fmt.Sprint(len(program)))
+	src = strings.ReplaceAll(src, "@ITER@", fmt.Sprint(iterations))
+	return src
+}

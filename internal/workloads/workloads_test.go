@@ -1,0 +1,92 @@
+package workloads
+
+import (
+	"testing"
+
+	"tnsr/internal/codefile"
+	"tnsr/internal/core"
+	"tnsr/internal/interp"
+	"tnsr/internal/risc"
+	"tnsr/internal/tns"
+	"tnsr/internal/xrun"
+)
+
+// interpret runs a workload on the pure interpreter.
+func interpret(t *testing.T, w *Workload) *interp.Machine {
+	t.Helper()
+	m := interp.New(w.User, w.Lib)
+	if err := m.Run(400_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Trap != tns.TrapNone {
+		t.Fatalf("%s: trap %d at P=%d space=%d", w.Name, m.Trap, m.TrapP, m.Space)
+	}
+	return m
+}
+
+func TestWorkloadsRunAndChecksum(t *testing.T) {
+	for _, name := range Names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w := MustBuild(name, 3)
+			m := interpret(t, w)
+			out := m.Console.String()
+			if len(out) == 0 {
+				t.Fatal("no console output")
+			}
+			// Deterministic: building and running again gives the same.
+			w2 := MustBuild(name, 3)
+			m2 := interpret(t, w2)
+			if m2.Console.String() != out {
+				t.Errorf("nondeterministic output: %q vs %q", out, m2.Console.String())
+			}
+			t.Logf("%s: %d instrs, output %q", name, m.Prof.Instrs, out)
+		})
+	}
+}
+
+// TestWorkloadFidelityAllModes is the system-level fidelity check: every
+// workload produces identical output under interpretation and under all
+// three acceleration levels.
+func TestWorkloadFidelityAllModes(t *testing.T) {
+	for _, name := range Names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			ref := MustBuild(name, 2)
+			m := interpret(t, ref)
+			want := m.Console.String()
+
+			for _, lvl := range []codefile.AccelLevel{
+				codefile.LevelStmtDebug, codefile.LevelDefault, codefile.LevelFast,
+			} {
+				w := MustBuild(name, 2)
+				opts := core.Options{Level: lvl, LibSummaries: w.LibSummaries}
+				if err := core.Accelerate(w.User, opts); err != nil {
+					t.Fatalf("%s/%s: %v", name, lvl, err)
+				}
+				if w.Lib != nil {
+					libOpts := core.Options{Level: lvl, CodeBase: 0x80000, Space: 1}
+					if err := core.Accelerate(w.Lib, libOpts); err != nil {
+						t.Fatalf("%s/%s lib: %v", name, lvl, err)
+					}
+				}
+				r, err := xrun.New(w.User, w.Lib, risc.Config{MulLatency: 12, DivLatency: 35})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := r.Run(800_000_000); err != nil {
+					t.Fatalf("%s/%s: %v", name, lvl, err)
+				}
+				if r.Trap != m.Trap {
+					t.Fatalf("%s/%s: trap %d vs %d (at %d)", name, lvl, r.Trap, m.Trap, r.TrapP)
+				}
+				if got := r.Console(); got != want {
+					t.Errorf("%s/%s: output %q, want %q", name, lvl, got, want)
+				}
+				if frac := r.InterpFraction(); frac > 0.05 {
+					t.Errorf("%s/%s: %.1f%% of cycles in interpreter mode", name, lvl, 100*frac)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,447 @@
+// Package xrun executes accelerated codefiles the way a TNS/R machine does:
+// translated RISC code at full speed, with automatic switches into the TNS
+// interpreter at puzzle points and automatic recovery back into RISC code at
+// the next call or return that finds a register-exact point in the PMap. It
+// builds the runtime image (millicode, translated code, packed PMaps, EMaps),
+// mediates the BREAK/SYSCALL protocol, and accounts cycles separately per
+// execution mode so "time spent in interpreter mode" is measurable, as in
+// the paper.
+package xrun
+
+import (
+	"fmt"
+
+	"tnsr/internal/codefile"
+	"tnsr/internal/interp"
+	"tnsr/internal/machine"
+	"tnsr/internal/millicode"
+	"tnsr/internal/risc"
+	"tnsr/internal/tns"
+)
+
+// SwitchPenalty is the RISC cycle cost charged per execution-mode switch
+// (state packing and dispatch into or out of the interpreter loop).
+const SwitchPenalty = 40
+
+// Runner executes a user codefile (optionally with a system library) in
+// mixed mode.
+type Runner struct {
+	User *codefile.File
+	Lib  *codefile.File
+
+	Sim *risc.Sim
+	Int *interp.Machine
+
+	// Mode accounting.
+	InterludeProf interp.Profile // instructions interpreted in fallback mode
+	Interludes    int            // interpreter episodes
+	Switches      int            // total mode switches (both directions)
+	// FallbackAt counts interpreter entries by (space<<16 | TNS address),
+	// for diagnosing puzzle hot spots.
+	FallbackAt map[uint32]int
+
+	Halted     bool
+	ExitStatus uint16
+	Trap       int
+	TrapP      uint16
+
+	// Breakpoint support for the debugger: TNSBreaks keys are
+	// space<<16 | TNS address; a hit stops Run with BPHit set.
+	TNSBreaks map[uint32]bool
+	BPHit     bool
+	BPSpace   interp.Space
+	BPAddr    uint16
+
+	inRISC bool
+	skipBP bool
+	cfg    risc.Config
+}
+
+// New builds the runtime image. Either or both codefiles may be
+// accelerated; unaccelerated files simply run interpreted.
+func New(user, lib *codefile.File, cfg risc.Config) (*Runner, error) {
+	r := &Runner{User: user, Lib: lib, cfg: cfg}
+
+	milli, _ := millicode.Build()
+	codeLen := millicode.UserCodeBase
+	if user.Accel != nil {
+		codeLen = millicode.UserCodeBase + len(user.Accel.RISC)
+	}
+	if lib != nil && lib.Accel != nil {
+		codeLen = millicode.LibCodeBase + len(lib.Accel.RISC)
+	}
+	code := make([]uint32, codeLen)
+	copy(code, milli)
+	if user.Accel != nil {
+		copy(code[millicode.UserCodeBase:], user.Accel.RISC)
+	}
+	if lib != nil && lib.Accel != nil {
+		copy(code[millicode.LibCodeBase:], lib.Accel.RISC)
+	}
+
+	r.Sim = risc.NewSim(code, millicode.MemBytes, cfg)
+	r.Int = interp.New(user, lib)
+	r.Sim.OnSyscall = r.onSyscall
+
+	// Lay out the runtime tables.
+	next := uint32(millicode.TableArea)
+	place := func(b []byte) uint32 {
+		addr := next
+		copy(r.Sim.Mem[addr:], b)
+		next = (addr + uint32(len(b)) + 3) &^ 3
+		return addr
+	}
+	writePtr := func(at, v uint32) { r.Sim.WriteWord(at, v) }
+
+	if user.Accel != nil {
+		pm := user.Accel.PMap.Pack()
+		pmAddr := place(pm)
+		writePtr(millicode.PtrUserPMapBase, pmAddr+4)
+		writePtr(millicode.PtrUserPMapOff, pmAddr+4+4*uint32(beU32(pm, 0)))
+		writePtr(millicode.PtrUserEMap, place(packEMap(user.Accel.Entries)))
+	}
+	if lib != nil && lib.Accel != nil {
+		pm := lib.Accel.PMap.Pack()
+		pmAddr := place(pm)
+		writePtr(millicode.PtrLibPMapBase, pmAddr+4)
+		writePtr(millicode.PtrLibPMapOff, pmAddr+4+4*uint32(beU32(pm, 0)))
+		writePtr(millicode.PtrLibEMap, place(packEMap(lib.Accel.Entries)))
+	}
+
+	// Mirror the interpreter's initial data image into RISC memory.
+	r.syncMemToSim()
+	r.inRISC = false
+	return r, nil
+}
+
+func beU32(b []byte, off int) uint32 {
+	return uint32(b[off])<<24 | uint32(b[off+1])<<16 |
+		uint32(b[off+2])<<8 | uint32(b[off+3])
+}
+
+// packEMap serializes the PEP -> RISC entry map as big-endian byte
+// addresses (0 for untranslated procedures).
+func packEMap(entries []int32) []byte {
+	out := make([]byte, 4*len(entries))
+	for i, e := range entries {
+		var v uint32
+		if e >= 0 {
+			v = uint32(e) << 2
+		}
+		out[i*4] = byte(v >> 24)
+		out[i*4+1] = byte(v >> 16)
+		out[i*4+2] = byte(v >> 8)
+		out[i*4+3] = byte(v)
+	}
+	return out
+}
+
+// syncMemToSim copies the interpreter's data space into simulator memory.
+func (r *Runner) syncMemToSim() {
+	for i, w := range r.Int.Mem {
+		r.Sim.Mem[2*i] = byte(w >> 8)
+		r.Sim.Mem[2*i+1] = byte(w)
+	}
+}
+
+// syncMemToInt copies simulator data space back into the interpreter.
+func (r *Runner) syncMemToInt() {
+	for i := range r.Int.Mem {
+		r.Int.Mem[i] = uint16(r.Sim.Mem[2*i])<<8 | uint16(r.Sim.Mem[2*i+1])
+	}
+}
+
+// accelOf returns the acceleration section for a code space, or nil.
+func (r *Runner) accelOf(space interp.Space) *codefile.AccelSection {
+	f := r.Int.CodeFile(space)
+	if f == nil {
+		return nil
+	}
+	return f.Accel
+}
+
+// enterRISCIfMapped checks whether the interpreter's current position is a
+// register-exact point and, if so, switches to RISC execution.
+func (r *Runner) enterRISCIfMapped() bool {
+	acc := r.accelOf(r.Int.Space)
+	if acc == nil {
+		return false
+	}
+	idx, regExact, ok := acc.PMap.Lookup(r.Int.P)
+	if !ok || !regExact {
+		return false
+	}
+	// The translated code at this point assumes a specific RP; a wrong
+	// result-size guess upstream can leave the dynamic RP different, in
+	// which case execution must stay interpreted.
+	if int(r.Int.P) < len(acc.ExpectedRP) {
+		if exp := acc.ExpectedRP[r.Int.P]; exp != 0xFF && exp != r.Int.RP {
+			return false
+		}
+	}
+	r.loadSimFromInt()
+	r.Sim.ResumeAt(uint32(idx))
+	r.Sim.Cycles += SwitchPenalty
+	r.Switches++
+	r.inRISC = true
+	return true
+}
+
+// loadSimFromInt transfers architectural state interpreter -> simulator.
+func (r *Runner) loadSimFromInt() {
+	r.syncMemToSim()
+	m := r.Int
+	s := r.Sim
+	for i := 0; i < 8; i++ {
+		s.Reg[risc.RegR0+i] = uint32(int32(int16(m.R[i])))
+	}
+	s.Reg[risc.RegDB] = 0
+	s.Reg[risc.RegL] = uint32(m.L) * 2
+	s.Reg[risc.RegS] = uint32(m.S) * 2
+	s.Reg[risc.RegCC] = uint32(int32(m.CC))
+	s.Reg[risc.RegK] = 0
+	s.Reg[risc.RegV] = 0
+	s.Reg[risc.RegENV] = uint32(packENV(m))
+}
+
+func packENV(m *interp.Machine) uint16 {
+	return interp.PackENV(m.RP, m.T, m.Space)
+}
+
+// loadIntFromSim transfers architectural state simulator -> interpreter,
+// resuming interpretation at TNS address p in the space given by $env.
+func (r *Runner) loadIntFromSim(p uint16) {
+	r.syncMemToInt()
+	m := r.Int
+	s := r.Sim
+	for i := 0; i < 8; i++ {
+		m.R[i] = uint16(s.Reg[risc.RegR0+i])
+	}
+	env := uint16(s.Reg[risc.RegENV])
+	m.RP = uint8(env & 7)
+	m.T = env&0x80 != 0
+	m.Space = interp.UnpackENVSpace(env)
+	m.L = uint16(s.Reg[risc.RegL] / 2)
+	m.S = uint16(s.Reg[risc.RegS] / 2)
+	cc := int32(s.Reg[risc.RegCC])
+	switch {
+	case cc < 0:
+		m.CC = -1
+	case cc > 0:
+		m.CC = 1
+	default:
+		m.CC = 0
+	}
+	m.K, m.V = false, false
+	m.P = p
+}
+
+// Run executes until the program halts or the instruction budget (summed
+// over both modes) is exhausted.
+func (r *Runner) Run(maxInstrs int64) error {
+	// Start in RISC mode if the main entry is register-exact.
+	if !r.inRISC {
+		if !r.enterRISCIfMapped() {
+			r.Interludes++ // the program begins interpreted
+		}
+	}
+	for !r.Halted && !r.BPHit {
+		spent := r.Sim.Instrs + r.InterludeProf.Instrs
+		if maxInstrs > 0 && spent >= maxInstrs {
+			return fmt.Errorf("xrun: exceeded %d instructions", maxInstrs)
+		}
+		if r.inRISC {
+			if err := r.runRISC(maxInstrs); err != nil {
+				return err
+			}
+		} else {
+			r.runInterp(maxInstrs)
+		}
+	}
+	return nil
+}
+
+// Continue resumes after a breakpoint hit.
+func (r *Runner) Continue(maxInstrs int64) error {
+	if r.BPHit {
+		r.BPHit = false
+		if r.inRISC {
+			r.Sim.ResumeAt(r.Sim.PC)
+		} else {
+			r.skipBP = true
+		}
+	}
+	return r.Run(maxInstrs)
+}
+
+// InRISCMode reports the current execution mode.
+func (r *Runner) InRISCMode() bool { return r.inRISC }
+
+func (r *Runner) runRISC(maxInstrs int64) error {
+	budget := int64(0)
+	if maxInstrs > 0 {
+		budget = maxInstrs - r.Sim.Instrs - r.InterludeProf.Instrs + 16
+	}
+	if err := r.Sim.Run(budget); err != nil {
+		return err
+	}
+	s := r.Sim
+	switch {
+	case s.BPHit:
+		r.BPHit = true
+		r.BPSpace = interp.UnpackENVSpace(uint16(s.Reg[risc.RegENV]))
+		if acc := r.accelOf(r.BPSpace); acc != nil {
+			if a, ok := acc.PMap.Inverse(int(s.PC)); ok {
+				r.BPAddr = a
+			}
+		}
+		return nil
+	case s.Trap == risc.TrapOverflow:
+		// A hardware-trapping add fired: translated code only uses them
+		// when overflow traps are statically enabled, so this is the TNS
+		// overflow trap. The PMap inverse gives the nearest TNS address.
+		r.Halted = true
+		r.Trap = tns.TrapOverflow
+		if acc := r.accelOf(interp.UnpackENVSpace(uint16(s.Reg[risc.RegENV]))); acc != nil {
+			if a, ok := acc.PMap.Inverse(int(s.TrapPC)); ok {
+				r.TrapP = a
+			}
+		}
+		r.syncMemToInt()
+	case s.Trap != risc.TrapNone:
+		// Raw simulator trap: translated code stays inside the data
+		// space unless the TNS program itself misbehaved.
+		r.Halted = true
+		r.Trap = tns.TrapAddress
+		r.TrapP = 0
+		r.syncMemToInt()
+	case s.BreakCode == millicode.BreakHalt:
+		r.Halted = true
+		r.ExitStatus = r.Int.ExitStatus
+		r.syncMemToInt()
+	case s.BreakCode == millicode.BreakFallback:
+		p := uint16(s.Reg[risc.RegMT])
+		if r.FallbackAt == nil {
+			r.FallbackAt = map[uint32]int{}
+		}
+		spaceBit := uint32(s.Reg[risc.RegENV]) & 0x100
+		r.FallbackAt[spaceBit<<8|uint32(p)]++
+		r.loadIntFromSim(p)
+		r.Sim.Cycles += SwitchPenalty
+		r.Switches++
+		r.Interludes++
+		r.inRISC = false
+	case s.BreakCode >= millicode.BreakTrapBase:
+		r.Halted = true
+		r.Trap = int(s.BreakCode) - millicode.BreakTrapBase
+		r.TrapP = uint16(s.Reg[risc.RegMT])
+		r.syncMemToInt()
+	default:
+		return fmt.Errorf("xrun: unexpected break %d at %d", s.BreakCode, s.PC)
+	}
+	return nil
+}
+
+func (r *Runner) runInterp(maxInstrs int64) {
+	m := r.Int
+	before := m.Prof
+	for !m.Halted {
+		if maxInstrs > 0 &&
+			r.Sim.Instrs+r.InterludeProf.Instrs+(m.Prof.Instrs-before.Instrs) >= maxInstrs {
+			break
+		}
+		if r.TNSBreaks != nil && !r.skipBP &&
+			r.TNSBreaks[uint32(m.Space)<<16|uint32(m.P)] {
+			r.BPHit = true
+			r.BPSpace = m.Space
+			r.BPAddr = m.P
+			delta := profDelta(m.Prof, before)
+			r.InterludeProf.Add(&delta)
+			return
+		}
+		r.skipBP = false
+		kind := m.Step()
+		if kind == interp.TransferCall || kind == interp.TransferExit {
+			// The paper's recovery rule: return to accelerated code at
+			// the next call or return that finds a register-exact point.
+			if !m.Halted {
+				delta := profDelta(m.Prof, before)
+				r.InterludeProf.Add(&delta)
+				before = m.Prof
+				if r.enterRISCIfMapped() {
+					return
+				}
+			}
+		}
+	}
+	delta := profDelta(m.Prof, before)
+	r.InterludeProf.Add(&delta)
+	if m.Halted {
+		r.Halted = true
+		r.ExitStatus = m.ExitStatus
+		r.Trap = m.Trap
+		r.TrapP = m.TrapP
+	}
+}
+
+func profDelta(a, b interp.Profile) interp.Profile {
+	var d interp.Profile
+	for i := range d.Counts {
+		d.Counts[i] = a.Counts[i] - b.Counts[i]
+	}
+	d.LongUnits = a.LongUnits - b.LongUnits
+	d.Instrs = a.Instrs - b.Instrs
+	return d
+}
+
+func (r *Runner) onSyscall(s *risc.Sim, code uint32) {
+	m := r.Int
+	switch uint8(code) {
+	case tns.SvcHalt:
+		m.ExitStatus = uint16(s.Reg[risc.RegMT])
+		r.Halted = true
+		s.Stopped = true
+		s.BreakCode = millicode.BreakHalt
+	case tns.SvcPutchar:
+		m.Console.WriteByte(byte(s.Reg[risc.RegMT]))
+	case tns.SvcPutnum:
+		fmt.Fprintf(&m.Console, "%d", int16(s.Reg[risc.RegMT]))
+	case tns.SvcPuts:
+		ba := s.Reg[risc.RegMT] & 0xFFFF
+		n := s.Reg[risc.RegRA] & 0xFFFF
+		for i := uint32(0); i < n; i++ {
+			m.Console.WriteByte(s.Mem[ba+i])
+		}
+	}
+}
+
+// AdoptInterpreter replaces the runner's interpreter with an existing
+// machine mid-execution (dynamic translation hands a running interpreted
+// program over to freshly translated code). The machine's memory becomes
+// authoritative.
+func (r *Runner) AdoptInterpreter(m *interp.Machine) {
+	r.Int = m
+	r.Sim.OnSyscall = r.onSyscall
+	r.syncMemToSim()
+	r.inRISC = false
+}
+
+// Console returns the program's console output.
+func (r *Runner) Console() string { return r.Int.Console.String() }
+
+// Cycles prices the complete run on the Cyclone/R: simulated RISC cycles
+// plus interpreter interludes priced under the software-interpreter model.
+func (r *Runner) Cycles() (total, riscCycles, interlude float64) {
+	ic := machine.CycloneRInterp.Cycles(&r.InterludeProf.Counts, r.InterludeProf.LongUnits)
+	rc := float64(r.Sim.Cycles)
+	return rc + ic, rc, ic
+}
+
+// InterpFraction reports the fraction of time spent in interpreter mode.
+func (r *Runner) InterpFraction() float64 {
+	tot, _, ic := r.Cycles()
+	if tot == 0 {
+		return 0
+	}
+	return ic / tot
+}
