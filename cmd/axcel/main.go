@@ -12,6 +12,7 @@
 //	-lib file.tns                   system-library codefile for summaries
 //	-space 0|1                      code space of this file (1 = library)
 //	-hint name=words                ReturnValSize hint (repeatable)
+//	-workers n                      translation workers (0 = all CPUs)
 //	-report                         print the analysis report and exit
 //	-stats                          print translation statistics
 package main
@@ -40,6 +41,8 @@ func main() {
 	space := flag.Int("space", 0, "code space (0 user, 1 library)")
 	report := flag.Bool("report", false, "print the analysis report only")
 	stats := flag.Bool("stats", false, "print translation statistics")
+	workers := flag.Int("workers", 0,
+		"translation workers; 0 uses every CPU (output is identical either way)")
 	var hints hintList
 	flag.Var(&hints, "hint", "ReturnValSize hint, name=words")
 	flag.Parse()
@@ -49,7 +52,7 @@ func main() {
 	}
 
 	f := mustRead(flag.Arg(0))
-	opts := core.Options{Space: uint8(*space)}
+	opts := core.Options{Space: uint8(*space), Workers: *workers}
 	switch strings.ToLower(*level) {
 	case "stmtdebug", "statementdebug":
 		opts.Level = codefile.LevelStmtDebug

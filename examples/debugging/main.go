@@ -16,29 +16,14 @@ import (
 	"tnsr/internal/debug"
 	"tnsr/internal/risc"
 	"tnsr/internal/talc"
+	"tnsr/internal/workloads"
 	"tnsr/internal/xrun"
 )
 
-const program = `
-INT balance;
-INT history[0:9];
-PROC deposit(amount); INT amount;
-BEGIN
-  balance := balance + amount;
-END;
-PROC main MAIN;
-BEGIN
-  INT i;
-  balance := 100;
-  FOR i := 0 TO 9 DO
-  BEGIN
-    CALL deposit(i * 10);
-    history[i] := balance;
-  END;
-  PUTNUM(balance);
-  PUTCHAR(10);
-END;
-`
+// The program source lives in internal/workloads so the differential test
+// sweep exercises exactly what this example demonstrates; its exact line
+// numbering is what BreakAtStatement below refers to.
+const program = workloads.DebuggingSource
 
 func main() {
 	f, err := talc.Compile("account", program)

@@ -15,26 +15,13 @@ import (
 	"tnsr/internal/machine"
 	"tnsr/internal/risc"
 	"tnsr/internal/talc"
+	"tnsr/internal/workloads"
 	"tnsr/internal/xrun"
 )
 
-const program = `
-! Sum the squares of 1..100 and report the total.
-INT total;
-INT PROC square(x); INT x;
-BEGIN
-  RETURN x * x;
-END;
-PROC main MAIN;
-BEGIN
-  INT i;
-  total := 0;
-  FOR i := 1 TO 100 DO
-    total := total + square(i) \ 10;
-  PUTNUM(total);
-  PUTCHAR(10);
-END;
-`
+// The program source lives in internal/workloads so the differential test
+// sweep exercises exactly what this example demonstrates.
+const program = workloads.QuickstartSource
 
 func main() {
 	// 1. Compile TAL -> TNS object code.

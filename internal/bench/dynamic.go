@@ -61,7 +61,7 @@ func Crossover(runLengths []int) ([]CrossoverPoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := xrun.RunDynamic(fd, nil, 5, codefile.LevelDefault, 4_000_000_000)
+		res, err := xrun.RunDynamic(fd, nil, 5, codefile.LevelDefault, 0, 4_000_000_000)
 		if err != nil {
 			return nil, err
 		}

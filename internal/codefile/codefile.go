@@ -245,7 +245,7 @@ func Read(r io.Reader) (*File, error) {
 	f := &File{}
 	f.Name = br.str()
 	f.Code = br.u16s(br.u32())
-	np := br.u32()
+	np := br.count(br.u32())
 	f.Procs = make([]Proc, np)
 	for i := range f.Procs {
 		f.Procs[i].Name = br.str()
@@ -255,19 +255,19 @@ func Read(r io.Reader) (*File, error) {
 	}
 	f.MainPEP = br.u16()
 	f.GlobalWords = br.u16()
-	nd := br.u32()
+	nd := br.count(br.u32())
 	f.Data = make([]DataSeg, nd)
 	for i := range f.Data {
 		f.Data[i].Addr = br.u16()
 		f.Data[i].Words = br.u16s(br.u32())
 	}
-	ns := br.u32()
+	ns := br.count(br.u32())
 	f.Statements = make([]Statement, ns)
 	for i := range f.Statements {
 		f.Statements[i].Addr = br.u16()
 		f.Statements[i].Line = int32(br.u32())
 	}
-	ny := br.u32()
+	ny := br.count(br.u32())
 	f.Symbols = make([]Symbol, ny)
 	for i := range f.Symbols {
 		f.Symbols[i].Proc = int32(br.u32())
@@ -320,6 +320,23 @@ func (b *reader) read(v any) {
 	}
 }
 
+// maxCount bounds every element count read from the wire. TNS addresses are
+// 16-bit, so no legitimate section holds anywhere near this many entries
+// (the largest is the RISC array, a few hundred thousand words); a corrupt
+// or hostile header must fail here rather than drive a multi-gigabyte
+// allocation.
+const maxCount = 1 << 20
+
+func (b *reader) count(n uint32) int {
+	if b.err == nil && n > maxCount {
+		b.err = fmt.Errorf("codefile: implausible element count %d", n)
+	}
+	if b.err != nil {
+		return 0
+	}
+	return int(n)
+}
+
 func (b *reader) u8() uint8   { var v uint8; b.read(&v); return v }
 func (b *reader) u16() uint16 { var v uint16; b.read(&v); return v }
 func (b *reader) u32() uint32 { var v uint32; b.read(&v); return v }
@@ -339,28 +356,31 @@ func (b *reader) str() string {
 }
 
 func (b *reader) u16s(n uint32) []uint16 {
-	if b.err != nil || n > 1<<24 {
+	nn := b.count(n)
+	if b.err != nil {
 		return nil
 	}
-	v := make([]uint16, n)
+	v := make([]uint16, nn)
 	b.read(v)
 	return v
 }
 
 func (b *reader) u32s(n uint32) []uint32 {
-	if b.err != nil || n > 1<<24 {
+	nn := b.count(n)
+	if b.err != nil {
 		return nil
 	}
-	v := make([]uint32, n)
+	v := make([]uint32, nn)
 	b.read(v)
 	return v
 }
 
 func (b *reader) i32s(n uint32) []int32 {
-	if b.err != nil || n > 1<<24 {
+	nn := b.count(n)
+	if b.err != nil {
 		return nil
 	}
-	v := make([]int32, n)
+	v := make([]int32, nn)
 	b.read(v)
 	return v
 }

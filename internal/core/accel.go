@@ -4,24 +4,19 @@ import (
 	"fmt"
 
 	"tnsr/internal/codefile"
-	"tnsr/internal/millicode"
 )
 
 // Accelerate translates a TNS codefile in place, attaching the acceleration
 // section (RISC code, PMap, entry table, statistics). It is the top-level
 // Accelerator: invoked explicitly, post-compilation, needing no information
 // from the user — hints are optional tuning, exactly as the paper insists.
+//
+// The analysis phases run once; procedure translation then fans out to
+// opts.Workers workers (see parallel.go). The emitted section is
+// byte-identical for every worker count. opts is taken by value and
+// defaulted through a private copy: the caller's struct is never written to.
 func Accelerate(file *codefile.File, opts Options) error {
-	if opts.Level == codefile.LevelNone {
-		opts.Level = codefile.LevelDefault
-	}
-	if opts.MilliLabels == nil {
-		_, labels := millicode.Build()
-		opts.MilliLabels = labels
-	}
-	if opts.CodeBase == 0 {
-		opts.CodeBase = millicode.UserCodeBase
-	}
+	opts = opts.withDefaults()
 	if len(file.Procs) == 0 {
 		return fmt.Errorf("core: codefile %q has no procedures", file.Name)
 	}
@@ -33,21 +28,17 @@ func Accelerate(file *codefile.File, opts Options) error {
 	p.resolveRP()
 	p.liveness()
 
-	f := newFn(len(file.Procs))
-	tr := &translator{p: p, f: f, opts: &opts}
-	tr.s = newState(f, p)
-	tr.s.noCSE = opts.DisableCSE
-	tr.s.alwaysCC = opts.DisableFlagElision
-	if err := tr.translateAll(); err != nil {
+	f, stats, err := translate(p, &opts)
+	if err != nil {
 		return err
 	}
 
 	if !opts.DisableSchedule {
 		ss := schedule(f)
-		tr.stats.FilledSlots = ss.filledSlots
-		tr.stats.WeldedStmts = ss.welded
+		stats.FilledSlots = ss.filledSlots
+		stats.WeldedStmts = ss.welded
 	}
-	sec, err := tr.finalize()
+	sec, err := finalizeSection(p, &opts, f, stats)
 	if err != nil {
 		return err
 	}
@@ -71,10 +62,7 @@ type AnalysisReport struct {
 
 // Analyze runs the Accelerator's analysis phases only.
 func Analyze(file *codefile.File, opts Options) (*AnalysisReport, error) {
-	if opts.MilliLabels == nil {
-		_, labels := millicode.Build()
-		opts.MilliLabels = labels
-	}
+	opts = opts.withDefaults()
 	p, err := analyze(file, &opts)
 	if err != nil {
 		return nil, err

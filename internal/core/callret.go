@@ -20,8 +20,13 @@ import (
 func (t *translator) emitPrologue(pi int, entry uint16) {
 	f := t.f
 	f.curTNS = entry
-	l := f.newLabel()
-	f.procEntry[pi] = l
+	// A forward call may already have allocated this procedure's entry
+	// label (ensureProcLabel); bind it rather than orphaning it.
+	l := f.procEntry[pi]
+	if l == noLabel {
+		l = f.newLabel()
+		f.procEntry[pi] = l
+	}
 	f.bind(l)
 
 	// $t0 holds the caller's TNS return address. Push the stack marker

@@ -1,0 +1,106 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"tnsr/internal/codefile"
+	"tnsr/internal/core"
+	"tnsr/internal/interp"
+	"tnsr/internal/millicode"
+	"tnsr/internal/risc"
+	"tnsr/internal/talc"
+	"tnsr/internal/workloads"
+	"tnsr/internal/xrun"
+)
+
+// The differential sweep: every shipped program — the examples/ demos and
+// the paper's five benchmark workloads — is run through the pure
+// interpreter and through the parallel translation pipeline (Workers=4,
+// forcing the worker pool even on a single-CPU runner) at all three
+// translation levels, comparing console output, halt state, trap codes and
+// exit status. Combined with TestParallelDeterminism (Workers=N bytes ==
+// Workers=1 bytes), this grounds the parallel pipeline in observable
+// program behaviour, not just stream equality.
+
+// diffSweep interprets the user/lib pair, then accelerates fresh copies at
+// lvl with the parallel pipeline and compares the two executions.
+func diffSweep(t *testing.T, lvl codefile.AccelLevel,
+	build func() (*codefile.File, *codefile.File, map[uint16]int8)) {
+	t.Helper()
+
+	user, lib, summaries := build()
+	m := interp.New(user, lib)
+	m.Run(30_000_000)
+
+	auser, alib, _ := build()
+	opts := core.Options{Level: lvl, Workers: 4, LibSummaries: summaries}
+	if alib != nil {
+		libOpts := core.Options{
+			Level: lvl, Workers: 4,
+			CodeBase: millicode.LibCodeBase, Space: 1,
+		}
+		if err := core.Accelerate(alib, libOpts); err != nil {
+			t.Fatalf("accelerate lib: %v", err)
+		}
+	}
+	if err := core.Accelerate(auser, opts); err != nil {
+		t.Fatalf("accelerate: %v", err)
+	}
+	r, err := xrun.New(auser, alib, risc.Config{MulLatency: 12, DivLatency: 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run(200_000_000); err != nil {
+		t.Fatalf("run: %v (interludes=%d)", err, r.Interludes)
+	}
+
+	if m.Halted != r.Halted {
+		t.Fatalf("halted: interp=%v accel=%v", m.Halted, r.Halted)
+	}
+	if m.Trap != r.Trap {
+		t.Fatalf("trap: interp=%d accel=%d", m.Trap, r.Trap)
+	}
+	if m.Trap == 0 && m.ExitStatus != r.ExitStatus {
+		t.Errorf("exit status: interp=%d accel=%d", m.ExitStatus, r.ExitStatus)
+	}
+	if got, want := r.Console(), m.Console.String(); got != want {
+		t.Errorf("console: accel=%q interp=%q", got, want)
+	}
+}
+
+func TestDifferentialExamples(t *testing.T) {
+	for name, src := range workloads.ExamplePrograms {
+		for _, lvl := range levels {
+			name, src, lvl := name, src, lvl
+			t.Run(fmt.Sprintf("%s/%v", name, lvl), func(t *testing.T) {
+				t.Parallel()
+				diffSweep(t, lvl, func() (*codefile.File, *codefile.File, map[uint16]int8) {
+					f, err := talc.Compile(name, src)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return f, nil, nil
+				})
+			})
+		}
+	}
+}
+
+func TestDifferentialWorkloads(t *testing.T) {
+	for _, name := range workloads.Names {
+		for _, lvl := range levels {
+			name, lvl := name, lvl
+			t.Run(fmt.Sprintf("%s/%v", name, lvl), func(t *testing.T) {
+				t.Parallel()
+				diffSweep(t, lvl, func() (*codefile.File, *codefile.File, map[uint16]int8) {
+					w, err := workloads.Build(name, 2)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return w.User, w.Lib, w.LibSummaries
+				})
+			})
+		}
+	}
+}

@@ -8,12 +8,13 @@ import (
 	"tnsr/internal/risc"
 )
 
-// finalize lays out the emitted stream, resolves labels, encodes
+// finalizeSection lays out the emitted stream, resolves labels, encodes
 // instruction words, and builds the PMap, entry table and statistics into
-// the codefile's acceleration section.
-func (t *translator) finalize() (*codefile.AccelSection, error) {
-	f := t.f
-	base := t.opts.CodeBase
+// the codefile's acceleration section. It consumes the (possibly merged)
+// emission buffer, so it is independent of how many workers produced it.
+func finalizeSection(p *program, opts *Options, f *fn,
+	stats codefile.AccelStats) (*codefile.AccelSection, error) {
+	base := opts.CodeBase
 	pos := func(l label) (uint32, error) {
 		if l == noLabel || int(l) >= len(f.labelPos) || f.labelPos[l] < 0 {
 			return 0, fmt.Errorf("core: unresolved label %d", l)
@@ -23,24 +24,24 @@ func (t *translator) finalize() (*codefile.AccelSection, error) {
 
 	code := make([]uint32, len(f.ins))
 	for i, r := range f.ins {
-		w, err := t.encodeOne(r, uint32(i), base, pos)
+		w, err := encodeOne(r, uint32(i), base, pos)
 		if err != nil {
 			return nil, fmt.Errorf("core: at RISC %d (tns %d): %w", i, r.tnsAddr, err)
 		}
 		code[i] = w
 	}
 
-	pm := codefile.NewPMap(len(t.p.file.Code))
-	expRP := make([]uint8, len(t.p.file.Code))
+	pm := codefile.NewPMap(len(p.file.Code))
+	expRP := make([]uint8, len(p.file.Code))
 	for i := range expRP {
 		expRP[i] = 0xFF
 	}
 	for _, pt := range f.points {
-		p, err := pos(pt.lbl)
+		pp, err := pos(pt.lbl)
 		if err != nil {
 			return nil, err
 		}
-		pm.Add(pt.tnsAddr, int(base)+int(p), pt.regExact)
+		pm.Add(pt.tnsAddr, int(base)+int(pp), pt.regExact)
 		if pt.regExact && pt.rp >= 0 {
 			expRP[pt.tnsAddr] = uint8(pt.rp)
 		}
@@ -55,20 +56,20 @@ func (t *translator) finalize() (*codefile.AccelSection, error) {
 		entries[i] = int32(base) + f.labelPos[l]
 	}
 
-	instrs, tables := t.p.countKinds()
+	instrs, tables := p.countKinds()
 	_ = instrs
-	st := t.stats
+	st := stats
 	st.RISCInstrs = f.stats.inline
 	st.ElidedFlagOps = f.stats.elidedFlagOps
 	st.TableWords = tables
-	for _, g := range t.p.guessedProc {
+	for _, g := range p.guessedProc {
 		if g {
 			st.GuessedProcs++
 		}
 	}
 
 	return &codefile.AccelSection{
-		Level:      t.opts.Level,
+		Level:      opts.Level,
 		RISC:       code,
 		Entries:    entries,
 		ExpectedRP: expRP,
@@ -77,7 +78,7 @@ func (t *translator) finalize() (*codefile.AccelSection, error) {
 	}, nil
 }
 
-func (t *translator) encodeOne(r rinst, idx, base uint32,
+func encodeOne(r rinst, idx, base uint32,
 	pos func(label) (uint32, error)) (uint32, error) {
 	if r.isWord {
 		if r.jLbl != noLabel {

@@ -10,7 +10,12 @@
 // fallbacks, never wrong code.
 package core
 
-import "tnsr/internal/codefile"
+import (
+	"runtime"
+
+	"tnsr/internal/codefile"
+	"tnsr/internal/millicode"
+)
 
 // Options controls a translation, mirroring the paper's user-visible knobs.
 type Options struct {
@@ -50,6 +55,13 @@ type Options struct {
 	// into $env by prologues so stack markers record the right space.
 	Space uint8
 
+	// Workers is the number of translation workers procedure translation
+	// fans out to after the shared analysis phases. 0 (or negative) means
+	// runtime.GOMAXPROCS(0). The emitted acceleration section is
+	// byte-identical for every worker count; the knob trades wall-clock
+	// translation latency only.
+	Workers int
+
 	// Ablation switches, for quantifying the optimizations the paper names
 	// (see the ablation benchmarks). All default off.
 	DisableFlagElision bool // compute CC at every flag-setting instruction
@@ -72,4 +84,24 @@ type Hints struct {
 // Default option levels for convenience.
 func DefaultOptions() Options {
 	return Options{Level: codefile.LevelDefault}
+}
+
+// withDefaults returns a copy of o with every unset knob filled in. All
+// entry points defaulted through this copy, so a caller's Options struct is
+// never written to.
+func (o Options) withDefaults() Options {
+	if o.Level == codefile.LevelNone {
+		o.Level = codefile.LevelDefault
+	}
+	if o.MilliLabels == nil {
+		_, labels := millicode.Build()
+		o.MilliLabels = labels
+	}
+	if o.CodeBase == 0 {
+		o.CodeBase = millicode.UserCodeBase
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
 }

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"reflect"
 	"testing"
 
 	"tnsr/internal/codefile"
@@ -167,6 +168,40 @@ ENDPROC
 	}
 	if r.Interludes != 0 {
 		t.Errorf("%d interludes", r.Interludes)
+	}
+}
+
+// TestOptionsNotMutated: Accelerate and Analyze default unset knobs (level,
+// millicode labels, code base, worker count) through a private copy. A
+// caller reusing one Options struct across codefiles must never observe
+// those defaults written back — that leaked state between translations.
+func TestOptionsNotMutated(t *testing.T) {
+	opts := core.Options{} // every knob unset: all defaults apply
+	want := core.Options{}
+
+	f := tnsasm.MustAssemble("m", hintProg)
+	if err := core.Accelerate(f, opts); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(opts, want) {
+		t.Errorf("Accelerate wrote defaults into the caller's Options:\n got %+v\nwant %+v", opts, want)
+	}
+	if _, err := core.Analyze(f, opts); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(opts, want) {
+		t.Errorf("Analyze wrote defaults into the caller's Options:\n got %+v\nwant %+v", opts, want)
+	}
+
+	// The same zero-valued struct must stay reusable: a second Accelerate
+	// gets identical results, not state from the first.
+	f2 := tnsasm.MustAssemble("m", hintProg)
+	if err := core.Accelerate(f2, opts); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f.Accel.Stats, f2.Accel.Stats) {
+		t.Errorf("reused Options changed the translation: %+v vs %+v",
+			f.Accel.Stats, f2.Accel.Stats)
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"tnsr/internal/codefile"
 	"tnsr/internal/millicode"
@@ -9,28 +10,105 @@ import (
 	"tnsr/internal/tns"
 )
 
-// translator walks the analyzed program in ascending address order (which
-// keeps the PMap monotonic) and emits RISC code per basic block.
+// transCtx is the translation context shared by every translator working on
+// one codefile: the analyzed program, the options, and derived lookup tables.
+// Everything in it is immutable once built, which is what lets per-procedure
+// translators run concurrently against it.
+type transCtx struct {
+	p    *program
+	opts *Options
+
+	// stmtAt marks statement-boundary addresses.
+	stmtAt map[uint16]bool
+	// entryOf maps TNS entry addresses to PEP indexes.
+	entryOf map[uint16]int
+	// procEntryAt marks PEP entry addresses.
+	procEntryAt map[uint16]bool
+	// predCount approximates CFG in-degree for state-inheritance decisions.
+	predCount map[uint16]int
+}
+
+func newTransCtx(p *program, opts *Options) *transCtx {
+	c := &transCtx{
+		p:           p,
+		opts:        opts,
+		stmtAt:      map[uint16]bool{},
+		entryOf:     map[uint16]int{},
+		procEntryAt: map[uint16]bool{},
+	}
+	for _, st := range p.file.Statements {
+		c.stmtAt[st.Addr] = true
+	}
+	for pi, pr := range p.file.Procs {
+		c.entryOf[pr.Entry] = pi
+		c.procEntryAt[pr.Entry] = true
+	}
+	c.computePreds()
+	return c
+}
+
+// computePreds counts CFG predecessors (2 meaning "many").
+func (c *transCtx) computePreds() {
+	c.predCount = map[uint16]int{}
+	var succBuf []uint16
+	for a := 0; a < len(c.p.kind); a++ {
+		if c.p.kind[a] != KindInstr {
+			continue
+		}
+		succBuf = c.p.succs(uint16(a), succBuf[:0])
+		for _, s := range succBuf {
+			c.predCount[s]++
+		}
+	}
+	// Addresses enterable from outside static flow count as many.
+	for a := range c.p.caseTargets {
+		c.predCount[a] += 2
+	}
+	for _, pr := range c.p.file.Procs {
+		c.predCount[pr.Entry] += 2
+	}
+}
+
+// translator emits RISC code for one address range of the analyzed program
+// (in the parallel pipeline, one procedure per fragment). It walks addresses
+// in ascending order, which keeps the PMap monotonic. All mutable state —
+// the emission buffer, the abstract machine state, the block-label table,
+// the queued stubs and the statistics — is private to the translator, so
+// translators for different fragments never share anything but the
+// read-only transCtx.
 type translator struct {
+	ctx  *transCtx
 	p    *program
 	f    *fn
 	s    *state
 	opts *Options
 
-	// blockLbl maps TNS block-leader addresses to labels.
+	// blockLbl maps TNS block-leader addresses to labels. Labels for
+	// addresses outside this translator's range stay unbound and are
+	// resolved positionally when fragments are merged.
 	blockLbl map[uint16]label
 
 	// stubs queued for emission between procedures (fallback shims, RP
 	// check failures, overflow and divide traps).
 	stubs []stub
 
-	// predCount approximates CFG in-degree for state-inheritance decisions.
-	predCount map[uint16]int
-
-	// procEntryAt marks PEP entry addresses.
-	procEntryAt map[uint16]bool
-
 	stats codefile.AccelStats
+}
+
+// newTranslator creates a translator with a fresh code buffer and state.
+func newTranslator(ctx *transCtx) *translator {
+	f := newFn(len(ctx.p.file.Procs))
+	t := &translator{
+		ctx:      ctx,
+		p:        ctx.p,
+		f:        f,
+		opts:     ctx.opts,
+		blockLbl: map[uint16]label{},
+	}
+	t.s = newState(f, ctx.p)
+	t.s.noCSE = ctx.opts.DisableCSE
+	t.s.alwaysCC = ctx.opts.DisableFlagElision
+	return t
 }
 
 type stub struct {
@@ -73,33 +151,59 @@ func (t *translator) blockLabel(a uint16) label {
 	return l
 }
 
-// translateAll drives the whole translation.
-func (t *translator) translateAll() error {
-	t.blockLbl = map[uint16]label{}
-	t.computePreds()
-	n := len(t.p.kind)
-	stmtAt := map[uint16]bool{}
-	for _, st := range t.p.file.Statements {
-		stmtAt[st.Addr] = true
-	}
-	entryOf := map[uint16]int{} // TNS entry addr -> PEP index
-	t.procEntryAt = map[uint16]bool{}
-	for pi, pr := range t.p.file.Procs {
-		entryOf[pr.Entry] = pi
-		t.procEntryAt[pr.Entry] = true
-	}
+// fragment is one unit of the translation pipeline: the address range of a
+// single procedure, [start, end), ending at the entry of the next procedure
+// (or the end of the code segment). next is the following procedure's entry
+// address, or -1 for the last fragment; it supplies the TNS address queued
+// stubs are attributed to, exactly as the serial address walk would.
+type fragment struct {
+	start, end int
+	next       int
+}
 
-	translated := func(pi int) bool {
-		if t.opts.SelectProcs == nil {
-			return true
+// fragments splits the program into per-procedure fragments in ascending
+// entry-address order — the order the serial translator visits them, so
+// concatenating fragment output reproduces the serial instruction stream.
+func (c *transCtx) fragments() []fragment {
+	n := len(c.p.kind)
+	var entries []int
+	for _, pr := range c.p.file.Procs {
+		a := int(pr.Entry)
+		if a < n && c.p.kind[a] == KindInstr {
+			entries = append(entries, a)
 		}
-		return t.opts.SelectProcs[t.p.file.Procs[pi].Name]
 	}
+	sort.Ints(entries)
+	// Drop duplicate entries (two PEP rows naming the same address).
+	out := entries[:0]
+	for i, e := range entries {
+		if i == 0 || e != entries[i-1] {
+			out = append(out, e)
+		}
+	}
+	entries = out
+	frags := make([]fragment, len(entries))
+	for i, e := range entries {
+		end, next := n, -1
+		if i+1 < len(entries) {
+			end, next = entries[i+1], entries[i+1]
+		}
+		frags[i] = fragment{start: e, end: end, next: next}
+	}
+	return frags
+}
+
+// translateRange drives translation over one fragment. It is the loop body
+// of the former whole-file translateAll, restricted to [frag.start,
+// frag.end): procedure prologues, per-block state management, instruction
+// dispatch, and the end-of-procedure stub flush.
+func (t *translator) translateRange(frag fragment) error {
+	n := len(t.p.kind)
 
 	inTranslatedProc := false
 	fallthrough_ := false // previous instruction flows into the next address
 
-	for a := 0; a < n; a++ {
+	for a := frag.start; a < frag.end; a++ {
 		if t.p.kind[a] != KindInstr {
 			fallthrough_ = false
 			continue
@@ -107,10 +211,10 @@ func (t *translator) translateAll() error {
 		addr := uint16(a)
 		t.f.curTNS = addr
 
-		// Procedure boundary: emit queued stubs, then the prologue.
-		if pi, isEntry := entryOf[addr]; isEntry {
-			t.flushStubs()
-			inTranslatedProc = translated(pi)
+		// Procedure boundary: emit the prologue. (Stubs queued by the
+		// previous procedure were flushed at the end of its fragment.)
+		if pi, isEntry := t.ctx.entryOf[addr]; isEntry {
+			inTranslatedProc = t.procTranslated(pi)
 			if inTranslatedProc {
 				t.emitPrologue(pi, addr)
 				fallthrough_ = true // prologue flows into the body
@@ -129,8 +233,8 @@ func (t *translator) translateAll() error {
 			if t.f.bound(lbl) {
 				return fmt.Errorf("core: label for %d bound twice", addr)
 			}
-			inherit := fallthrough_ && t.predCount[addr] <= 1 &&
-				!t.isExactLeader(addr, stmtAt)
+			inherit := fallthrough_ && t.ctx.predCount[addr] <= 1 &&
+				!t.isExactLeader(addr)
 			if !inherit && fallthrough_ {
 				// The previous block falls through: it was already
 				// canonicalized at its end (see block terminators), so
@@ -174,7 +278,7 @@ func (t *translator) translateAll() error {
 			}
 			// Exact points: PMap entries and (for register-exact ones)
 			// canonical state was ensured by predecessors.
-			t.addLeaderPoints(addr, stmtAt)
+			t.addLeaderPoints(addr)
 			// Run-time RP confirmation after calls with guessed result
 			// sizes.
 			if prev := t.prevInstr(addr); prev >= 0 && t.p.instr[prev].IsCall() {
@@ -193,10 +297,10 @@ func (t *translator) translateAll() error {
 		if ft {
 			next := t.p.instrEnd(addr)
 			if int(next) < n && t.p.blockStart[next] {
-				inheritNext := t.predCount[next] <= 1 && !t.isExactLeader(next, stmtAt)
+				inheritNext := t.ctx.predCount[next] <= 1 && !t.isExactLeader(next)
 				if !inheritNext {
 					mask := t.p.liveOut[addr]
-					if t.opts.Level == codefile.LevelStmtDebug && stmtAt[next] {
+					if t.opts.Level == codefile.LevelStmtDebug && t.ctx.stmtAt[next] {
 						// Register-exact statement boundary: the debugger
 						// may inspect and modify the full register state.
 						mask = liveAll
@@ -210,6 +314,13 @@ func (t *translator) translateAll() error {
 		}
 		t.stats.TNSInstrs++
 	}
+
+	// End of the procedure: flush its stubs. The serial walk flushed them on
+	// reaching the next procedure's entry, after setting curTNS to it, so
+	// the stub instructions carry the same attribution here.
+	if frag.next >= 0 {
+		t.f.curTNS = uint16(frag.next)
+	}
 	t.flushStubs()
 	return nil
 }
@@ -219,14 +330,14 @@ func (t *translator) translateAll() error {
 // under StmtDebug; at the Default level they are memory-exact — stores stay
 // ordered, but register state and optimizations flow across, exactly the
 // distinction the paper draws between the two levels.
-func (t *translator) isExactLeader(addr uint16, stmtAt map[uint16]bool) bool {
+func (t *translator) isExactLeader(addr uint16) bool {
 	if t.p.caseTargets[addr] {
 		return true
 	}
-	if t.procEntryAt[addr] {
+	if t.ctx.procEntryAt[addr] {
 		return true
 	}
-	if t.opts.Level == codefile.LevelStmtDebug && stmtAt[addr] {
+	if t.opts.Level == codefile.LevelStmtDebug && t.ctx.stmtAt[addr] {
 		return true
 	}
 	// Return points after calls.
@@ -257,19 +368,19 @@ func (t *translator) prevInstr(addr uint16) int {
 // addLeaderPoints records PMap entries for an exact leader: procedure
 // entry points (re-entered by calls from interpreter mode), call return
 // points, CASE targets, and statement boundaries.
-func (t *translator) addLeaderPoints(addr uint16, stmtAt map[uint16]bool) {
+func (t *translator) addLeaderPoints(addr uint16) {
 	regExact := false
 	memExact := false
 	if t.p.caseTargets[addr] {
 		regExact = true
 	}
-	if t.procEntryAt[addr] {
+	if t.ctx.procEntryAt[addr] {
 		regExact = true
 	}
 	if prev := t.prevInstr(addr); prev >= 0 && t.p.instr[prev].IsCall() {
 		regExact = true
 	}
-	if stmtAt[addr] {
+	if t.ctx.stmtAt[addr] {
 		if t.opts.Level == codefile.LevelStmtDebug {
 			regExact = true
 		} else {
@@ -280,28 +391,6 @@ func (t *translator) addLeaderPoints(addr uint16, stmtAt map[uint16]bool) {
 		t.f.pmapAdd(addr, true, t.p.rpAt[addr])
 	} else if memExact {
 		t.f.pmapAdd(addr, false, -1)
-	}
-}
-
-// computePreds counts CFG predecessors (2 meaning "many").
-func (t *translator) computePreds() {
-	t.predCount = map[uint16]int{}
-	var succBuf []uint16
-	for a := 0; a < len(t.p.kind); a++ {
-		if t.p.kind[a] != KindInstr {
-			continue
-		}
-		succBuf = t.p.succs(uint16(a), succBuf[:0])
-		for _, s := range succBuf {
-			t.predCount[s]++
-		}
-	}
-	// Addresses enterable from outside static flow count as many.
-	for a := range t.p.caseTargets {
-		t.predCount[a] += 2
-	}
-	for _, pr := range t.p.file.Procs {
-		t.predCount[pr.Entry] += 2
 	}
 }
 

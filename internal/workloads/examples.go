@@ -1,0 +1,55 @@
+package workloads
+
+// The mini-TAL sources of the runnable examples/ programs, exported here so
+// the differential test sweep can push every shipped program through the
+// interpreter and the parallel translation pipeline and compare behaviour.
+// The examples embed these same constants, keeping the demos and the tests
+// on one source of truth (the debugging example's statement breakpoints
+// depend on DebuggingSource's exact line numbering).
+
+// ExamplePrograms maps example directory names to their program sources.
+var ExamplePrograms = map[string]string{
+	"quickstart": QuickstartSource,
+	"debugging":  DebuggingSource,
+}
+
+// QuickstartSource is the examples/quickstart program.
+const QuickstartSource = `
+! Sum the squares of 1..100 and report the total.
+INT total;
+INT PROC square(x); INT x;
+BEGIN
+  RETURN x * x;
+END;
+PROC main MAIN;
+BEGIN
+  INT i;
+  total := 0;
+  FOR i := 1 TO 100 DO
+    total := total + square(i) \ 10;
+  PUTNUM(total);
+  PUTCHAR(10);
+END;
+`
+
+// DebuggingSource is the examples/debugging program.
+const DebuggingSource = `
+INT balance;
+INT history[0:9];
+PROC deposit(amount); INT amount;
+BEGIN
+  balance := balance + amount;
+END;
+PROC main MAIN;
+BEGIN
+  INT i;
+  balance := 100;
+  FOR i := 0 TO 9 DO
+  BEGIN
+    CALL deposit(i * 10);
+    history[i] := balance;
+  END;
+  PUTNUM(balance);
+  PUTCHAR(10);
+END;
+`

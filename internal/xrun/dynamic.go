@@ -47,9 +47,12 @@ func (d *DynamicResult) Total() float64 {
 
 // RunDynamic executes user/lib with lazy translation: interpret, count
 // procedure entries, translate procedures that reach the hotness threshold,
-// and hand over. The codefiles must be unaccelerated.
+// and hand over. The codefiles must be unaccelerated. workers is the
+// translation worker count (0 means all CPUs): dynamic translation happens
+// while the program is stopped, so parallel translation directly shortens
+// the pause, and — the pipeline being deterministic — changes nothing else.
 func RunDynamic(user, lib *codefile.File, threshold int, level codefile.AccelLevel,
-	budget int64) (*DynamicResult, error) {
+	workers int, budget int64) (*DynamicResult, error) {
 	res := &DynamicResult{}
 	m := interp.New(user, lib)
 	counts := map[uint32]int{} // space<<16|entry -> calls
@@ -91,7 +94,7 @@ func RunDynamic(user, lib *codefile.File, threshold int, level codefile.AccelLev
 		// Hand over once something is hot and we sit at a call transfer.
 		if newlyHot && kind == interp.TransferCall && !m.Halted {
 			res.Retranslations++
-			r, err := handOff(user, lib, m, hot, level, libSummaries)
+			r, err := handOff(user, lib, m, hot, level, workers, libSummaries)
 			if err != nil {
 				return nil, err
 			}
@@ -119,9 +122,12 @@ func RunDynamic(user, lib *codefile.File, threshold int, level codefile.AccelLev
 // handOff translates the hot set into fresh codefile copies and adopts the
 // live machine.
 func handOff(user, lib *codefile.File, m *interp.Machine, hot map[string]bool,
-	level codefile.AccelLevel, libSummaries map[uint16]int8) (*Runner, error) {
+	level codefile.AccelLevel, workers int, libSummaries map[uint16]int8) (*Runner, error) {
 	tu := cloneFile(user)
-	opts := core.Options{Level: level, SelectProcs: hot, LibSummaries: libSummaries}
+	opts := core.Options{
+		Level: level, SelectProcs: hot, Workers: workers,
+		LibSummaries: libSummaries,
+	}
 	if err := core.Accelerate(tu, opts); err != nil {
 		return nil, err
 	}
@@ -129,7 +135,7 @@ func handOff(user, lib *codefile.File, m *interp.Machine, hot map[string]bool,
 	if lib != nil {
 		tl = cloneFile(lib)
 		if err := core.Accelerate(tl, core.Options{
-			Level: level, SelectProcs: hot,
+			Level: level, SelectProcs: hot, Workers: workers,
 			CodeBase: millicode.LibCodeBase, Space: 1,
 		}); err != nil {
 			return nil, err

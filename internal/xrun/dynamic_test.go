@@ -77,7 +77,7 @@ func TestDynamicTranslationCorrectness(t *testing.T) {
 	want := mRef.Console.String()
 
 	f := buildDyn(t, 30)
-	res, err := RunDynamic(f, nil, 5, codefile.LevelDefault, 500_000_000)
+	res, err := RunDynamic(f, nil, 5, codefile.LevelDefault, 4, 500_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestStaticVsDynamicCrossover(t *testing.T) {
 			t.Fatal(err)
 		}
 		fd := buildDyn(t, runs)
-		res, err := RunDynamic(fd, nil, 5, codefile.LevelDefault, 2_000_000_000)
+		res, err := RunDynamic(fd, nil, 5, codefile.LevelDefault, 4, 2_000_000_000)
 		if err != nil {
 			t.Fatal(err)
 		}
