@@ -26,6 +26,7 @@ func main() {
 	ablation := flag.String("ablation", "", "run the optimization ablation on a workload (e.g. dhry16)")
 	crossover := flag.Bool("crossover", false, "static vs dynamic translation crossover (extension)")
 	iters := flag.String("iters", "", "override iteration counts, e.g. dhry16=500,et1=100")
+	jsondir := flag.String("jsondir", "", "also write machine-readable BENCH_<workload>.json files here")
 	flag.Parse()
 
 	if *iters != "" {
@@ -68,6 +69,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 		os.Exit(1)
+	}
+	if *jsondir != "" {
+		if err := bench.WriteBenchJSON(*jsondir, rows); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	switch {
 	case *table == 1:

@@ -1,0 +1,83 @@
+// Command tnsprof runs a workload or example program in mixed mode with the
+// execution telemetry recorder attached and prints the report: mode
+// residency ("% time interpreted", as the paper frames it), the
+// escape-reason histogram, PMap hit rate, per-procedure attribution and
+// translation-phase timings.
+//
+// Usage:
+//
+//	tnsprof dhry16            human-readable report for one workload
+//	tnsprof -level fast tal   choose the acceleration level
+//	tnsprof -json dhry16      machine-readable report (schema tnsr/obs-report/v1)
+//	tnsprof -prom dhry16      Prometheus text exposition format
+//	tnsprof -list             list runnable workloads and examples
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tnsr/internal/bench"
+	"tnsr/internal/codefile"
+)
+
+func parseLevel(s string) (codefile.AccelLevel, error) {
+	switch strings.ToLower(s) {
+	case "stmtdebug", "stmt-debug", "debug":
+		return codefile.LevelStmtDebug, nil
+	case "default", "":
+		return codefile.LevelDefault, nil
+	case "fast":
+		return codefile.LevelFast, nil
+	}
+	return 0, fmt.Errorf("unknown level %q (want stmtdebug, default or fast)", s)
+}
+
+func main() {
+	level := flag.String("level", "default", "acceleration level: stmtdebug, default or fast")
+	iters := flag.Int("iters", 0, "workload iteration count (0 = bench default)")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	promOut := flag.Bool("prom", false, "emit the report in Prometheus text format")
+	top := flag.Int("top", 10, "rows in the hottest-sites and per-procedure tables")
+	list := flag.Bool("list", false, "list runnable workloads and examples")
+	flag.Parse()
+
+	if *list {
+		for _, name := range bench.ProfileNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tnsprof [-level L] [-iters N] [-json|-prom] <workload>")
+		fmt.Fprintln(os.Stderr, "run tnsprof -list for the available names")
+		os.Exit(2)
+	}
+	lvl, err := parseLevel(*level)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tnsprof: %v\n", err)
+		os.Exit(2)
+	}
+
+	rep, err := bench.ProfileWorkload(flag.Arg(0), lvl, *iters)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tnsprof: %v\n", err)
+		os.Exit(1)
+	}
+	switch {
+	case *jsonOut:
+		data, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tnsprof: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+	case *promOut:
+		rep.WritePrometheus(os.Stdout)
+	default:
+		rep.WriteText(os.Stdout, *top)
+	}
+}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tnsr/internal/codefile"
+	"tnsr/internal/obs"
+	"tnsr/internal/workloads"
+)
+
+// TestProfileWorkloadsSchema is the tnsprof acceptance check: every paper
+// workload, profiled at the Default level, yields a report that passes the
+// schema validator and survives a JSON round trip — the same path the CI
+// smoke step exercises through the CLI.
+func TestProfileWorkloadsSchema(t *testing.T) {
+	for _, name := range workloads.Names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			rep, err := ProfileWorkload(name, codefile.LevelDefault, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Workload != name {
+				t.Errorf("workload = %q", rep.Workload)
+			}
+			if rep.Modes.RISCInstrs == 0 {
+				t.Error("no RISC instructions recorded")
+			}
+			if rep.Modes.TotalCycles <= 0 {
+				t.Error("no cycle accounting")
+			}
+			if len(rep.Procs) == 0 {
+				t.Error("no per-procedure residency")
+			}
+			if len(rep.Phases) == 0 {
+				t.Error("no translation-phase timings")
+			}
+			if err := obs.Validate(rep); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			data, err := rep.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := obs.ParseReport(data)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if err := obs.Validate(back); err != nil {
+				t.Fatalf("validate after round trip: %v", err)
+			}
+		})
+	}
+}
+
+// TestProfileExample covers the talc-compiled example path tnsprof also
+// accepts.
+func TestProfileExample(t *testing.T) {
+	rep, err := ProfileWorkload("quickstart", codefile.LevelDefault, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.Validate(rep); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteBenchJSON checks the benchtab -jsondir export end to end on a
+// synthetic row: file layout, schema tag, record validation.
+func TestWriteBenchJSON(t *testing.T) {
+	row := &Row{
+		Name:       "dhry16",
+		InterpTime: 2e-3,
+		AccelTime: map[codefile.AccelLevel]float64{
+			codefile.LevelStmtDebug: 6e-4,
+			codefile.LevelDefault:   4e-4,
+			codefile.LevelFast:      3e-4,
+		},
+		InterpFrac: map[codefile.AccelLevel]float64{
+			codefile.LevelStmtDebug: 0.004,
+			codefile.LevelDefault:   0.002,
+			codefile.LevelFast:      0.001,
+		},
+	}
+	dir := t.TempDir()
+	if err := WriteBenchJSON(dir, []*Row{row}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_dhry16.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []BenchRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBenchRecords(recs); err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Mode != "interpreted" || recs[0].NsPerOp != 2e6 {
+		t.Errorf("first record: %+v", recs[0])
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // Proc describes one procedure in the PEP table.
@@ -99,6 +100,11 @@ type AccelSection struct {
 	// interpreter mode is refused when the dynamic RP differs — a wrong
 	// result-size guess upstream must not leak into translated code.
 	ExpectedRP []uint8
+	// FallbackWhy records, for each TNS address the translator emitted an
+	// interpreter fallback for, the static reason (obs.EscapeReason codes:
+	// puzzle joins, computed-jump regions, untranslated callees, ...). The
+	// runtime reports the reason when the fallback fires.
+	FallbackWhy map[uint16]uint8
 	// Stats carries translator counters used by the size experiments.
 	Stats AccelStats
 }
@@ -166,7 +172,7 @@ func (f *File) StatementAt(addr uint16) *Statement {
 
 const (
 	magic   = 0x544E5343 // "TNSC"
-	version = 3
+	version = 4          // v4 added AccelSection.FallbackWhy
 )
 
 // WriteTo serializes the codefile.
@@ -228,6 +234,17 @@ func (f *File) WriteTo(w io.Writer) (int64, error) {
 		p(int64(a.Stats.WeldedStmts))
 		p(int64(a.Stats.FilledSlots))
 		p(int64(a.Stats.ElidedFlagOps))
+		// FallbackWhy, sorted by address so serialization is deterministic.
+		addrs := make([]uint16, 0, len(a.FallbackWhy))
+		for addr := range a.FallbackWhy {
+			addrs = append(addrs, addr)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		p(uint32(len(addrs)))
+		for _, addr := range addrs {
+			p(addr)
+			p(a.FallbackWhy[addr])
+		}
 	}
 	n, err := w.Write(buf.Bytes())
 	return int64(n), err
@@ -296,6 +313,14 @@ func Read(r io.Reader) (*File, error) {
 		a.Stats.WeldedStmts = int(br.i64())
 		a.Stats.FilledSlots = int(br.i64())
 		a.Stats.ElidedFlagOps = int(br.i64())
+		nfw := br.count(br.u32())
+		if br.err == nil && nfw > 0 {
+			a.FallbackWhy = make(map[uint16]uint8, nfw)
+			for i := 0; i < nfw && br.err == nil; i++ {
+				addr := br.u16()
+				a.FallbackWhy[addr] = br.u8()
+			}
+		}
 		f.Accel = a
 	}
 	if br.err != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"tnsr/internal/codefile"
 )
@@ -21,27 +22,49 @@ func Accelerate(file *codefile.File, opts Options) error {
 		return fmt.Errorf("core: codefile %q has no procedures", file.Name)
 	}
 
+	// Phase timings flow to opts.Obs when attached; with a nil recorder
+	// the mark closure reduces to one comparison per phase.
+	var t0 time.Time
+	if opts.Obs != nil {
+		t0 = time.Now()
+	}
+	mark := func(name string) {
+		if opts.Obs != nil {
+			now := time.Now()
+			opts.Obs.Phase(name, now.Sub(t0))
+			t0 = now
+		}
+	}
+
 	p, err := analyze(file, &opts)
 	if err != nil {
 		return err
 	}
+	mark("analyze")
 	p.resolveRP()
+	mark("rp")
 	p.liveness()
+	mark("liveness")
 
 	f, stats, err := translate(p, &opts)
 	if err != nil {
 		return err
+	}
+	if opts.Obs != nil {
+		t0 = time.Now() // translate times itself (see parallel.go)
 	}
 
 	if !opts.DisableSchedule {
 		ss := schedule(f)
 		stats.FilledSlots = ss.filledSlots
 		stats.WeldedStmts = ss.welded
+		mark("schedule")
 	}
 	sec, err := finalizeSection(p, &opts, f, stats)
 	if err != nil {
 		return err
 	}
+	mark("finalize")
 	file.Accel = sec
 	return nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"tnsr/internal/codefile"
 	"tnsr/internal/millicode"
+	"tnsr/internal/obs"
 	"tnsr/internal/risc"
 	"tnsr/internal/tns"
 )
@@ -48,7 +49,7 @@ func (t *translator) emitPrologue(pi int, entry uint16) {
 	// Entry RP check: compilers keep the register stack empty across
 	// calls; a caller arriving with RP != RPEmpty is beyond static
 	// analysis, so the body runs interpreted.
-	fb := t.queueFallbackStub(entry)
+	fb := t.queueFallbackStub(entry, obs.EscapeRPConflict)
 	f.imm(risc.ANDI, risc.RegT0+1, risc.RegENV, 7)
 	f.imm(risc.XORI, risc.RegT0+1, risc.RegT0+1, tns.RPEmpty)
 	f.br(risc.BNE, risc.RegT0+1, risc.RegZero, fb)
@@ -206,14 +207,14 @@ func (t *translator) transCall(addr uint16, in tns.Instr) {
 		pep := int(in.Target)
 		if pep >= len(f.procEntry) {
 			// Bad PEP index: the interpreter will raise the trap.
-			t.emitFallback(addr)
+			t.emitFallback(addr, obs.EscapeTrap)
 			return
 		}
 		if !t.procTranslated(pep) {
 			// Selective acceleration: the callee stays interpreted; fall
 			// back for the whole call (the interpreter returns to RISC at
 			// the return point if that is register-exact, which it is).
-			t.emitFallback(addr)
+			t.emitFallback(addr, obs.EscapeUntranslated)
 			return
 		}
 		f.li(risc.RegT0, int32(addr)+1) // TNS return address
@@ -222,6 +223,7 @@ func (t *translator) transCall(addr uint16, in tns.Instr) {
 		return
 	}
 	// SCAL: dispatch through the library EMap.
+	t.noteFallback(addr, obs.EscapeUntranslated)
 	f.li(risc.RegT0, int32(addr)+1)
 	f.li(risc.RegT0+1, int32(in.Target))
 	f.li(risc.RegMT, int32(addr)) // fallback redoes the SCAL
@@ -254,6 +256,7 @@ func (t *translator) transXCAL(addr uint16) {
 	s.pin(pl)
 	s.popDesc()
 	s.canonicalize(0)
+	t.noteFallback(addr, obs.EscapeIndirectCall)
 	f.li(risc.RegT0, int32(addr)+1)
 	f.move(risc.RegT0+1, pl)
 	f.li(risc.RegMT, int32(addr)) // fallback redoes the XCAL
@@ -280,7 +283,7 @@ func (t *translator) emitReturnPointCheck(retAddr uint16) {
 		return
 	}
 	f := t.f
-	fb := t.queueFallbackStub(retAddr)
+	fb := t.queueFallbackStub(retAddr, obs.EscapeRPConflict)
 	tr := uint8(risc.RegT0 + 1)
 	f.imm(risc.ANDI, tr, risc.RegENV, 7)
 	if expected != 0 {

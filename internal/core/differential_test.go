@@ -8,6 +8,7 @@ import (
 	"tnsr/internal/core"
 	"tnsr/internal/interp"
 	"tnsr/internal/millicode"
+	"tnsr/internal/obs"
 	"tnsr/internal/risc"
 	"tnsr/internal/talc"
 	"tnsr/internal/workloads"
@@ -51,6 +52,8 @@ func diffSweep(t *testing.T, lvl codefile.AccelLevel,
 	if err != nil {
 		t.Fatal(err)
 	}
+	rec := obs.NewRecorder()
+	r.Observe(rec)
 	if err := r.Run(200_000_000); err != nil {
 		t.Fatalf("run: %v (interludes=%d)", err, r.Interludes)
 	}
@@ -66,6 +69,37 @@ func diffSweep(t *testing.T, lvl codefile.AccelLevel,
 	}
 	if got, want := r.Console(), m.Console.String(); got != want {
 		t.Errorf("console: accel=%q interp=%q", got, want)
+	}
+
+	// Telemetry invariants, checked across the whole sweep: every
+	// interpreter interlude has a typed escape reason (the runtime
+	// classifier plus the translator's FallbackWhy table cover all
+	// fallback paths), and the recorder's instruction totals agree with
+	// the runner's own accounting in both modes.
+	if n := rec.Escapes[obs.EscapeUnknown]; n != 0 {
+		t.Errorf("%d escapes with Unknown reason (histogram %v)", n, rec.Escapes)
+	}
+	if rec.InterpEntries != int64(r.Interludes) {
+		t.Errorf("interp entries: obs=%d runner=%d", rec.InterpEntries, r.Interludes)
+	}
+	if rec.InterpInstrs != r.InterludeProf.Instrs {
+		t.Errorf("interp instrs: obs=%d runner=%d", rec.InterpInstrs, r.InterludeProf.Instrs)
+	}
+	if rec.RISCInstrs != r.Sim.Instrs {
+		t.Errorf("risc instrs: obs=%d sim=%d", rec.RISCInstrs, r.Sim.Instrs)
+	}
+	rep := r.Report(rec)
+	var procRISC, procInterp int64
+	for _, p := range rep.Procs {
+		procRISC += p.RISCInstrs
+		procInterp += p.InterpInstrs
+	}
+	if procRISC != rec.RISCInstrs || procInterp != rec.InterpInstrs {
+		t.Errorf("per-proc sums: risc %d/%d interp %d/%d",
+			procRISC, rec.RISCInstrs, procInterp, rec.InterpInstrs)
+	}
+	if err := obs.Validate(rep); err != nil {
+		t.Errorf("report validation: %v", err)
 	}
 }
 

@@ -51,6 +51,11 @@ type fn struct {
 	// pendingExact marks the next emitted instruction as an exact-point
 	// boundary (scheduling barrier).
 	pendingExact bool
+	// why records the static escape reason (obs.EscapeReason code) for each
+	// TNS address a fallback was emitted at; it becomes the acceleration
+	// section's FallbackWhy table. Fragment addresses are disjoint, so the
+	// parallel merge is a plain union.
+	why map[uint16]uint8
 }
 
 type emitStats struct {
@@ -59,7 +64,7 @@ type emitStats struct {
 }
 
 func newFn(nprocs int) *fn {
-	f := &fn{procEntry: make([]label, nprocs)}
+	f := &fn{procEntry: make([]label, nprocs), why: map[uint16]uint8{}}
 	for i := range f.procEntry {
 		f.procEntry[i] = noLabel
 	}

@@ -69,12 +69,13 @@ func finalizeSection(p *program, opts *Options, f *fn,
 	}
 
 	return &codefile.AccelSection{
-		Level:      opts.Level,
-		RISC:       code,
-		Entries:    entries,
-		ExpectedRP: expRP,
-		PMap:       pm,
-		Stats:      st,
+		Level:       opts.Level,
+		RISC:        code,
+		Entries:     entries,
+		ExpectedRP:  expRP,
+		PMap:        pm,
+		Stats:       st,
+		FallbackWhy: f.why,
 	}, nil
 }
 

@@ -15,6 +15,7 @@ import (
 
 	"tnsr/internal/codefile"
 	"tnsr/internal/millicode"
+	"tnsr/internal/obs"
 )
 
 // Options controls a translation, mirroring the paper's user-visible knobs.
@@ -67,6 +68,11 @@ type Options struct {
 	DisableFlagElision bool // compute CC at every flag-setting instruction
 	DisableCSE         bool // no reuse of fetches and address computations
 	DisableSchedule    bool // no delay-slot filling or stall avoidance
+
+	// Obs, when non-nil, receives per-phase translation timings
+	// (analyze/rp/liveness/translate/merge/schedule/finalize). Nil costs
+	// nothing beyond one comparison per phase.
+	Obs *obs.Recorder
 }
 
 // Hints is the optional per-procedure advice file.

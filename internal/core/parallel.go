@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tnsr/internal/codefile"
 )
@@ -48,7 +49,15 @@ func translate(p *program, opts *Options) (*fn, codefile.AccelStats, error) {
 	ctx := newTransCtx(p, opts)
 	frags := ctx.fragments()
 	if opts.Workers <= 1 || len(frags) <= 1 {
-		return translateSerial(ctx, frags)
+		var t0 time.Time
+		if opts.Obs != nil {
+			t0 = time.Now()
+		}
+		f, stats, err := translateSerial(ctx, frags)
+		if opts.Obs != nil {
+			opts.Obs.Phase("translate", time.Since(t0))
+		}
+		return f, stats, err
 	}
 	return translateParallel(ctx, frags, opts.Workers)
 }
@@ -74,6 +83,10 @@ func translateParallel(ctx *transCtx, frags []fragment, workers int) (*fn, codef
 	results := make([]*fragResult, len(frags))
 	errs := make([]error, len(frags))
 	var next int64 = -1
+	var t0 time.Time
+	if ctx.opts.Obs != nil {
+		t0 = time.Now()
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -99,13 +112,22 @@ func translateParallel(ctx *transCtx, frags []fragment, workers int) (*fn, codef
 		}()
 	}
 	wg.Wait()
+	if ctx.opts.Obs != nil {
+		now := time.Now()
+		ctx.opts.Obs.Phase("translate", now.Sub(t0))
+		t0 = now
+	}
 	// Report the first error in fragment order, deterministically.
 	for _, err := range errs {
 		if err != nil {
 			return nil, codefile.AccelStats{}, err
 		}
 	}
-	return mergeFragments(ctx, results)
+	f, stats, err := mergeFragments(ctx, results)
+	if ctx.opts.Obs != nil {
+		ctx.opts.Obs.Phase("merge", time.Since(t0))
+	}
+	return f, stats, err
 }
 
 // mergeFragments concatenates the per-fragment streams and resolves
@@ -153,6 +175,11 @@ func mergeFragments(ctx *transCtx, results []*fragResult) (*fn, codefile.AccelSt
 		for _, pt := range r.f.points {
 			pt.lbl += label(lblOff[k])
 			merged.points = append(merged.points, pt)
+		}
+		// Fallback reasons: fragment address ranges are disjoint, so this
+		// union is order-independent.
+		for addr, w := range r.f.why {
+			merged.why[addr] = w
 		}
 		merged.stats.inline += r.f.stats.inline
 		merged.stats.elidedFlagOps += r.f.stats.elidedFlagOps

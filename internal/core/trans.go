@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"tnsr/internal/codefile"
 	"tnsr/internal/millicode"
+	"tnsr/internal/obs"
 	"tnsr/internal/risc"
 	"tnsr/internal/tns"
 )
@@ -244,9 +246,8 @@ func (t *translator) translateRange(frag fragment) error {
 
 			// Puzzle leaders fall straight into interpreter mode.
 			if why, bad := t.p.puzzle[addr]; bad {
-				_ = why
 				t.stats.PuzzlePoints++
-				t.emitFallback(addr)
+				t.emitFallback(addr, puzzleReason(why))
 				fallthrough_ = false
 				continue
 			}
@@ -254,7 +255,7 @@ func (t *translator) translateRange(frag fragment) error {
 			if rp == rpUnreached {
 				// Reachable only via unanalyzable flow (e.g. statement
 				// labels never reached statically): interpreter-only.
-				t.emitFallback(addr)
+				t.emitFallback(addr, obs.EscapeComputedJump)
 				fallthrough_ = false
 				continue
 			}
@@ -264,7 +265,7 @@ func (t *translator) translateRange(frag fragment) error {
 				// otherwise.
 				if !(in.Major == tns.MajSpecial && in.Sub == tns.SubSETRP) {
 					t.stats.PuzzlePoints++
-					t.emitFallback(addr)
+					t.emitFallback(addr, obs.EscapeComputedJump)
 					fallthrough_ = false
 					continue
 				}
@@ -394,15 +395,33 @@ func (t *translator) addLeaderPoints(addr uint16) {
 	}
 }
 
+// puzzleReason classifies an RP-analysis puzzle message as an escape
+// reason: indeterminate RP after a call traces back to an unknown result
+// size; every other puzzle is a conflict between static RP assumptions.
+func puzzleReason(why string) obs.EscapeReason {
+	if strings.Contains(why, "after call") {
+		return obs.EscapeIndirectCall
+	}
+	return obs.EscapeRPConflict
+}
+
+// noteFallback records the static reason addr falls into interpreter mode;
+// the runtime classifies the escape with it when the fallback fires.
+func (t *translator) noteFallback(addr uint16, reason obs.EscapeReason) {
+	t.f.why[addr] = uint8(reason)
+}
+
 // emitFallback emits the interpreter-mode entry shim inline.
-func (t *translator) emitFallback(addr uint16) {
+func (t *translator) emitFallback(addr uint16, reason obs.EscapeReason) {
+	t.noteFallback(addr, reason)
 	t.f.li(risc.RegMT, int32(addr))
 	t.f.brk(millicode.BreakFallback)
 }
 
-// queueFallbackStub creates (or reuses) an out-of-line fallback stub for
-// addr and returns its label (branch there on a failed run-time check).
-func (t *translator) queueFallbackStub(addr uint16) label {
+// queueFallbackStub creates an out-of-line fallback stub for addr and
+// returns its label (branch there on a failed run-time check).
+func (t *translator) queueFallbackStub(addr uint16, reason obs.EscapeReason) label {
+	t.noteFallback(addr, reason)
 	l := t.f.newLabel()
 	t.stubs = append(t.stubs, stub{lbl: l, kind: 'f', tnsAddr: addr, back: noLabel})
 	return l

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"tnsr/internal/codefile"
+	"tnsr/internal/obs"
 	"tnsr/internal/tns"
 )
 
@@ -59,6 +60,17 @@ func (p *Profile) Add(other *Profile) {
 	p.Instrs += other.Instrs
 }
 
+// Sub returns p minus other, for deltas across an execution interlude.
+func (p *Profile) Sub(other *Profile) Profile {
+	var d Profile
+	for i := range p.Counts {
+		d.Counts[i] = p.Counts[i] - other.Counts[i]
+	}
+	d.LongUnits = p.LongUnits - other.LongUnits
+	d.Instrs = p.Instrs - other.Instrs
+	return d
+}
+
 // Machine is the complete architectural state of a TNS processor plus the
 // mapped codefiles.
 type Machine struct {
@@ -93,6 +105,11 @@ type Machine struct {
 	// it to check that translated code performs exactly the same sequence
 	// of stores as the original CISC code, as the paper requires.
 	StoreTrace func(addr uint16, value uint16)
+
+	// Obs, when non-nil, records per-instruction mode residency; the hook
+	// fires once per counted instruction, so its totals match Prof.Instrs
+	// exactly. Nil costs one comparison per step.
+	Obs *obs.Recorder
 }
 
 // New creates a machine with the user codefile (and optional library)
@@ -255,6 +272,9 @@ func (m *Machine) Step() TransferKind {
 	in := tns.Decode(w)
 	m.Prof.Counts[in.Class()]++
 	m.Prof.Instrs++
+	if m.Obs != nil {
+		m.Obs.InterpStep(uint8(m.Space), m.P)
+	}
 	pc := m.P
 	m.P++ // default: fall through; transfers overwrite
 	switch in.Major {

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// JSON renders the report as indented JSON (the tnsprof -json and
+// CI-artifact format).
+func (rep *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(rep, "", "  ")
+}
+
+// ParseReport decodes a JSON report. Unknown fields are rejected so schema
+// drift fails loudly in the round-trip test.
+func ParseReport(data []byte) (*Report, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rep Report
+	if err := dec.Decode(&rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// knownPhases is the set of translation phases the Accelerator records.
+var knownPhases = map[string]bool{
+	"analyze": true, "rp": true, "liveness": true,
+	"translate": true, "merge": true, "schedule": true, "finalize": true,
+}
+
+// Validate checks a report against the schema's invariants: schema tag,
+// known enum values, non-negative counters, fractions in range, and
+// per-procedure sums that reconcile with the mode totals. It is the
+// "go vet"-style check the CI smoke test and the differential sweep run.
+func Validate(rep *Report) error {
+	if rep.Schema != Schema {
+		return fmt.Errorf("obs: schema %q, want %q", rep.Schema, Schema)
+	}
+	if rep.Level == "" {
+		return fmt.Errorf("obs: empty accel level")
+	}
+	m := rep.Modes
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"risc_instrs", m.RISCInstrs}, {"interp_instrs", m.InterpInstrs},
+		{"interludes", m.Interludes}, {"risc_entries", m.RISCEntries},
+		{"switches", m.Switches},
+		{"pmap lookups", rep.PMap.Lookups}, {"pmap hits", rep.PMap.Hits},
+	} {
+		if c.v < 0 {
+			return fmt.Errorf("obs: negative %s (%d)", c.name, c.v)
+		}
+	}
+	if m.InterpFraction < 0 || m.InterpFraction > 1 {
+		return fmt.Errorf("obs: interp_fraction %v out of [0,1]", m.InterpFraction)
+	}
+	if rep.PMap.Hits > rep.PMap.Lookups {
+		return fmt.Errorf("obs: pmap hits %d > lookups %d", rep.PMap.Hits, rep.PMap.Lookups)
+	}
+	for _, e := range rep.Escapes {
+		if _, ok := ReasonFromName(e.Reason); !ok {
+			return fmt.Errorf("obs: unknown escape reason %q", e.Reason)
+		}
+		if e.Count <= 0 {
+			return fmt.Errorf("obs: escape %q with non-positive count %d", e.Reason, e.Count)
+		}
+	}
+	for _, s := range rep.Sites {
+		if _, ok := ReasonFromName(s.Reason); !ok {
+			return fmt.Errorf("obs: site %s:%d has unknown reason %q", s.Space, s.Addr, s.Reason)
+		}
+		if s.Space != "user" && s.Space != "lib" {
+			return fmt.Errorf("obs: site addr %d has unknown space %q", s.Addr, s.Space)
+		}
+		if s.Count <= 0 {
+			return fmt.Errorf("obs: site %s:%d with non-positive count %d", s.Space, s.Addr, s.Count)
+		}
+	}
+	var sumI, sumR int64
+	for _, p := range rep.Procs {
+		if p.RISCInstrs < 0 || p.InterpInstrs < 0 {
+			return fmt.Errorf("obs: negative residency for %q", p.Name)
+		}
+		sumI += p.InterpInstrs
+		sumR += p.RISCInstrs
+	}
+	if len(rep.Procs) > 0 {
+		if sumI != m.InterpInstrs {
+			return fmt.Errorf("obs: per-proc interp sum %d != total %d", sumI, m.InterpInstrs)
+		}
+		if sumR != m.RISCInstrs {
+			return fmt.Errorf("obs: per-proc risc sum %d != total %d", sumR, m.RISCInstrs)
+		}
+	}
+	for _, p := range rep.Phases {
+		if !knownPhases[p.Phase] {
+			return fmt.Errorf("obs: unknown translation phase %q", p.Phase)
+		}
+		if p.Seconds < 0 {
+			return fmt.Errorf("obs: negative phase time for %q", p.Phase)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,305 @@
+// Package obs is the execution-telemetry subsystem: a single event sink
+// (the Recorder) that the interpreter, the RISC simulator, the mixed-mode
+// runner and the Accelerator all feed. It answers the paper's central
+// performance question — how much run time stays in translated RISC code
+// versus falling back into the interpreter, and *why* control escapes —
+// with typed escape reasons, per-procedure mode residency, PMap lookup
+// counters and per-phase translation timings.
+//
+// The overhead contract: every producer holds a plain *Recorder field that
+// is nil by default and checks it before each event, so an unobserved run
+// pays one nil-compare per hook site and nothing else. A Recorder is not
+// safe for concurrent use; attach one recorder per runner (the translation
+// phase timings are recorded only from the coordinating goroutine).
+//
+// obs depends only on codefile (for attribution tables); the execution
+// packages depend on obs, never the reverse.
+package obs
+
+import (
+	"sort"
+	"time"
+
+	"tnsr/internal/codefile"
+)
+
+// EscapeReason classifies one RISC->interpreter transition (or a refused
+// interpreter->RISC re-entry). The numeric values are stable: translators
+// persist them in codefile.AccelSection.FallbackWhy.
+type EscapeReason uint8
+
+const (
+	// EscapeUnknown marks an unclassified escape; the differential tests
+	// assert it never occurs, so a nonzero count is a telemetry bug.
+	EscapeUnknown EscapeReason = iota
+	// EscapeUnmapped: the target TNS address has no register-exact PMap
+	// point (the millicode EXIT lookup missed, or a host-side probe failed).
+	EscapeUnmapped
+	// EscapeComputedJump: the block is reachable only through unanalyzable
+	// flow (statement labels, targets without a SETRP clue), so it was
+	// translated as an interpreter-only region.
+	EscapeComputedJump
+	// EscapeIndirectCall: an XCAL dispatch or a site whose RP is
+	// indeterminate after a call with unknown result size.
+	EscapeIndirectCall
+	// EscapeRPConflict: the dynamic RP contradicts the static assumption —
+	// a puzzle join, a nonconforming caller at a prologue entry check, or a
+	// failed return-point RP confirmation.
+	EscapeRPConflict
+	// EscapeUntranslated: the callee (or the whole codefile) has no
+	// translation, e.g. under selective acceleration.
+	EscapeUntranslated
+	// EscapeTrap: a TNS trap condition surfaced from translated code.
+	EscapeTrap
+	// EscapeBreakpoint: a debugger breakpoint stopped execution.
+	EscapeBreakpoint
+
+	NumEscapeReasons
+)
+
+var escapeNames = [NumEscapeReasons]string{
+	"unknown", "unmapped", "computed-jump", "indirect-call",
+	"rp-conflict", "untranslated", "trap", "breakpoint",
+}
+
+func (e EscapeReason) String() string {
+	if e < NumEscapeReasons {
+		return escapeNames[e]
+	}
+	return "invalid"
+}
+
+// ReasonFromName maps an escape-reason name back to its value; ok is false
+// for unrecognized names.
+func ReasonFromName(name string) (EscapeReason, bool) {
+	for i, n := range escapeNames {
+		if n == name {
+			return EscapeReason(i), true
+		}
+	}
+	return EscapeUnknown, false
+}
+
+// siteStat accumulates escapes at one (space, TNS address) site.
+type siteStat struct {
+	space  uint8
+	addr   uint16
+	reason EscapeReason
+	count  int64
+}
+
+// procStat accumulates per-procedure instruction residency.
+type procStat struct {
+	name   string
+	space  string // "user", "lib", "milli", or "" for unattributed
+	interp int64
+	risc   int64
+}
+
+// Recorder is the event sink. The exported counters may be read at any
+// time; writing is reserved to the event methods.
+type Recorder struct {
+	// Mode residency: instructions executed per mode while attached.
+	InterpInstrs int64
+	RISCInstrs   int64
+
+	// Transitions. InterpEntries counts interpreter interludes (escapes
+	// that actually entered interpreter mode); RISCEntries counts
+	// recoveries into translated code.
+	InterpEntries int64
+	RISCEntries   int64
+
+	// Escapes histograms every escape event by reason.
+	Escapes [NumEscapeReasons]int64
+
+	// Host-side PMap probe counters (enterRISCIfMapped); the millicode
+	// EXIT lookup runs inside simulated code and is not counted here.
+	PMapLookups int64
+	PMapHits    int64
+
+	sites map[uint32]*siteStat // space<<16 | addr
+
+	// Attribution tables built by AttachRuntime.
+	procs      []procStat
+	interpProc [2][]int32 // per space: TNS code word -> procs index
+	riscProc   []int32    // RISC code word -> procs index
+	otherID    int32
+
+	// Translation phase timings, in recording order.
+	phaseNames []string
+	phaseDur   []time.Duration
+}
+
+// NewRecorder returns an empty recorder. It is usable immediately for
+// translation timings; call AttachRuntime before a run to enable
+// per-procedure attribution.
+func NewRecorder() *Recorder {
+	return &Recorder{sites: map[uint32]*siteStat{}}
+}
+
+// AttachRuntime builds the instruction-attribution tables for a run:
+// per-space dense TNS address -> procedure maps, and a dense RISC word ->
+// procedure map derived from the acceleration sections' entry tables.
+// codeWords is the simulator's code length; userBase/libBase are the word
+// indexes the user and library translations are loaded at (millicode
+// occupies [0, userBase)). lib may be nil.
+func (r *Recorder) AttachRuntime(user, lib *codefile.File, codeWords, userBase, libBase int) {
+	r.procs = r.procs[:0]
+	addProc := func(name, space string) int32 {
+		r.procs = append(r.procs, procStat{name: name, space: space})
+		return int32(len(r.procs) - 1)
+	}
+
+	files := [2]*codefile.File{user, lib}
+	spaceNames := [2]string{"user", "lib"}
+	var fileIDs [2][]int32
+	for sp, f := range files {
+		if f == nil {
+			continue
+		}
+		ids := make([]int32, len(f.Procs))
+		for pi := range f.Procs {
+			ids[pi] = addProc(f.Procs[pi].Name, spaceNames[sp])
+		}
+		fileIDs[sp] = ids
+	}
+	milliID := addProc("(millicode)", "milli")
+	r.otherID = addProc("(other)", "")
+
+	// Interpreter attribution: procedures are laid out contiguously in
+	// ascending entry order, so fill each entry's range up to the next.
+	for sp, f := range files {
+		if f == nil {
+			r.interpProc[sp] = nil
+			continue
+		}
+		ents := make([]denseEnt, 0, len(f.Procs))
+		for pi := range f.Procs {
+			ents = append(ents, denseEnt{at: int(f.Procs[pi].Entry), id: fileIDs[sp][pi]})
+		}
+		r.interpProc[sp] = fillDense(len(f.Code), ents, r.otherID)
+	}
+
+	// RISC attribution: millicode below userBase; each translation's
+	// region is split by its absolute entry-point table.
+	r.riscProc = make([]int32, codeWords)
+	for i := range r.riscProc {
+		r.riscProc[i] = r.otherID
+	}
+	for a := 0; a < userBase && a < codeWords; a++ {
+		r.riscProc[a] = milliID
+	}
+	fillRegion := func(f *codefile.File, sp, base int) {
+		if f == nil || f.Accel == nil {
+			return
+		}
+		end := base + len(f.Accel.RISC)
+		if end > codeWords {
+			end = codeWords
+		}
+		ents := make([]denseEnt, 0, len(f.Accel.Entries))
+		for pi, e := range f.Accel.Entries {
+			if e >= 0 && pi < len(fileIDs[sp]) {
+				ents = append(ents, denseEnt{at: int(e) - base, id: fileIDs[sp][pi]})
+			}
+		}
+		region := fillDense(end-base, ents, r.otherID)
+		copy(r.riscProc[base:end], region)
+	}
+	fillRegion(user, 0, userBase)
+	fillRegion(lib, 1, libBase)
+}
+
+type denseEnt struct {
+	at int
+	id int32
+}
+
+// fillDense builds a dense attribution table of length n: each entry owns
+// [entry.at, next entry.at), addresses before the first entry get def.
+func fillDense(n int, ents []denseEnt, def int32) []int32 {
+	t := make([]int32, n)
+	for i := range t {
+		t[i] = def
+	}
+	sort.Slice(ents, func(i, j int) bool {
+		if ents[i].at != ents[j].at {
+			return ents[i].at < ents[j].at
+		}
+		return ents[i].id < ents[j].id
+	})
+	for i, e := range ents {
+		end := n
+		if i+1 < len(ents) && ents[i+1].at < n {
+			end = ents[i+1].at
+		}
+		for a := e.at; a >= 0 && a < end; a++ {
+			t[a] = e.id
+		}
+	}
+	return t
+}
+
+// InterpStep records one interpreted instruction at TNS address p in the
+// given code space. Hot path: one bounds check and two increments.
+func (r *Recorder) InterpStep(space uint8, p uint16) {
+	r.InterpInstrs++
+	t := r.interpProc[space&1]
+	if int(p) < len(t) {
+		r.procs[t[p]].interp++
+	}
+}
+
+// RISCStep records one simulated RISC instruction at code word index pc.
+func (r *Recorder) RISCStep(pc uint32) {
+	r.RISCInstrs++
+	if int(pc) < len(r.riscProc) {
+		r.procs[r.riscProc[pc]].risc++
+	}
+}
+
+// Escape records one escape event at (space, addr) with its classified
+// reason. enteredInterp is true when the escape actually started an
+// interpreter interlude (traps and breakpoints stop the run instead).
+func (r *Recorder) Escape(space uint8, addr uint16, reason EscapeReason, enteredInterp bool) {
+	if reason >= NumEscapeReasons {
+		reason = EscapeUnknown
+	}
+	r.Escapes[reason]++
+	key := uint32(space&1)<<16 | uint32(addr)
+	s := r.sites[key]
+	if s == nil {
+		s = &siteStat{space: space & 1, addr: addr}
+		r.sites[key] = s
+	}
+	s.count++
+	s.reason = reason
+	if enteredInterp {
+		r.InterpEntries++
+	}
+}
+
+// EnterRISC records a recovery into translated code.
+func (r *Recorder) EnterRISC() { r.RISCEntries++ }
+
+// PMapLookup records one host-side PMap probe.
+func (r *Recorder) PMapLookup(hit bool) {
+	r.PMapLookups++
+	if hit {
+		r.PMapHits++
+	}
+}
+
+// Phase accumulates one translation-phase duration. Repeated names (e.g.
+// two Accelerate calls, user then library) accumulate into one entry;
+// first-recording order is preserved.
+func (r *Recorder) Phase(name string, d time.Duration) {
+	for i, n := range r.phaseNames {
+		if n == name {
+			r.phaseDur[i] += d
+			return
+		}
+	}
+	r.phaseNames = append(r.phaseNames, name)
+	r.phaseDur = append(r.phaseDur, d)
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders the report in the Prometheus text exposition
+// format (version 0.0.4), suitable for a node-exporter textfile collector
+// or a scrape endpoint fed by tnsprof -prom.
+func (rep *Report) WritePrometheus(w io.Writer) {
+	info := fmt.Sprintf("workload=%q,level=%q", rep.Workload, rep.Level)
+	fmt.Fprintf(w, "# HELP tnsr_run_info Run identity (constant 1).\n")
+	fmt.Fprintf(w, "# TYPE tnsr_run_info gauge\n")
+	fmt.Fprintf(w, "tnsr_run_info{%s} 1\n", info)
+
+	m := rep.Modes
+	fmt.Fprintf(w, "# HELP tnsr_mode_instructions_total Instructions executed per execution mode.\n")
+	fmt.Fprintf(w, "# TYPE tnsr_mode_instructions_total counter\n")
+	fmt.Fprintf(w, "tnsr_mode_instructions_total{mode=\"risc\"} %d\n", m.RISCInstrs)
+	fmt.Fprintf(w, "tnsr_mode_instructions_total{mode=\"interp\"} %d\n", m.InterpInstrs)
+
+	fmt.Fprintf(w, "# HELP tnsr_mode_cycles_total Cyclone/R cycles priced per execution mode.\n")
+	fmt.Fprintf(w, "# TYPE tnsr_mode_cycles_total counter\n")
+	fmt.Fprintf(w, "tnsr_mode_cycles_total{mode=\"risc\"} %g\n", m.RISCCycles)
+	fmt.Fprintf(w, "tnsr_mode_cycles_total{mode=\"interp\"} %g\n", m.InterpCycles)
+
+	fmt.Fprintf(w, "# HELP tnsr_interp_fraction Fraction of cycles spent in interpreter mode.\n")
+	fmt.Fprintf(w, "# TYPE tnsr_interp_fraction gauge\n")
+	fmt.Fprintf(w, "tnsr_interp_fraction %g\n", m.InterpFraction)
+
+	fmt.Fprintf(w, "# HELP tnsr_interludes_total Interpreter interludes.\n")
+	fmt.Fprintf(w, "# TYPE tnsr_interludes_total counter\n")
+	fmt.Fprintf(w, "tnsr_interludes_total %d\n", m.Interludes)
+
+	fmt.Fprintf(w, "# HELP tnsr_mode_switches_total Execution-mode switches, both directions.\n")
+	fmt.Fprintf(w, "# TYPE tnsr_mode_switches_total counter\n")
+	fmt.Fprintf(w, "tnsr_mode_switches_total %d\n", m.Switches)
+
+	fmt.Fprintf(w, "# HELP tnsr_escapes_total Escapes from translated code by reason.\n")
+	fmt.Fprintf(w, "# TYPE tnsr_escapes_total counter\n")
+	for _, e := range rep.Escapes {
+		fmt.Fprintf(w, "tnsr_escapes_total{reason=%q} %d\n", e.Reason, e.Count)
+	}
+
+	fmt.Fprintf(w, "# HELP tnsr_pmap_lookups_total Host-side PMap probes by result.\n")
+	fmt.Fprintf(w, "# TYPE tnsr_pmap_lookups_total counter\n")
+	fmt.Fprintf(w, "tnsr_pmap_lookups_total{result=\"hit\"} %d\n", rep.PMap.Hits)
+	fmt.Fprintf(w, "tnsr_pmap_lookups_total{result=\"miss\"} %d\n",
+		rep.PMap.Lookups-rep.PMap.Hits)
+
+	fmt.Fprintf(w, "# HELP tnsr_proc_instructions_total Instructions per procedure and mode.\n")
+	fmt.Fprintf(w, "# TYPE tnsr_proc_instructions_total counter\n")
+	for _, p := range rep.Procs {
+		lbl := fmt.Sprintf("proc=%q,space=%q", promEscape(p.Name), p.Space)
+		fmt.Fprintf(w, "tnsr_proc_instructions_total{%s,mode=\"risc\"} %d\n", lbl, p.RISCInstrs)
+		fmt.Fprintf(w, "tnsr_proc_instructions_total{%s,mode=\"interp\"} %d\n", lbl, p.InterpInstrs)
+	}
+
+	fmt.Fprintf(w, "# HELP tnsr_translation_phase_seconds Wall time per Accelerator phase.\n")
+	fmt.Fprintf(w, "# TYPE tnsr_translation_phase_seconds gauge\n")
+	for _, p := range rep.Phases {
+		fmt.Fprintf(w, "tnsr_translation_phase_seconds{phase=%q} %g\n", p.Phase, p.Seconds)
+	}
+}
+
+// promEscape keeps label values within the exposition format (quotes and
+// backslashes are escaped by %q; strip newlines defensively).
+func promEscape(s string) string {
+	return strings.ReplaceAll(s, "\n", " ")
+}

@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Schema identifies the JSON report format; bump on incompatible change.
+const Schema = "tnsr/obs-report/v1"
+
+// Report is the assembled telemetry of one run: the recorder's counters
+// plus the runner-priced cycle split (filled by xrun.Runner.Report). It is
+// the unit all three exporters consume.
+type Report struct {
+	Schema   string `json:"schema"`
+	Workload string `json:"workload,omitempty"`
+	Level    string `json:"level"`
+
+	Modes   ModeResidency   `json:"modes"`
+	Escapes []EscapeCount   `json:"escapes"`
+	Sites   []EscapeSite    `json:"escape_sites,omitempty"`
+	PMap    PMapStats       `json:"pmap"`
+	Procs   []ProcResidency `json:"procs"`
+	Phases  []PhaseTiming   `json:"translation_phases"`
+}
+
+// ModeResidency splits the run between translated RISC code and
+// interpreter interludes, in instructions and in Cyclone/R cycles — the
+// paper's "% time interpreted" framing.
+type ModeResidency struct {
+	RISCInstrs     int64   `json:"risc_instrs"`
+	InterpInstrs   int64   `json:"interp_instrs"`
+	RISCCycles     float64 `json:"risc_cycles"`
+	InterpCycles   float64 `json:"interp_cycles"`
+	TotalCycles    float64 `json:"total_cycles"`
+	InterpFraction float64 `json:"interp_fraction"`
+	Interludes     int64   `json:"interludes"`
+	RISCEntries    int64   `json:"risc_entries"`
+	Switches       int64   `json:"switches"`
+}
+
+// EscapeCount is one row of the escape-reason histogram.
+type EscapeCount struct {
+	Reason string `json:"reason"`
+	Count  int64  `json:"count"`
+}
+
+// EscapeSite is one escape location, hottest first.
+type EscapeSite struct {
+	Space  string `json:"space"`
+	Addr   uint16 `json:"addr"`
+	Reason string `json:"reason"`
+	Count  int64  `json:"count"`
+}
+
+// PMapStats reports host-side PMap probe counters.
+type PMapStats struct {
+	Lookups int64   `json:"lookups"`
+	Hits    int64   `json:"hits"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// ProcResidency is one procedure's per-mode instruction counts.
+type ProcResidency struct {
+	Name         string `json:"name"`
+	Space        string `json:"space"`
+	RISCInstrs   int64  `json:"risc_instrs"`
+	InterpInstrs int64  `json:"interp_instrs"`
+}
+
+// PhaseTiming is one translation phase's accumulated wall time.
+type PhaseTiming struct {
+	Phase   string  `json:"phase"`
+	Seconds float64 `json:"seconds"`
+}
+
+var spaceLabels = [2]string{"user", "lib"}
+
+// Report assembles the recorder's counters into a Report. Cycle pricing
+// (RISCCycles, InterpCycles, InterpFraction, Switches) and the workload and
+// level names belong to the runner; xrun.Runner.Report fills them in.
+func (r *Recorder) Report() *Report {
+	rep := &Report{
+		Schema: Schema,
+		Level:  "None",
+		Modes: ModeResidency{
+			RISCInstrs:   r.RISCInstrs,
+			InterpInstrs: r.InterpInstrs,
+			Interludes:   r.InterpEntries,
+			RISCEntries:  r.RISCEntries,
+		},
+		PMap: PMapStats{Lookups: r.PMapLookups, Hits: r.PMapHits},
+	}
+	if r.PMapLookups > 0 {
+		rep.PMap.HitRate = float64(r.PMapHits) / float64(r.PMapLookups)
+	}
+	for reason, n := range r.Escapes {
+		if n > 0 {
+			rep.Escapes = append(rep.Escapes,
+				EscapeCount{Reason: EscapeReason(reason).String(), Count: n})
+		}
+	}
+	for _, s := range r.sites {
+		rep.Sites = append(rep.Sites, EscapeSite{
+			Space:  spaceLabels[s.space&1],
+			Addr:   s.addr,
+			Reason: s.reason.String(),
+			Count:  s.count,
+		})
+	}
+	sort.Slice(rep.Sites, func(i, j int) bool {
+		if rep.Sites[i].Count != rep.Sites[j].Count {
+			return rep.Sites[i].Count > rep.Sites[j].Count
+		}
+		if rep.Sites[i].Space != rep.Sites[j].Space {
+			return rep.Sites[i].Space < rep.Sites[j].Space
+		}
+		return rep.Sites[i].Addr < rep.Sites[j].Addr
+	})
+	for _, p := range r.procs {
+		if p.interp == 0 && p.risc == 0 {
+			continue
+		}
+		rep.Procs = append(rep.Procs, ProcResidency{
+			Name: p.name, Space: p.space,
+			RISCInstrs: p.risc, InterpInstrs: p.interp,
+		})
+	}
+	sort.Slice(rep.Procs, func(i, j int) bool {
+		ti := rep.Procs[i].RISCInstrs + rep.Procs[i].InterpInstrs
+		tj := rep.Procs[j].RISCInstrs + rep.Procs[j].InterpInstrs
+		if ti != tj {
+			return ti > tj
+		}
+		return rep.Procs[i].Name < rep.Procs[j].Name
+	})
+	for i, name := range r.phaseNames {
+		rep.Phases = append(rep.Phases,
+			PhaseTiming{Phase: name, Seconds: r.phaseDur[i].Seconds()})
+	}
+	return rep
+}
+
+// WriteText renders the human-readable report: the paper's "% time
+// interpreted" framing first, then the escape histogram, PMap counters,
+// per-procedure residency and translation-phase timings. top bounds the
+// escape-site and procedure listings (0 means all).
+func (rep *Report) WriteText(w io.Writer, top int) {
+	name := rep.Workload
+	if name == "" {
+		name = "(run)"
+	}
+	fmt.Fprintf(w, "tnsprof — %s (accel %s)\n", name, rep.Level)
+	m := rep.Modes
+	fmt.Fprintf(w, "\nMode residency (Cyclone/R cycles):\n")
+	fmt.Fprintf(w, "  translated RISC    %14.0f cycles  (%.3f%%)\n",
+		m.RISCCycles, pct(m.RISCCycles, m.TotalCycles))
+	fmt.Fprintf(w, "  interpreter mode   %14.0f cycles  (%.3f%% time interpreted)\n",
+		m.InterpCycles, m.InterpFraction*100)
+	fmt.Fprintf(w, "  instructions: %d RISC, %d interpreted; %d interludes, %d switches\n",
+		m.RISCInstrs, m.InterpInstrs, m.Interludes, m.Switches)
+
+	fmt.Fprintf(w, "\nEscape reasons:\n")
+	if len(rep.Escapes) == 0 {
+		fmt.Fprintf(w, "  (none)\n")
+	}
+	for _, e := range rep.Escapes {
+		fmt.Fprintf(w, "  %-14s %8d\n", e.Reason, e.Count)
+	}
+	if n := len(rep.Sites); n > 0 {
+		fmt.Fprintf(w, "\nHottest escape sites:\n")
+		for i, s := range rep.Sites {
+			if top > 0 && i >= top {
+				fmt.Fprintf(w, "  ... %d more\n", n-i)
+				break
+			}
+			fmt.Fprintf(w, "  %s:%-6d %-14s %8d\n", s.Space, s.Addr, s.Reason, s.Count)
+		}
+	}
+
+	fmt.Fprintf(w, "\nPMap (host-side probes): %d lookups, %d hits (%.1f%%)\n",
+		rep.PMap.Lookups, rep.PMap.Hits, rep.PMap.HitRate*100)
+
+	if len(rep.Procs) > 0 {
+		fmt.Fprintf(w, "\nPer-procedure residency (by instructions):\n")
+		fmt.Fprintf(w, "  %-20s %-6s %12s %12s %9s\n",
+			"procedure", "space", "risc", "interp", "%interp")
+		for i, p := range rep.Procs {
+			if top > 0 && i >= top {
+				fmt.Fprintf(w, "  ... %d more\n", len(rep.Procs)-i)
+				break
+			}
+			fmt.Fprintf(w, "  %-20s %-6s %12d %12d %8.2f%%\n",
+				p.Name, p.Space, p.RISCInstrs, p.InterpInstrs,
+				pct(float64(p.InterpInstrs), float64(p.RISCInstrs+p.InterpInstrs)))
+		}
+	}
+
+	if len(rep.Phases) > 0 {
+		fmt.Fprintf(w, "\nTranslation phases:\n")
+		for _, p := range rep.Phases {
+			fmt.Fprintf(w, "  %-10s %10.3f ms\n", p.Phase, p.Seconds*1e3)
+		}
+	}
+	fmt.Fprintln(w, strings.Repeat("-", 60))
+}
+
+func pct(part, whole float64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return part / whole * 100
+}

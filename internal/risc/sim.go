@@ -123,6 +123,11 @@ type Sim struct {
 	// compare it with the interpreter's trace.
 	StoreTrace func(addr uint32, value uint16)
 
+	// OnInstr, when non-nil, is called with the PC of every counted
+	// instruction (after Instrs is incremented, so hook calls equal the
+	// Instrs total exactly). Nil costs one comparison per step.
+	OnInstr func(pc uint32)
+
 	cfg     Config
 	icache  *cache
 	dcache  *cache
@@ -202,6 +207,9 @@ func (s *Sim) step() {
 	in := Decode(w)
 	s.Cycles++
 	s.Instrs++
+	if s.OnInstr != nil {
+		s.OnInstr(pc)
+	}
 
 	// Load-use interlock: one stall cycle if this instruction reads the
 	// register the previous instruction loaded.

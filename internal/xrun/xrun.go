@@ -15,6 +15,7 @@ import (
 	"tnsr/internal/interp"
 	"tnsr/internal/machine"
 	"tnsr/internal/millicode"
+	"tnsr/internal/obs"
 	"tnsr/internal/risc"
 	"tnsr/internal/tns"
 )
@@ -52,9 +53,16 @@ type Runner struct {
 	BPSpace   interp.Space
 	BPAddr    uint16
 
-	inRISC bool
-	skipBP bool
-	cfg    risc.Config
+	// Obs, when attached via Observe, receives every mode transition with
+	// a typed escape reason, plus PMap probe results. Nil costs one
+	// comparison at each transition site (the per-instruction hooks live
+	// in interp.Machine and risc.Sim).
+	Obs *obs.Recorder
+
+	inRISC  bool
+	skipBP  bool
+	cfg     risc.Config
+	noEnter obs.EscapeReason // why the last enterRISCIfMapped refused
 }
 
 // New builds the runtime image. Either or both codefiles may be
@@ -161,14 +169,20 @@ func (r *Runner) accelOf(space interp.Space) *codefile.AccelSection {
 }
 
 // enterRISCIfMapped checks whether the interpreter's current position is a
-// register-exact point and, if so, switches to RISC execution.
+// register-exact point and, if so, switches to RISC execution. When it
+// refuses, r.noEnter records why (read by the initial-interlude telemetry).
 func (r *Runner) enterRISCIfMapped() bool {
 	acc := r.accelOf(r.Int.Space)
 	if acc == nil {
+		r.noEnter = obs.EscapeUntranslated
 		return false
 	}
 	idx, regExact, ok := acc.PMap.Lookup(r.Int.P)
+	if r.Obs != nil {
+		r.Obs.PMapLookup(ok && regExact)
+	}
 	if !ok || !regExact {
+		r.noEnter = obs.EscapeUnmapped
 		return false
 	}
 	// The translated code at this point assumes a specific RP; a wrong
@@ -176,6 +190,7 @@ func (r *Runner) enterRISCIfMapped() bool {
 	// which case execution must stay interpreted.
 	if int(r.Int.P) < len(acc.ExpectedRP) {
 		if exp := acc.ExpectedRP[r.Int.P]; exp != 0xFF && exp != r.Int.RP {
+			r.noEnter = obs.EscapeRPConflict
 			return false
 		}
 	}
@@ -184,6 +199,9 @@ func (r *Runner) enterRISCIfMapped() bool {
 	r.Sim.Cycles += SwitchPenalty
 	r.Switches++
 	r.inRISC = true
+	if r.Obs != nil {
+		r.Obs.EnterRISC()
+	}
 	return true
 }
 
@@ -243,6 +261,9 @@ func (r *Runner) Run(maxInstrs int64) error {
 	if !r.inRISC {
 		if !r.enterRISCIfMapped() {
 			r.Interludes++ // the program begins interpreted
+			if r.Obs != nil {
+				r.Obs.Escape(uint8(r.Int.Space), r.Int.P, r.noEnter, true)
+			}
 		}
 	}
 	for !r.Halted && !r.BPHit {
@@ -295,6 +316,9 @@ func (r *Runner) runRISC(maxInstrs int64) error {
 				r.BPAddr = a
 			}
 		}
+		if r.Obs != nil {
+			r.Obs.Escape(uint8(r.BPSpace), r.BPAddr, obs.EscapeBreakpoint, false)
+		}
 		return nil
 	case s.Trap == risc.TrapOverflow:
 		// A hardware-trapping add fired: translated code only uses them
@@ -302,10 +326,14 @@ func (r *Runner) runRISC(maxInstrs int64) error {
 		// overflow trap. The PMap inverse gives the nearest TNS address.
 		r.Halted = true
 		r.Trap = tns.TrapOverflow
-		if acc := r.accelOf(interp.UnpackENVSpace(uint16(s.Reg[risc.RegENV]))); acc != nil {
+		space := interp.UnpackENVSpace(uint16(s.Reg[risc.RegENV]))
+		if acc := r.accelOf(space); acc != nil {
 			if a, ok := acc.PMap.Inverse(int(s.TrapPC)); ok {
 				r.TrapP = a
 			}
+		}
+		if r.Obs != nil {
+			r.Obs.Escape(uint8(space), r.TrapP, obs.EscapeTrap, false)
 		}
 		r.syncMemToInt()
 	case s.Trap != risc.TrapNone:
@@ -314,6 +342,9 @@ func (r *Runner) runRISC(maxInstrs int64) error {
 		r.Halted = true
 		r.Trap = tns.TrapAddress
 		r.TrapP = 0
+		if r.Obs != nil {
+			r.Obs.Escape(uint8(r.Int.Space), 0, obs.EscapeTrap, false)
+		}
 		r.syncMemToInt()
 	case s.BreakCode == millicode.BreakHalt:
 		r.Halted = true
@@ -326,6 +357,10 @@ func (r *Runner) runRISC(maxInstrs int64) error {
 		}
 		spaceBit := uint32(s.Reg[risc.RegENV]) & 0x100
 		r.FallbackAt[spaceBit<<8|uint32(p)]++
+		if r.Obs != nil {
+			space := interp.UnpackENVSpace(uint16(s.Reg[risc.RegENV]))
+			r.Obs.Escape(uint8(space), p, r.fallbackReason(space, p), true)
+		}
 		r.loadIntFromSim(p)
 		r.Sim.Cycles += SwitchPenalty
 		r.Switches++
@@ -335,11 +370,34 @@ func (r *Runner) runRISC(maxInstrs int64) error {
 		r.Halted = true
 		r.Trap = int(s.BreakCode) - millicode.BreakTrapBase
 		r.TrapP = uint16(s.Reg[risc.RegMT])
+		if r.Obs != nil {
+			r.Obs.Escape(uint8(r.Int.Space), r.TrapP, obs.EscapeTrap, false)
+		}
 		r.syncMemToInt()
 	default:
 		return fmt.Errorf("xrun: unexpected break %d at %d", s.BreakCode, s.PC)
 	}
 	return nil
+}
+
+// fallbackReason classifies a BreakFallback escape at TNS address p. The
+// translator recorded a static reason for every fallback it emitted
+// (FallbackWhy); the remaining fallbacks come from millicode EXIT landing
+// on a return point absent from the packed PMap, which only drops
+// non-register-exact points — hence Unmapped. Unknown should never occur
+// (the differential tests assert this).
+func (r *Runner) fallbackReason(space interp.Space, p uint16) obs.EscapeReason {
+	acc := r.accelOf(space)
+	if acc == nil {
+		return obs.EscapeUntranslated
+	}
+	if w, ok := acc.FallbackWhy[p]; ok {
+		return obs.EscapeReason(w)
+	}
+	if _, regExact, ok := acc.PMap.Lookup(p); !ok || !regExact {
+		return obs.EscapeUnmapped
+	}
+	return obs.EscapeUnknown
 }
 
 func (r *Runner) runInterp(maxInstrs int64) {
@@ -355,7 +413,7 @@ func (r *Runner) runInterp(maxInstrs int64) {
 			r.BPHit = true
 			r.BPSpace = m.Space
 			r.BPAddr = m.P
-			delta := profDelta(m.Prof, before)
+			delta := m.Prof.Sub(&before)
 			r.InterludeProf.Add(&delta)
 			return
 		}
@@ -365,7 +423,7 @@ func (r *Runner) runInterp(maxInstrs int64) {
 			// The paper's recovery rule: return to accelerated code at
 			// the next call or return that finds a register-exact point.
 			if !m.Halted {
-				delta := profDelta(m.Prof, before)
+				delta := m.Prof.Sub(&before)
 				r.InterludeProf.Add(&delta)
 				before = m.Prof
 				if r.enterRISCIfMapped() {
@@ -374,7 +432,7 @@ func (r *Runner) runInterp(maxInstrs int64) {
 			}
 		}
 	}
-	delta := profDelta(m.Prof, before)
+	delta := m.Prof.Sub(&before)
 	r.InterludeProf.Add(&delta)
 	if m.Halted {
 		r.Halted = true
@@ -382,16 +440,6 @@ func (r *Runner) runInterp(maxInstrs int64) {
 		r.Trap = m.Trap
 		r.TrapP = m.TrapP
 	}
-}
-
-func profDelta(a, b interp.Profile) interp.Profile {
-	var d interp.Profile
-	for i := range d.Counts {
-		d.Counts[i] = a.Counts[i] - b.Counts[i]
-	}
-	d.LongUnits = a.LongUnits - b.LongUnits
-	d.Instrs = a.Instrs - b.Instrs
-	return d
 }
 
 func (r *Runner) onSyscall(s *risc.Sim, code uint32) {
@@ -420,10 +468,40 @@ func (r *Runner) onSyscall(s *risc.Sim, code uint32) {
 // program over to freshly translated code). The machine's memory becomes
 // authoritative.
 func (r *Runner) AdoptInterpreter(m *interp.Machine) {
+	if r.Obs != nil {
+		m.Obs = r.Obs
+	}
 	r.Int = m
 	r.Sim.OnSyscall = r.onSyscall
 	r.syncMemToSim()
 	r.inRISC = false
+}
+
+// Observe attaches rec to every layer of the runner: the interpreter and
+// simulator per-instruction hooks, the mode-transition sites, and the
+// proc-attribution tables for both code spaces. Call it once, before Run.
+func (r *Runner) Observe(rec *obs.Recorder) {
+	rec.AttachRuntime(r.User, r.Lib, len(r.Sim.Code),
+		millicode.UserCodeBase, millicode.LibCodeBase)
+	r.Obs = rec
+	r.Int.Obs = rec
+	r.Sim.OnInstr = rec.RISCStep
+}
+
+// Report builds the full execution report: the recorder's counters plus the
+// runner's cycle pricing ("% time interpreted") and mode-switch total.
+func (r *Runner) Report(rec *obs.Recorder) *obs.Report {
+	rep := rec.Report()
+	tot, rc, ic := r.Cycles()
+	rep.Modes.TotalCycles = tot
+	rep.Modes.RISCCycles = rc
+	rep.Modes.InterpCycles = ic
+	rep.Modes.InterpFraction = r.InterpFraction()
+	rep.Modes.Switches = int64(r.Switches)
+	if r.User.Accel != nil {
+		rep.Level = r.User.Accel.Level.String()
+	}
+	return rep
 }
 
 // Console returns the program's console output.
