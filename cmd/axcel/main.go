@@ -13,6 +13,11 @@
 //	-space 0|1                      code space of this file (1 = library)
 //	-hint name=words                ReturnValSize hint (repeatable)
 //	-workers n                      translation workers (0 = all CPUs)
+//	-profile p.pgo.json             apply a captured PGO profile (advisory:
+//	                                guards stay; a stale profile is ignored)
+//	-profile-cover f                with -profile, translate only the hottest
+//	                                procedures covering fraction f of the
+//	                                observed residency weight
 //	-report                         print the analysis report and exit
 //	-stats                          print translation statistics
 package main
@@ -27,6 +32,7 @@ import (
 	"tnsr/internal/codefile"
 	"tnsr/internal/core"
 	"tnsr/internal/millicode"
+	"tnsr/internal/pgo"
 )
 
 type hintList []string
@@ -43,6 +49,9 @@ func main() {
 	stats := flag.Bool("stats", false, "print translation statistics")
 	workers := flag.Int("workers", 0,
 		"translation workers; 0 uses every CPU (output is identical either way)")
+	profilePath := flag.String("profile", "", "PGO profile to apply (see tnsprof -emit-profile)")
+	profileCover := flag.Float64("profile-cover", 0,
+		"with -profile, translate only the hottest procedures covering this weight fraction")
 	var hints hintList
 	flag.Var(&hints, "hint", "ReturnValSize hint, name=words")
 	flag.Parse()
@@ -73,6 +82,15 @@ func main() {
 		for i, p := range lib.Procs {
 			opts.LibSummaries[uint16(i)] = p.ResultWords
 		}
+	}
+	if *profilePath != "" {
+		prof, err := pgo.ReadFile(*profilePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "axcel:", err)
+			os.Exit(1)
+		}
+		opts.Profile = prof
+		opts.ProfileCover = *profileCover
 	}
 	if len(hints) > 0 {
 		opts.Hints.ReturnValSize = map[string]int8{}

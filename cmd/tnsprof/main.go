@@ -11,6 +11,11 @@
 //	tnsprof -json dhry16      machine-readable report (schema tnsr/obs-report/v1)
 //	tnsprof -prom dhry16      Prometheus text exposition format
 //	tnsprof -list             list runnable workloads and examples
+//
+//	tnsprof -emit-profile p.pgo.json dhry16
+//	    additionally run the observe -> retranslate -> rerun cycle
+//	    (xrun.RunAdaptive) and write the captured PGO profile; the printed
+//	    report is then the profile-fed second pass.
 package main
 
 import (
@@ -21,6 +26,8 @@ import (
 
 	"tnsr/internal/bench"
 	"tnsr/internal/codefile"
+	"tnsr/internal/obs"
+	"tnsr/internal/pgo"
 )
 
 func parseLevel(s string) (codefile.AccelLevel, error) {
@@ -42,6 +49,8 @@ func main() {
 	promOut := flag.Bool("prom", false, "emit the report in Prometheus text format")
 	top := flag.Int("top", 10, "rows in the hottest-sites and per-procedure tables")
 	list := flag.Bool("list", false, "list runnable workloads and examples")
+	emitProfile := flag.String("emit-profile", "",
+		"capture a PGO profile via the adaptive two-pass cycle and write it here")
 	flag.Parse()
 
 	if *list {
@@ -61,10 +70,24 @@ func main() {
 		os.Exit(2)
 	}
 
-	rep, err := bench.ProfileWorkload(flag.Arg(0), lvl, *iters)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tnsprof: %v\n", err)
-		os.Exit(1)
+	var rep *obs.Report
+	if *emitProfile != "" {
+		prof, prep, err := bench.CaptureWorkload(flag.Arg(0), lvl, *iters)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tnsprof: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pgo.WriteFile(*emitProfile, prof); err != nil {
+			fmt.Fprintf(os.Stderr, "tnsprof: %v\n", err)
+			os.Exit(1)
+		}
+		rep = prep
+	} else {
+		rep, err = bench.ProfileWorkload(flag.Arg(0), lvl, *iters)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tnsprof: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	switch {
 	case *jsonOut:

@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	tnsrun [-lib lib.tns] [-interp] [-time] [-budget N] prog.tns
+//	tnsrun [-lib lib.tns] [-interp] [-time] [-budget N] [-profile p.pgo.json] prog.tns
 //
 // -interp forces interpretation even of accelerated codefiles (the paper's
 // "execute the entire accelerated program in interpreter mode" debugging
 // option). -time prints cycle accounting under the Cyclone/R model.
+// -profile captures a PGO profile of the run (either mode) and writes it to
+// the given path for a later `axcel -profile` retranslation.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"tnsr/internal/codefile"
 	"tnsr/internal/interp"
 	"tnsr/internal/machine"
+	"tnsr/internal/pgo"
 	"tnsr/internal/risc"
 	"tnsr/internal/tns"
 	"tnsr/internal/xrun"
@@ -28,6 +31,7 @@ func main() {
 	forceInterp := flag.Bool("interp", false, "ignore the translation; interpret")
 	showTime := flag.Bool("time", false, "print cycle accounting")
 	budget := flag.Int64("budget", 2_000_000_000, "instruction budget")
+	profilePath := flag.String("profile", "", "write a PGO profile of this run")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tnsrun [-lib lib.tns] [-interp] prog.tns")
@@ -38,9 +42,26 @@ func main() {
 	if *libPath != "" {
 		lib = mustRead(*libPath)
 	}
+	var cap *pgo.Capture
+	if *profilePath != "" {
+		cap = pgo.NewCapture()
+		cap.AttachFiles(user, lib)
+	}
+	writeProfile := func() {
+		if cap == nil {
+			return
+		}
+		if err := pgo.WriteFile(*profilePath, cap.Profile()); err != nil {
+			fmt.Fprintln(os.Stderr, "tnsrun:", err)
+			os.Exit(1)
+		}
+	}
 
 	if *forceInterp || user.Accel == nil {
 		m := interp.New(user, lib)
+		if cap != nil {
+			m.PGO = cap
+		}
 		if err := m.Run(*budget); err != nil {
 			fmt.Fprintln(os.Stderr, "tnsrun:", err)
 			os.Exit(1)
@@ -56,6 +77,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%d TNS instructions; %.0f cycles interpreted on Cyclone/R (%.3f ms)\n",
 				m.Prof.Instrs, cyc, 1e3*im.Seconds(cyc))
 		}
+		writeProfile()
 		os.Exit(int(m.ExitStatus))
 	}
 
@@ -63,6 +85,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tnsrun:", err)
 		os.Exit(1)
+	}
+	if cap != nil {
+		r.Capture(cap)
 	}
 	if err := r.Run(*budget); err != nil {
 		fmt.Fprintln(os.Stderr, "tnsrun:", err)
@@ -83,6 +108,7 @@ func main() {
 			r.Interludes, 100*r.InterpFraction(), interCyc, total)
 		_ = riscCyc
 	}
+	writeProfile()
 	os.Exit(int(r.ExitStatus))
 }
 

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"fmt"
+
+	"tnsr/internal/codefile"
+	"tnsr/internal/obs"
+	"tnsr/internal/pgo"
+	"tnsr/internal/tns"
+	"tnsr/internal/xrun"
+)
+
+// CaptureWorkload runs the named workload or example exactly like
+// ProfileWorkload, but with a PGO capture attached alongside the telemetry
+// recorder, and returns the captured profile with the execution report.
+// This is what `tnsprof -emit-profile` writes to disk.
+func CaptureWorkload(name string, level codefile.AccelLevel, iterations int) (*pgo.Profile, *obs.Report, error) {
+	user, lib, summaries, err := buildProfiled(name, iterations)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := xrun.RunAdaptive(user, lib, summaries, level, 0, 4_000_000_000, CycloneRConfig())
+	if err != nil {
+		return nil, nil, err
+	}
+	if res.Trap != tns.TrapNone {
+		return nil, nil, fmt.Errorf("%s: trap %d at %d", name, res.Trap, res.TrapP)
+	}
+	res.Profile.Workload = name
+	rep := res.Second.Report(res.SecondObs)
+	rep.Workload = name
+	return res.Profile, rep, nil
+}
+
+// AdaptiveAdversarial runs the observe -> retranslate -> rerun cycle on the
+// adversarial program (wrong XCAL result-size guess, no hints): the pass-1
+// run escapes at every indirect call's return point; the captured dynamic
+// RP corrects the guess in pass 2, which should drive rp-conflict escapes
+// to zero and shrink interpreter-mode residency — the automated version of
+// the hand-written hints AdversarialResidency measures.
+func AdaptiveAdversarial(budget int64) (*xrun.AdaptiveResult, error) {
+	f, err := adversarialProgram()
+	if err != nil {
+		return nil, err
+	}
+	return xrun.RunAdaptive(f, nil, nil, codefile.LevelDefault, 0, budget, CycloneRConfig())
+}

@@ -1,0 +1,43 @@
+package codefile
+
+// Fingerprint hashes the translation-relevant content of a codefile — name,
+// code image, PEP table — with FNV-1a. A PGO profile records it at capture
+// time and a retranslation refuses the profile when it no longer matches:
+// stale advice degrades to no advice. Acceleration sections and debugger
+// data are deliberately excluded so re-accelerating at a different level
+// does not orphan the profile.
+func (f *File) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	byteIn := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	wordIn := func(w uint16) {
+		byteIn(byte(w >> 8))
+		byteIn(byte(w))
+	}
+	for i := 0; i < len(f.Name); i++ {
+		byteIn(f.Name[i])
+	}
+	byteIn(0)
+	for _, w := range f.Code {
+		wordIn(w)
+	}
+	wordIn(f.MainPEP)
+	wordIn(f.GlobalWords)
+	for i := range f.Procs {
+		p := &f.Procs[i]
+		for j := 0; j < len(p.Name); j++ {
+			byteIn(p.Name[j])
+		}
+		byteIn(0)
+		wordIn(p.Entry)
+		byteIn(byte(p.ResultWords))
+		byteIn(p.ArgWords)
+	}
+	return h
+}

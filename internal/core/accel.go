@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"tnsr/internal/codefile"
+	"tnsr/internal/pgo"
 )
 
 // Accelerate translates a TNS codefile in place, attaching the acceleration
@@ -21,6 +22,7 @@ func Accelerate(file *codefile.File, opts Options) error {
 	if len(file.Procs) == 0 {
 		return fmt.Errorf("core: codefile %q has no procedures", file.Name)
 	}
+	applyProfile(file, &opts)
 
 	// Phase timings flow to opts.Obs when attached; with a nil recorder
 	// the mark closure reduces to one comparison per phase.
@@ -69,6 +71,35 @@ func Accelerate(file *codefile.File, opts Options) error {
 	return nil
 }
 
+// applyProfile gates and expands the attached PGO profile on the private
+// options copy. A profile captured against a different build of the
+// codefile (fingerprint mismatch) is dropped entirely — stale advice must
+// degrade to no advice. With a surviving profile and ProfileCover set,
+// translation is restricted to the hottest procedures covering that
+// fraction of the observed residency weight, always including main.
+func applyProfile(file *codefile.File, opts *Options) {
+	if opts.Profile == nil {
+		return
+	}
+	if !opts.Profile.Matches(pgo.SpaceName(opts.Space), file.Fingerprint()) {
+		opts.Profile = nil
+		return
+	}
+	if opts.ProfileCover > 0 && opts.SelectProcs == nil {
+		hot := opts.Profile.HotProcs(pgo.SpaceName(opts.Space), opts.ProfileCover)
+		if len(hot) > 0 {
+			sel := make(map[string]bool, len(hot)+1)
+			for _, name := range hot {
+				sel[name] = true
+			}
+			if int(file.MainPEP) < len(file.Procs) {
+				sel[file.Procs[file.MainPEP].Name] = true
+			}
+			opts.SelectProcs = sel
+		}
+	}
+}
+
 // AnalysisReport summarizes the static analysis of a codefile without
 // translating it: how many procedures needed guessed result sizes, which
 // sites fall into interpreter mode, and whether hints would help — the
@@ -86,6 +117,7 @@ type AnalysisReport struct {
 // Analyze runs the Accelerator's analysis phases only.
 func Analyze(file *codefile.File, opts Options) (*AnalysisReport, error) {
 	opts = opts.withDefaults()
+	applyProfile(file, &opts)
 	p, err := analyze(file, &opts)
 	if err != nil {
 		return nil, err

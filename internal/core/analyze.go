@@ -44,6 +44,11 @@ type program struct {
 	// reached (unresolvable RP, conflicting joins, ...).
 	puzzle map[uint16]string
 
+	// rpGuard marks conflicting-RP joins where the attached profile
+	// confirmed the propagated value: translation emits a run-time RP
+	// guard there instead of an unconditional fallback (rp.go).
+	rpGuard map[uint16]bool
+
 	// resultWords per PEP index (-1 = unknown even after analysis; calls
 	// then guess and check at run time).
 	resultWords []int8

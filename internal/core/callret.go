@@ -4,6 +4,7 @@ import (
 	"tnsr/internal/codefile"
 	"tnsr/internal/millicode"
 	"tnsr/internal/obs"
+	"tnsr/internal/pgo"
 	"tnsr/internal/risc"
 	"tnsr/internal/tns"
 )
@@ -256,6 +257,7 @@ func (t *translator) transXCAL(addr uint16) {
 	s.pin(pl)
 	s.popDesc()
 	s.canonicalize(0)
+	t.emitDevirt(addr, pl)
 	t.noteFallback(addr, obs.EscapeIndirectCall)
 	f.li(risc.RegT0, int32(addr)+1)
 	f.move(risc.RegT0+1, pl)
@@ -264,26 +266,89 @@ func (t *translator) transXCAL(addr uint16) {
 	f.nop()
 }
 
+// maxDevirtTargets bounds the direct-call fast paths emitted per XCAL site.
+const maxDevirtTargets = 3
+
+// emitDevirt turns an XCAL's profile-observed targets into guarded direct
+// calls ahead of the EMap dispatch: compare the live PLabel in pl against
+// each observed target's encoding and jump straight to its translated
+// prologue on a match. A PLabel that matches none of the fast paths falls
+// through to the millicode dispatch unchanged, so an incomplete or stale
+// target set costs nothing but the compares. Only same-space targets are
+// devirtualized (a cross-space transfer must update $env's space bit, which
+// is the dispatcher's job).
+func (t *translator) emitDevirt(addr uint16, pl uint8) {
+	prof := t.opts.Profile
+	if prof == nil {
+		return
+	}
+	own := pgo.SpaceName(t.opts.Space)
+	f := t.f
+	emitted := 0
+	for _, tg := range prof.Targets(own, addr) {
+		if emitted == maxDevirtTargets {
+			break
+		}
+		if tg.Space != own {
+			continue
+		}
+		pep := int(tg.PEP)
+		if pep >= len(f.procEntry) || !t.procTranslated(pep) {
+			continue
+		}
+		plVal := tg.PEP
+		if t.opts.Space == 1 {
+			plVal |= 0x8000 // SpaceLib bit of the PLabel encoding
+		}
+		next := f.newLabel()
+		f.li(risc.RegT0, int32(int16(plVal)))
+		f.br(risc.BNE, pl, risc.RegT0, next)
+		f.nop()
+		f.li(risc.RegT0, int32(addr)+1) // TNS return address
+		f.jLocal(risc.J, t.ensureProcLabel(pep))
+		f.nop()
+		f.bind(next)
+		emitted++
+	}
+}
+
 // emitReturnPointCheck emits the run-time RP confirmation after a call
 // whose result size was guessed — the paper's check that sends execution
 // into interpreter mode when the guess was wrong. In a procedure that
 // contains any guessed site, every return point is confirmed, because a
 // wrong guess shifts the dynamic RP for the rest of the procedure.
-func (t *translator) emitReturnPointCheck(retAddr uint16) {
+func (t *translator) emitReturnPointCheck(retAddr uint16) bool {
 	cs, ok := t.p.callSites[t.prevCallAddr(retAddr)]
 	tainted := false
 	if pi := t.p.procOf[retAddr]; pi >= 0 && int(pi) < len(t.p.taintedProc) {
 		tainted = t.p.taintedProc[pi]
 	}
 	if !ok || (!cs.checked && !tainted) {
-		return
+		return false
 	}
 	expected := t.p.rpAt[retAddr]
 	if expected < 0 {
-		return
+		return false
 	}
+	t.emitRPCheck(retAddr, uint8(expected))
+	return true
+}
+
+// emitRPGuard emits the profile-confirmed join guard at a block leader: the
+// same ANDI/XORI/BNE confirmation a guessed return point gets, comparing
+// the dynamic RP in $env (kept synchronized by canonicalize at every block
+// boundary) against the statically assumed value. An execution arriving
+// with a different RP falls into interpreter mode — the behaviour the
+// unprofiled translation gave every execution through this join.
+func (t *translator) emitRPGuard(addr uint16) {
+	if expected := t.p.rpAt[addr]; expected >= 0 {
+		t.emitRPCheck(addr, uint8(expected))
+	}
+}
+
+func (t *translator) emitRPCheck(addr uint16, expected uint8) {
 	f := t.f
-	fb := t.queueFallbackStub(retAddr, obs.EscapeRPConflict)
+	fb := t.queueFallbackStub(addr, obs.EscapeRPConflict)
 	tr := uint8(risc.RegT0 + 1)
 	f.imm(risc.ANDI, tr, risc.RegENV, 7)
 	if expected != 0 {

@@ -16,6 +16,7 @@ import (
 	"tnsr/internal/codefile"
 	"tnsr/internal/millicode"
 	"tnsr/internal/obs"
+	"tnsr/internal/pgo"
 )
 
 // Options controls a translation, mirroring the paper's user-visible knobs.
@@ -73,6 +74,25 @@ type Options struct {
 	// (analyze/rp/liveness/translate/merge/schedule/finalize). Nil costs
 	// nothing beyond one comparison per phase.
 	Obs *obs.Recorder
+
+	// Profile, when non-nil, feeds a prior run's observations back into
+	// analysis (profile-guided retranslation): observed result sizes
+	// replace guesses at unprovable call sites (still backed by the
+	// run-time RP check), conflicting RP joins whose single observed RP
+	// confirms the propagated value become guarded blocks instead of
+	// unconditional fallbacks, and XCAL dispatch gains direct-call fast
+	// paths for observed targets. The profile is advisory: every use keeps
+	// its run-time guard, so a wrong or stale profile costs interludes,
+	// never correctness. A profile whose fingerprint no longer matches the
+	// codefile is ignored entirely.
+	Profile *pgo.Profile
+
+	// ProfileCover, when > 0 with a Profile attached and SelectProcs
+	// unset, restricts translation to the hottest procedures covering this
+	// fraction of the profile's residency weight (plus main). 0 translates
+	// everything, keeping profiled output observationally identical to
+	// unprofiled.
+	ProfileCover float64
 }
 
 // Hints is the optional per-procedure advice file.

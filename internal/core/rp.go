@@ -1,6 +1,7 @@
 package core
 
 import (
+	"tnsr/internal/pgo"
 	"tnsr/internal/tns"
 )
 
@@ -53,6 +54,38 @@ func (p *program) computeTaint() {
 	for a := range p.puzzle {
 		mark(a)
 	}
+	// Profile-guarded joins: the static RP there is confirmed only by the
+	// guard, so downstream call returns stay checked like any guessed site.
+	for a := range p.rpGuard {
+		mark(a)
+	}
+}
+
+// spaceName is the profile-section label for the codefile being translated.
+func (p *program) spaceName() string { return pgo.SpaceName(p.opts.Space) }
+
+// profileResultSize consults the attached profile for the actual result
+// size of the unprovable call at a, whose caller RP (post-PLabel-pop for
+// XCAL) is base. Two sources, in order of directness: the result-size
+// histogram captured at interpreted returns, and — when the call itself ran
+// in RISC so only the failed return-point check was visible — the dynamic
+// RP observed when that check escaped, which is base plus the actual result
+// size around the 3-bit barrel. Either source is used only when every
+// observation agreed; the site keeps its run-time check regardless.
+func (p *program) profileResultSize(a uint16, base int) (int8, bool) {
+	prof := p.opts.Profile
+	if prof == nil {
+		return 0, false
+	}
+	space := p.spaceName()
+	if s, ok := prof.ResultSize(space, a); ok {
+		return s, true
+	}
+	ret := p.instrEnd(a)
+	if y, ok := prof.ObservedRP(space, ret); ok {
+		return int8((int(y) - base + 8) % 8), true
+	}
+	return 0, false
 }
 
 // callSites is populated for every call instruction address.
@@ -230,6 +263,7 @@ func (p *program) guessResultSize(a uint16) int8 {
 // propagateRP assigns an absolute RP to every reachable instruction,
 // marking conflicts and unresolvable sites as puzzle points.
 func (p *program) propagateRP() {
+	p.rpGuard = map[uint16]bool{}
 	for i := range p.rpAt {
 		p.rpAt[i] = rpUnreached
 	}
@@ -258,6 +292,25 @@ func (p *program) propagateRP() {
 				// of RP joining. Unless the instruction is SETRP (which
 				// overrides RP anyway), the point becomes a puzzle.
 				if in := p.instr[a]; !(in.Major == tns.MajSpecial && in.Sub == tns.SubSETRP) {
+					// Profile confirmation: if a prior run observed exactly
+					// one dynamic RP here and it matches the value already
+					// propagated, keep that value and let translation guard
+					// the join with a run-time RP check instead of an
+					// unconditional fallback. The first-seeded value is
+					// never replaced (no repropagation), so downstream
+					// blocks stay consistent; executions arriving with the
+					// other RP fail the guard and interpret, exactly as
+					// they fall back today.
+					// Only block leaders can carry the guard (translation
+					// emits it at leader binding); conflicts elsewhere stay
+					// puzzles.
+					if p.opts.Profile != nil && p.rpAt[a] >= 0 && p.blockStart[a] {
+						if y, ok := p.opts.Profile.ObservedRP(p.spaceName(), a); ok &&
+							int8(y) == p.rpAt[a] {
+							p.rpGuard[a] = true
+							return
+						}
+					}
 					p.rpAt[a] = rpConflict
 					p.puzzle[a] = "conflicting RP at join"
 					// Do not repropagate: translation falls back here.
@@ -272,61 +325,92 @@ func (p *program) propagateRP() {
 	// RP flows into them normally; if flow never reaches them they stay
 	// unreached and the translator maps them as interpreter-only.
 
-	for len(work) > 0 {
-		a := work[len(work)-1]
-		work = work[:len(work)-1]
-		rp := p.rpAt[a]
-		if rp < 0 && rp != rpAny {
-			continue
-		}
-		in := p.instr[a]
-		var nrp int8
-		switch {
-		case in.Major == tns.MajSpecial && in.Sub == tns.SubSETRP:
-			nrp = int8(in.Operand & 7)
-		case rp == rpAny:
-			// Any non-SETRP instruction with indeterminate RP is a puzzle.
-			p.puzzle[a] = "RP indeterminate after call"
-			continue
-		case in.IsCall():
-			size, known, ok := p.callEffect(a)
-			base := int(rp)
-			if in.Major == tns.MajSpecial { // XCAL pops the PLabel first
-				base = (base - 1 + 8) % 8
-			}
-			if !ok {
-				// Is the next instruction SETRP (the compiler clue)?
-				na := p.instrEnd(a)
-				if int(na) < len(p.kind) && p.kind[na] == KindInstr {
-					if nx := p.instr[na]; nx.Major == tns.MajSpecial && nx.Sub == tns.SubSETRP {
-						p.callSites[a] = callSite{result: 0, checked: false}
-						seed(na, rpAny)
-						continue
-					}
-				}
-				size = p.guessResultSize(a)
-				if in.Major == tns.MajControl && in.Ctl == tns.CtlPCAL {
-					pep := in.Target
-					if int(pep) < len(p.guessedProc) {
-						p.guessedProc[pep] = true
-					}
-				}
-				p.callSites[a] = callSite{result: size, checked: true}
-			} else {
-				p.callSites[a] = callSite{result: size, checked: !known}
-			}
-			nrp = int8((base + int(size)) % 8)
-		default:
-			d := in.RPDelta()
-			if d == tns.RPUnknown {
-				p.puzzle[a] = "unknown RP effect"
+	drain := func() {
+		for len(work) > 0 {
+			a := work[len(work)-1]
+			work = work[:len(work)-1]
+			rp := p.rpAt[a]
+			if rp < 0 && rp != rpAny {
 				continue
 			}
-			nrp = int8(((int(rp)+d)%8 + 8) % 8)
+			in := p.instr[a]
+			var nrp int8
+			switch {
+			case in.Major == tns.MajSpecial && in.Sub == tns.SubSETRP:
+				nrp = int8(in.Operand & 7)
+			case rp == rpAny:
+				// Any non-SETRP instruction with indeterminate RP is a puzzle.
+				p.puzzle[a] = "RP indeterminate after call"
+				continue
+			case in.IsCall():
+				size, known, ok := p.callEffect(a)
+				base := int(rp)
+				if in.Major == tns.MajSpecial { // XCAL pops the PLabel first
+					base = (base - 1 + 8) % 8
+				}
+				if !ok {
+					// Is the next instruction SETRP (the compiler clue)?
+					na := p.instrEnd(a)
+					if int(na) < len(p.kind) && p.kind[na] == KindInstr {
+						if nx := p.instr[na]; nx.Major == tns.MajSpecial && nx.Sub == tns.SubSETRP {
+							p.callSites[a] = callSite{result: 0, checked: false}
+							seed(na, rpAny)
+							continue
+						}
+					}
+					size = p.guessResultSize(a)
+					if s, okp := p.profileResultSize(a, base); okp {
+						// The observed fact replaces the pattern heuristic;
+						// the site stays checked below, so a profile from
+						// different inputs degrades to today's fallback,
+						// never wrong code.
+						size = s
+					}
+					if in.Major == tns.MajControl && in.Ctl == tns.CtlPCAL {
+						pep := in.Target
+						if int(pep) < len(p.guessedProc) {
+							p.guessedProc[pep] = true
+						}
+					}
+					p.callSites[a] = callSite{result: size, checked: true}
+				} else {
+					p.callSites[a] = callSite{result: size, checked: !known}
+				}
+				nrp = int8((base + int(size)) % 8)
+			default:
+				d := in.RPDelta()
+				if d == tns.RPUnknown {
+					p.puzzle[a] = "unknown RP effect"
+					continue
+				}
+				nrp = int8(((int(rp)+d)%8 + 8) % 8)
+			}
+			succBuf = p.succs(a, succBuf[:0])
+			for _, s := range succBuf {
+				seed(s, nrp)
+			}
 		}
-		succBuf = p.succs(a, succBuf[:0])
-		for _, s := range succBuf {
-			seed(s, nrp)
+	}
+	drain()
+
+	// Profile-seeded computed-jump targets: a statement label reached only
+	// through unanalyzable jumps stays rpUnreached above and would be
+	// translated as an interpreter-only region. When a prior run observed
+	// exactly one dynamic RP at such a label (the escape there recorded it),
+	// the region is translated assuming that RP behind the same run-time
+	// guard a confirmed join gets; an execution arriving with any other RP
+	// fails the guard and interprets, exactly as every execution did before.
+	if p.opts.Profile != nil {
+		for _, st := range p.file.Statements {
+			a := st.Addr
+			if int(a) >= len(p.rpAt) || p.rpAt[a] != rpUnreached || !p.blockStart[a] {
+				continue
+			}
+			if y, ok := p.opts.Profile.ObservedRP(p.spaceName(), a); ok {
+				p.rpGuard[a] = true
+				seed(a, int8(y))
+			}
 		}
+		drain()
 	}
 }

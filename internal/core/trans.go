@@ -282,8 +282,15 @@ func (t *translator) translateRange(frag fragment) error {
 			t.addLeaderPoints(addr)
 			// Run-time RP confirmation after calls with guessed result
 			// sizes.
+			checked := false
 			if prev := t.prevInstr(addr); prev >= 0 && t.p.instr[prev].IsCall() {
-				t.emitReturnPointCheck(addr)
+				checked = t.emitReturnPointCheck(addr)
+			}
+			// Profile-confirmed joins and profile-seeded computed-jump
+			// targets carry the same confirmation (unless the return-point
+			// check just emitted the identical compare).
+			if t.p.rpGuard[addr] && !checked {
+				t.emitRPGuard(addr)
 			}
 		}
 

@@ -18,6 +18,7 @@ import (
 
 	"tnsr/internal/codefile"
 	"tnsr/internal/obs"
+	"tnsr/internal/pgo"
 	"tnsr/internal/tns"
 )
 
@@ -110,6 +111,12 @@ type Machine struct {
 	// fires once per counted instruction, so its totals match Prof.Instrs
 	// exactly. Nil costs one comparison per step.
 	Obs *obs.Recorder
+
+	// PGO, when non-nil, captures the facts profile-guided retranslation
+	// feeds back to the Accelerator: resolved call targets, dynamic result
+	// sizes observed at returns, CASE jump targets, and interpreted
+	// residency. Same contract as Obs: nil costs one comparison per hook.
+	PGO *pgo.Capture
 }
 
 // New creates a machine with the user codefile (and optional library)
@@ -274,6 +281,9 @@ func (m *Machine) Step() TransferKind {
 	m.Prof.Instrs++
 	if m.Obs != nil {
 		m.Obs.InterpStep(uint8(m.Space), m.P)
+	}
+	if m.PGO != nil {
+		m.PGO.InterpStep(uint8(m.Space), m.P)
 	}
 	pc := m.P
 	m.P++ // default: fall through; transfers overwrite
@@ -469,6 +479,9 @@ func (m *Machine) call(space Space, pep uint16, pc uint16) TransferKind {
 		m.trap(tns.TrapStackOvf)
 		return TransferNone
 	}
+	if m.PGO != nil {
+		m.PGO.CallTarget(uint8(m.Space), pc, uint8(space), pep)
+	}
 	m.store(m.S+1, pc+1)
 	m.store(m.S+2, m.packENV())
 	m.store(m.S+3, m.L)
@@ -487,7 +500,12 @@ func (m *Machine) exit(args uint16) TransferKind {
 	m.L = oldL
 	m.Space = UnpackENVSpace(env)
 	// RP is NOT restored: the callee's register stack carries the function
-	// result, which is the origin of the paper's RP puzzle.
+	// result, which is the origin of the paper's RP puzzle. The marker ENV
+	// holds the caller's RP as of the call, so the RP delta here is exactly
+	// the dynamic result size the Accelerator had to guess statically.
+	if m.PGO != nil && retP != HaltReturnP {
+		m.PGO.ExitReturn(uint8(m.Space), retP, m.RP, uint8(env&7))
+	}
 	if retP == HaltReturnP {
 		m.Halted = true
 		return TransferNone
@@ -636,15 +654,19 @@ func (m *Machine) specialOp(in tns.Instr, pc uint16) TransferKind {
 
 func (m *Machine) caseJump() {
 	code := m.code()
+	caseA := m.P - 1 // Step already advanced past the CASE instruction
 	idx := int16(m.pop())
 	n := code[m.P]
 	tableBase := m.P + 1
 	after := tableBase + n
 	if idx < 0 || uint16(idx) >= n {
 		m.P = after
-		return
+	} else {
+		m.P = code[tableBase+uint16(idx)]
 	}
-	m.P = code[tableBase+uint16(idx)]
+	if m.PGO != nil {
+		m.PGO.CaseTarget(uint8(m.Space), caseA, m.P)
+	}
 }
 
 func (m *Machine) svc(n uint8) {

@@ -1,0 +1,54 @@
+package pgo
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParseProfile checks the parser's central invariant: anything it
+// accepts re-serializes to a fixed point (parse -> JSON -> parse -> JSON is
+// byte-stable), and nothing it accepts violates Validate. Inputs it rejects
+// must fail with an error, never a panic.
+func FuzzParseProfile(f *testing.F) {
+	// Seed with the checked-in corpus of real and adversarial profiles.
+	seeds, _ := filepath.Glob("testdata/*.pgo.json")
+	for _, path := range seeds {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	if j, err := sample(3, 9).JSON(); err == nil {
+		f.Add(j)
+	}
+	f.Add([]byte(`{"schema":"tnsr/pgo-profile/v1","runs":0,"spaces":null}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParseProfile(data)
+		if err != nil {
+			return
+		}
+		if err := Validate(p); err != nil {
+			t.Fatalf("ParseProfile accepted an invalid profile: %v", err)
+		}
+		j1, err := p.JSON()
+		if err != nil {
+			t.Fatalf("accepted profile failed to serialize: %v", err)
+		}
+		q, err := ParseProfile(j1)
+		if err != nil {
+			t.Fatalf("serialized form of accepted profile rejected: %v", err)
+		}
+		j2, err := q.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(j1) != string(j2) {
+			t.Fatalf("not a fixed point:\n%s\nvs\n%s", j1, j2)
+		}
+	})
+}

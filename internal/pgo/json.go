@@ -1,0 +1,69 @@
+package pgo
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// JSON serializes the profile in canonical form: normalized slice order,
+// two-space indent, trailing newline. Equal profiles produce identical
+// bytes, which is what the merge-determinism and parallel-translation tests
+// compare.
+func (p *Profile) JSON() ([]byte, error) {
+	if err := Validate(p); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(p); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ParseProfile decodes and validates a profile. Unknown fields are
+// rejected: a profile written by a newer schema must fail loudly here, not
+// silently drop advice.
+func ParseProfile(data []byte) (*Profile, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var p Profile
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("pgo: parse: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("pgo: parse: trailing data after profile")
+	}
+	if err := Validate(&p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// ReadFile loads and validates a profile from disk.
+func ReadFile(path string) (*Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseProfile(data)
+}
+
+// WriteFile writes the profile in canonical form.
+func WriteFile(path string, p *Profile) error {
+	data, err := p.JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// SidecarPath is the conventional on-disk location of the profile for a
+// codefile: `<codefile>.pgo.json` next to the object file, the same shape
+// the paper's customers used for hand-written hint files.
+func SidecarPath(codefilePath string) string {
+	return codefilePath + ".pgo.json"
+}

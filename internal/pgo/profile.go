@@ -1,0 +1,568 @@
+// Package pgo is the profile-guided retranslation subsystem: the feedback
+// loop the paper's customers closed by hand with hint files. A run captures
+// the facts the Accelerator could not prove statically — the actual result
+// sizes of calls it had to guess, the dynamic RP wherever a run-time check
+// sent execution into the interpreter, the resolved targets of indirect
+// calls and CASE jumps, and per-procedure residency weights — into a
+// deterministic, mergeable profile. A retranslation with the profile
+// attached (core.Options.Profile) replaces the wrong guesses with the
+// observed facts, while every run-time guard stays in place: the profile is
+// advisory, never load-bearing for correctness.
+//
+// pgo depends only on codefile; the interpreter, the mixed-mode runner and
+// the Accelerator all depend on pgo, never the reverse — the same topology
+// obs uses, so interp.Machine can hold a concrete *pgo.Capture behind the
+// one-pointer-compare nil contract.
+package pgo
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Schema identifies the JSON profile format; bump on incompatible change.
+const Schema = "tnsr/pgo-profile/v1"
+
+// Profile is the aggregated observation set of one or more runs of one
+// program (user codefile plus optional library). All slices are sorted
+// (spaces user-before-lib, sites by address, histograms by key), so equal
+// observation sets serialize to identical bytes regardless of capture or
+// merge order.
+type Profile struct {
+	Schema   string         `json:"schema"`
+	Workload string         `json:"workload,omitempty"`
+	Runs     int64          `json:"runs"`
+	Spaces   []SpaceProfile `json:"spaces"`
+}
+
+// SpaceProfile holds the observations attributed to one code space.
+type SpaceProfile struct {
+	// Space is "user" or "lib".
+	Space string `json:"space"`
+	// File is the codefile name the observations were captured against.
+	File string `json:"file,omitempty"`
+	// Fingerprint is the hex form of codefile.File.Fingerprint at capture
+	// time. A retranslation ignores the profile when the fingerprint no
+	// longer matches — a stale profile must degrade to "no profile", never
+	// to wrong advice.
+	Fingerprint string `json:"fingerprint,omitempty"`
+
+	CallSites []CallSite   `json:"call_sites,omitempty"`
+	CaseSites []CaseSite   `json:"case_sites,omitempty"`
+	RPSites   []RPSite     `json:"rp_sites,omitempty"`
+	Procs     []ProcWeight `json:"procs,omitempty"`
+}
+
+// CallSite is the observation record of one call instruction: the result
+// sizes its callees actually left on the register stack, and which
+// procedures it actually reached (for indirect-call devirtualization).
+type CallSite struct {
+	Addr    uint16        `json:"addr"`
+	Results []ResultCount `json:"results,omitempty"`
+	Targets []TargetCount `json:"targets,omitempty"`
+}
+
+// ResultCount is one row of a call site's result-size histogram.
+type ResultCount struct {
+	Words int8  `json:"words"`
+	Count int64 `json:"count"`
+}
+
+// TargetCount is one observed callee of a call site.
+type TargetCount struct {
+	Space string `json:"space"`
+	PEP   uint16 `json:"pep"`
+	Count int64  `json:"count"`
+}
+
+// CaseSite records the resolved targets of one CASE indexed jump.
+type CaseSite struct {
+	Addr    uint16      `json:"addr"`
+	Targets []AddrCount `json:"targets"`
+}
+
+// AddrCount is one observed jump target.
+type AddrCount struct {
+	Addr  uint16 `json:"addr"`
+	Count int64  `json:"count"`
+}
+
+// RPSite records the dynamic RP observed at a TNS address where a run-time
+// guard sent execution into the interpreter (a failed return-point check, a
+// refused re-entry, a puzzle-join fallback). The retranslation uses it to
+// recover the result size a guess got wrong, and to confirm which RP
+// actually arrives at a conflicting join.
+type RPSite struct {
+	Addr uint16    `json:"addr"`
+	RPs  []RPCount `json:"rps"`
+}
+
+// RPCount is one row of an RP observation histogram.
+type RPCount struct {
+	RP    uint8 `json:"rp"`
+	Count int64 `json:"count"`
+}
+
+// ProcWeight is one procedure's residency weight: how often it was called
+// and how many instructions of it ran interpreted.
+type ProcWeight struct {
+	Name         string `json:"name"`
+	Calls        int64  `json:"calls"`
+	InterpInstrs int64  `json:"interp_instrs"`
+}
+
+var spaceNames = [2]string{"user", "lib"}
+
+// SpaceName returns the canonical space label for a space bit.
+func SpaceName(space uint8) string { return spaceNames[space&1] }
+
+// Space returns the profile section for the named space, or nil.
+func (p *Profile) Space(name string) *SpaceProfile {
+	for i := range p.Spaces {
+		if p.Spaces[i].Space == name {
+			return &p.Spaces[i]
+		}
+	}
+	return nil
+}
+
+// Matches reports whether the profile may be applied to a codefile with the
+// given fingerprint in the named space: either the profile has no section or
+// no recorded fingerprint for that space, or the fingerprints agree.
+func (p *Profile) Matches(space string, fingerprint uint64) bool {
+	sp := p.Space(space)
+	if sp == nil || sp.Fingerprint == "" {
+		return true
+	}
+	return sp.Fingerprint == fmt.Sprintf("%016x", fingerprint)
+}
+
+func (sp *SpaceProfile) callSite(addr uint16) *CallSite {
+	i := sort.Search(len(sp.CallSites), func(i int) bool {
+		return sp.CallSites[i].Addr >= addr
+	})
+	if i < len(sp.CallSites) && sp.CallSites[i].Addr == addr {
+		return &sp.CallSites[i]
+	}
+	return nil
+}
+
+// ResultSize reports the observed result size of the call at addr, if every
+// observed execution agreed on one size. Disagreeing observations yield no
+// advice: a single size is the only fact a static RP assignment can use.
+func (p *Profile) ResultSize(space string, addr uint16) (int8, bool) {
+	sp := p.Space(space)
+	if sp == nil {
+		return 0, false
+	}
+	cs := sp.callSite(addr)
+	if cs == nil || len(cs.Results) != 1 {
+		return 0, false
+	}
+	return cs.Results[0].Words, true
+}
+
+// ObservedRP reports the dynamic RP observed at addr, if every observation
+// agreed.
+func (p *Profile) ObservedRP(space string, addr uint16) (uint8, bool) {
+	sp := p.Space(space)
+	if sp == nil {
+		return 0, false
+	}
+	i := sort.Search(len(sp.RPSites), func(i int) bool {
+		return sp.RPSites[i].Addr >= addr
+	})
+	if i >= len(sp.RPSites) || sp.RPSites[i].Addr != addr {
+		return 0, false
+	}
+	if rs := sp.RPSites[i].RPs; len(rs) == 1 {
+		return rs[0].RP, true
+	}
+	return 0, false
+}
+
+// Targets returns the observed callees of the call at addr, hottest first
+// (ties broken by space then PEP, so the order is deterministic).
+func (p *Profile) Targets(space string, addr uint16) []TargetCount {
+	sp := p.Space(space)
+	if sp == nil {
+		return nil
+	}
+	cs := sp.callSite(addr)
+	if cs == nil {
+		return nil
+	}
+	out := append([]TargetCount{}, cs.Targets...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].Space != out[j].Space {
+			return out[i].Space < out[j].Space
+		}
+		return out[i].PEP < out[j].PEP
+	})
+	return out
+}
+
+// HotProcs returns the smallest set of procedures covering at least the
+// given fraction of the space's residency weight (calls plus interpreted
+// instructions), hottest first. cover is clamped to [0, 1].
+func (p *Profile) HotProcs(space string, cover float64) []string {
+	sp := p.Space(space)
+	if sp == nil {
+		return nil
+	}
+	if cover > 1 {
+		cover = 1
+	}
+	type wp struct {
+		name   string
+		weight int64
+	}
+	var total int64
+	ws := make([]wp, 0, len(sp.Procs))
+	for _, pr := range sp.Procs {
+		w := pr.Calls + pr.InterpInstrs
+		if w <= 0 {
+			continue
+		}
+		ws = append(ws, wp{pr.Name, w})
+		total += w
+	}
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].weight != ws[j].weight {
+			return ws[i].weight > ws[j].weight
+		}
+		return ws[i].name < ws[j].name
+	})
+	var out []string
+	var acc int64
+	for _, w := range ws {
+		if total > 0 && float64(acc) >= cover*float64(total) && len(out) > 0 {
+			break
+		}
+		out = append(out, w.name)
+		acc += w.weight
+	}
+	return out
+}
+
+// Merge combines profiles of the same program into one, summing counts.
+// The result is independent of argument order; fingerprint disagreement for
+// a space is an error (profiles of different builds must not be mixed).
+func Merge(profiles ...*Profile) (*Profile, error) {
+	out := &Profile{Schema: Schema}
+	for _, p := range profiles {
+		if p == nil {
+			continue
+		}
+		if p.Schema != Schema {
+			return nil, fmt.Errorf("pgo: merge: schema %q, want %q", p.Schema, Schema)
+		}
+		out.Runs += p.Runs
+		if out.Workload == "" {
+			out.Workload = p.Workload
+		}
+		for i := range p.Spaces {
+			if err := out.mergeSpace(&p.Spaces[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	out.normalize()
+	return out, nil
+}
+
+func (p *Profile) mergeSpace(src *SpaceProfile) error {
+	dst := p.Space(src.Space)
+	if dst == nil {
+		p.Spaces = append(p.Spaces, SpaceProfile{Space: src.Space})
+		dst = &p.Spaces[len(p.Spaces)-1]
+	}
+	if dst.File == "" {
+		dst.File = src.File
+	}
+	switch {
+	case dst.Fingerprint == "":
+		dst.Fingerprint = src.Fingerprint
+	case src.Fingerprint != "" && src.Fingerprint != dst.Fingerprint:
+		return fmt.Errorf("pgo: merge: %s fingerprint %s != %s (profiles of different builds)",
+			src.Space, src.Fingerprint, dst.Fingerprint)
+	}
+	for _, cs := range src.CallSites {
+		d := dst.callSiteOrNew(cs.Addr)
+		for _, r := range cs.Results {
+			d.addResult(r.Words, r.Count)
+		}
+		for _, t := range cs.Targets {
+			d.addTarget(t.Space, t.PEP, t.Count)
+		}
+	}
+	for _, cs := range src.CaseSites {
+		d := dst.caseSiteOrNew(cs.Addr)
+		for _, t := range cs.Targets {
+			d.addTarget(t.Addr, t.Count)
+		}
+	}
+	for _, rs := range src.RPSites {
+		d := dst.rpSiteOrNew(rs.Addr)
+		for _, r := range rs.RPs {
+			d.addRP(r.RP, r.Count)
+		}
+	}
+	for _, pw := range src.Procs {
+		dst.addProc(pw.Name, pw.Calls, pw.InterpInstrs)
+	}
+	return nil
+}
+
+func (sp *SpaceProfile) callSiteOrNew(addr uint16) *CallSite {
+	if cs := sp.callSite(addr); cs != nil {
+		return cs
+	}
+	sp.CallSites = append(sp.CallSites, CallSite{Addr: addr})
+	sort.Slice(sp.CallSites, func(i, j int) bool {
+		return sp.CallSites[i].Addr < sp.CallSites[j].Addr
+	})
+	return sp.callSite(addr)
+}
+
+func (cs *CallSite) addResult(words int8, n int64) {
+	for i := range cs.Results {
+		if cs.Results[i].Words == words {
+			cs.Results[i].Count += n
+			return
+		}
+	}
+	cs.Results = append(cs.Results, ResultCount{Words: words, Count: n})
+}
+
+func (cs *CallSite) addTarget(space string, pep uint16, n int64) {
+	for i := range cs.Targets {
+		if cs.Targets[i].Space == space && cs.Targets[i].PEP == pep {
+			cs.Targets[i].Count += n
+			return
+		}
+	}
+	cs.Targets = append(cs.Targets, TargetCount{Space: space, PEP: pep, Count: n})
+}
+
+func (sp *SpaceProfile) caseSiteOrNew(addr uint16) *CaseSite {
+	for i := range sp.CaseSites {
+		if sp.CaseSites[i].Addr == addr {
+			return &sp.CaseSites[i]
+		}
+	}
+	sp.CaseSites = append(sp.CaseSites, CaseSite{Addr: addr})
+	return &sp.CaseSites[len(sp.CaseSites)-1]
+}
+
+func (cs *CaseSite) addTarget(addr uint16, n int64) {
+	for i := range cs.Targets {
+		if cs.Targets[i].Addr == addr {
+			cs.Targets[i].Count += n
+			return
+		}
+	}
+	cs.Targets = append(cs.Targets, AddrCount{Addr: addr, Count: n})
+}
+
+func (sp *SpaceProfile) rpSiteOrNew(addr uint16) *RPSite {
+	for i := range sp.RPSites {
+		if sp.RPSites[i].Addr == addr {
+			return &sp.RPSites[i]
+		}
+	}
+	sp.RPSites = append(sp.RPSites, RPSite{Addr: addr})
+	return &sp.RPSites[len(sp.RPSites)-1]
+}
+
+func (rs *RPSite) addRP(rp uint8, n int64) {
+	for i := range rs.RPs {
+		if rs.RPs[i].RP == rp {
+			rs.RPs[i].Count += n
+			return
+		}
+	}
+	rs.RPs = append(rs.RPs, RPCount{RP: rp, Count: n})
+}
+
+func (sp *SpaceProfile) addProc(name string, calls, interp int64) {
+	for i := range sp.Procs {
+		if sp.Procs[i].Name == name {
+			sp.Procs[i].Calls += calls
+			sp.Procs[i].InterpInstrs += interp
+			return
+		}
+	}
+	sp.Procs = append(sp.Procs, ProcWeight{Name: name, Calls: calls, InterpInstrs: interp})
+}
+
+// normalize sorts every slice into the canonical order Validate requires.
+func (p *Profile) normalize() {
+	sort.Slice(p.Spaces, func(i, j int) bool {
+		return spaceRank(p.Spaces[i].Space) < spaceRank(p.Spaces[j].Space)
+	})
+	for si := range p.Spaces {
+		sp := &p.Spaces[si]
+		sort.Slice(sp.CallSites, func(i, j int) bool { return sp.CallSites[i].Addr < sp.CallSites[j].Addr })
+		for ci := range sp.CallSites {
+			cs := &sp.CallSites[ci]
+			sort.Slice(cs.Results, func(i, j int) bool { return cs.Results[i].Words < cs.Results[j].Words })
+			sort.Slice(cs.Targets, func(i, j int) bool {
+				if cs.Targets[i].Space != cs.Targets[j].Space {
+					return spaceRank(cs.Targets[i].Space) < spaceRank(cs.Targets[j].Space)
+				}
+				return cs.Targets[i].PEP < cs.Targets[j].PEP
+			})
+		}
+		sort.Slice(sp.CaseSites, func(i, j int) bool { return sp.CaseSites[i].Addr < sp.CaseSites[j].Addr })
+		for ci := range sp.CaseSites {
+			cs := &sp.CaseSites[ci]
+			sort.Slice(cs.Targets, func(i, j int) bool { return cs.Targets[i].Addr < cs.Targets[j].Addr })
+		}
+		sort.Slice(sp.RPSites, func(i, j int) bool { return sp.RPSites[i].Addr < sp.RPSites[j].Addr })
+		for ri := range sp.RPSites {
+			rs := &sp.RPSites[ri]
+			sort.Slice(rs.RPs, func(i, j int) bool { return rs.RPs[i].RP < rs.RPs[j].RP })
+		}
+		sort.Slice(sp.Procs, func(i, j int) bool { return sp.Procs[i].Name < sp.Procs[j].Name })
+	}
+}
+
+func spaceRank(s string) int {
+	switch s {
+	case "user":
+		return 0
+	case "lib":
+		return 1
+	}
+	return 2
+}
+
+// Validate checks a profile against the schema's invariants: schema tag,
+// known spaces without duplicates, canonical sort order everywhere, positive
+// counts, RPs and result sizes inside the 3-bit register barrel, and
+// well-formed fingerprints. Strict order checking is what makes "parse then
+// re-serialize" byte-stable — the fuzz target leans on it.
+func Validate(p *Profile) error {
+	if p.Schema != Schema {
+		return fmt.Errorf("pgo: schema %q, want %q", p.Schema, Schema)
+	}
+	if p.Runs < 0 {
+		return fmt.Errorf("pgo: negative run count %d", p.Runs)
+	}
+	seen := map[string]bool{}
+	for si := range p.Spaces {
+		sp := &p.Spaces[si]
+		if sp.Space != "user" && sp.Space != "lib" {
+			return fmt.Errorf("pgo: unknown space %q", sp.Space)
+		}
+		if seen[sp.Space] {
+			return fmt.Errorf("pgo: duplicate space %q", sp.Space)
+		}
+		seen[sp.Space] = true
+		if si > 0 && spaceRank(p.Spaces[si-1].Space) > spaceRank(sp.Space) {
+			return fmt.Errorf("pgo: spaces out of order (%s after %s)",
+				sp.Space, p.Spaces[si-1].Space)
+		}
+		if sp.Fingerprint != "" {
+			if len(sp.Fingerprint) != 16 {
+				return fmt.Errorf("pgo: %s fingerprint %q is not 16 hex digits", sp.Space, sp.Fingerprint)
+			}
+			if _, err := strconv.ParseUint(sp.Fingerprint, 16, 64); err != nil {
+				return fmt.Errorf("pgo: %s fingerprint %q: %v", sp.Space, sp.Fingerprint, err)
+			}
+		}
+		if err := validateSpace(sp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateSpace(sp *SpaceProfile) error {
+	for i, cs := range sp.CallSites {
+		if i > 0 && sp.CallSites[i-1].Addr >= cs.Addr {
+			return fmt.Errorf("pgo: %s call sites out of order at %d", sp.Space, cs.Addr)
+		}
+		if len(cs.Results) == 0 && len(cs.Targets) == 0 {
+			return fmt.Errorf("pgo: %s call site %d is empty", sp.Space, cs.Addr)
+		}
+		for j, r := range cs.Results {
+			if r.Words < 0 || r.Words > 7 {
+				return fmt.Errorf("pgo: %s call site %d: result size %d out of [0,7]", sp.Space, cs.Addr, r.Words)
+			}
+			if r.Count <= 0 {
+				return fmt.Errorf("pgo: %s call site %d: non-positive result count", sp.Space, cs.Addr)
+			}
+			if j > 0 && cs.Results[j-1].Words >= r.Words {
+				return fmt.Errorf("pgo: %s call site %d: results out of order", sp.Space, cs.Addr)
+			}
+		}
+		for j, t := range cs.Targets {
+			if t.Space != "user" && t.Space != "lib" {
+				return fmt.Errorf("pgo: %s call site %d: unknown target space %q", sp.Space, cs.Addr, t.Space)
+			}
+			if t.Count <= 0 {
+				return fmt.Errorf("pgo: %s call site %d: non-positive target count", sp.Space, cs.Addr)
+			}
+			if j > 0 {
+				prev := cs.Targets[j-1]
+				if spaceRank(prev.Space) > spaceRank(t.Space) ||
+					(prev.Space == t.Space && prev.PEP >= t.PEP) {
+					return fmt.Errorf("pgo: %s call site %d: targets out of order", sp.Space, cs.Addr)
+				}
+			}
+		}
+	}
+	for i, cs := range sp.CaseSites {
+		if i > 0 && sp.CaseSites[i-1].Addr >= cs.Addr {
+			return fmt.Errorf("pgo: %s case sites out of order at %d", sp.Space, cs.Addr)
+		}
+		if len(cs.Targets) == 0 {
+			return fmt.Errorf("pgo: %s case site %d has no targets", sp.Space, cs.Addr)
+		}
+		for j, t := range cs.Targets {
+			if t.Count <= 0 {
+				return fmt.Errorf("pgo: %s case site %d: non-positive count", sp.Space, cs.Addr)
+			}
+			if j > 0 && cs.Targets[j-1].Addr >= t.Addr {
+				return fmt.Errorf("pgo: %s case site %d: targets out of order", sp.Space, cs.Addr)
+			}
+		}
+	}
+	for i, rs := range sp.RPSites {
+		if i > 0 && sp.RPSites[i-1].Addr >= rs.Addr {
+			return fmt.Errorf("pgo: %s rp sites out of order at %d", sp.Space, rs.Addr)
+		}
+		if len(rs.RPs) == 0 {
+			return fmt.Errorf("pgo: %s rp site %d has no observations", sp.Space, rs.Addr)
+		}
+		for j, r := range rs.RPs {
+			if r.RP > 7 {
+				return fmt.Errorf("pgo: %s rp site %d: RP %d out of [0,7]", sp.Space, rs.Addr, r.RP)
+			}
+			if r.Count <= 0 {
+				return fmt.Errorf("pgo: %s rp site %d: non-positive count", sp.Space, rs.Addr)
+			}
+			if j > 0 && rs.RPs[j-1].RP >= r.RP {
+				return fmt.Errorf("pgo: %s rp site %d: RPs out of order", sp.Space, rs.Addr)
+			}
+		}
+	}
+	for i, pw := range sp.Procs {
+		if pw.Name == "" {
+			return fmt.Errorf("pgo: %s proc weight with empty name", sp.Space)
+		}
+		if pw.Calls < 0 || pw.InterpInstrs < 0 {
+			return fmt.Errorf("pgo: %s proc %q has negative weight", sp.Space, pw.Name)
+		}
+		if i > 0 && sp.Procs[i-1].Name >= pw.Name {
+			return fmt.Errorf("pgo: %s procs out of order at %q", sp.Space, pw.Name)
+		}
+	}
+	return nil
+}

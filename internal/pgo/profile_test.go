@@ -1,0 +1,211 @@
+package pgo
+
+import (
+	"strings"
+	"testing"
+)
+
+// sample builds a small hand-rolled profile with every section populated.
+func sample(runs int64, scale int64) *Profile {
+	return &Profile{
+		Schema:   Schema,
+		Workload: "sample",
+		Runs:     runs,
+		Spaces: []SpaceProfile{
+			{
+				Space: "user", File: "prog", Fingerprint: "00000000deadbeef",
+				CallSites: []CallSite{
+					{Addr: 10,
+						Results: []ResultCount{{Words: 1, Count: 2 * scale}, {Words: 3, Count: scale}},
+						Targets: []TargetCount{{Space: "user", PEP: 7, Count: 2 * scale}, {Space: "lib", PEP: 4, Count: scale}}},
+					{Addr: 40, Results: []ResultCount{{Words: 0, Count: scale}}},
+				},
+				CaseSites: []CaseSite{
+					{Addr: 20, Targets: []AddrCount{{Addr: 21, Count: scale}, {Addr: 30, Count: 5 * scale}}},
+				},
+				RPSites: []RPSite{
+					{Addr: 11, RPs: []RPCount{{RP: 2, Count: 3 * scale}}},
+				},
+				Procs: []ProcWeight{
+					{Name: "main", Calls: scale, InterpInstrs: 100 * scale},
+					{Name: "work", Calls: 9 * scale},
+				},
+			},
+			{
+				Space: "lib", File: "syslib", Fingerprint: "0123456789abcdef",
+				RPSites: []RPSite{{Addr: 5, RPs: []RPCount{{RP: 0, Count: scale}}}},
+			},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	p := sample(1, 3)
+	j, err := p.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseProfile(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := q.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j) != string(j2) {
+		t.Errorf("round trip not byte-identical:\n%s\nvs\n%s", j, j2)
+	}
+}
+
+// TestMergeOrderIndependent is the determinism contract: merging the same
+// set of profiles in any order yields byte-identical JSON.
+func TestMergeOrderIndependent(t *testing.T) {
+	a, b, c := sample(1, 1), sample(1, 7), sample(2, 13)
+	// Give b an extra site so the merge has real structural work to do.
+	b.Spaces[0].CallSites = append(b.Spaces[0].CallSites, CallSite{
+		Addr: 99, Results: []ResultCount{{Words: 5, Count: 11}}})
+
+	m1, err := Merge(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Merge(c, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := m1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := m2.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j2) {
+		t.Errorf("merge is order-dependent:\n%s\nvs\n%s", j1, j2)
+	}
+	if m1.Runs != 4 {
+		t.Errorf("merged runs = %d, want 4", m1.Runs)
+	}
+	// Counts must sum: call site 10 result words=1 appears in all three.
+	cs := m1.Space("user").callSite(10)
+	if cs == nil || cs.Results[0] != (ResultCount{Words: 1, Count: 2 * (1 + 7 + 13)}) {
+		t.Errorf("merged counts wrong: %+v", cs)
+	}
+}
+
+func TestMergeFingerprintConflict(t *testing.T) {
+	a, b := sample(1, 1), sample(1, 1)
+	b.Spaces[0].Fingerprint = "00000000feedface"
+	if _, err := Merge(a, b); err == nil {
+		t.Error("merging profiles of different binaries should fail")
+	}
+}
+
+func TestLookups(t *testing.T) {
+	p := sample(1, 1)
+	if _, ok := p.ResultSize("user", 10); ok {
+		t.Error("ambiguous result histogram should not yield a size")
+	}
+	if w, ok := p.ResultSize("user", 40); !ok || w != 0 {
+		t.Errorf("unique result: got %d/%v, want 0/true", w, ok)
+	}
+	if rp, ok := p.ObservedRP("user", 11); !ok || rp != 2 {
+		t.Errorf("observed RP: got %d/%v, want 2/true", rp, ok)
+	}
+	if _, ok := p.ObservedRP("user", 12); ok {
+		t.Error("unseen site should not yield an RP")
+	}
+	tg := p.Targets("user", 10)
+	if len(tg) != 2 || tg[0].PEP != 7 || tg[1].PEP != 4 {
+		t.Errorf("targets should be count-descending: %+v", tg)
+	}
+	// main: weight 101, work: weight 9.
+	procs := p.HotProcs("user", 0.9)
+	if len(procs) != 1 || procs[0] != "main" {
+		t.Errorf("HotProcs(0.9) = %v, want [main]", procs)
+	}
+	procs = p.HotProcs("user", 1.0)
+	if len(procs) != 2 {
+		t.Errorf("HotProcs(1.0) = %v, want both", procs)
+	}
+}
+
+func TestMatches(t *testing.T) {
+	p := sample(1, 1)
+	if !p.Matches("user", 0xdeadbeef) {
+		t.Error("matching fingerprint rejected")
+	}
+	if p.Matches("user", 0xfeedface) {
+		t.Error("stale fingerprint accepted")
+	}
+	if !p.Matches("nosuchspace", 0x1234) {
+		t.Error("a profile with no section for the space should be vacuously fresh")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]func(*Profile){
+		"bad schema":          func(p *Profile) { p.Schema = "tnsr/pgo-profile/v2" },
+		"negative runs":       func(p *Profile) { p.Runs = -1 },
+		"bad space name":      func(p *Profile) { p.Spaces[0].Space = "kernel" },
+		"dup space":           func(p *Profile) { p.Spaces[1].Space = "user" },
+		"space order":         func(p *Profile) { p.Spaces[0], p.Spaces[1] = p.Spaces[1], p.Spaces[0] },
+		"short fingerprint":   func(p *Profile) { p.Spaces[0].Fingerprint = "abc" },
+		"non-hex fingerprint": func(p *Profile) { p.Spaces[0].Fingerprint = "zzzzzzzzzzzzzzzz" },
+		"site order": func(p *Profile) {
+			s := p.Spaces[0].CallSites
+			s[0], s[1] = s[1], s[0]
+		},
+		"result words range": func(p *Profile) { p.Spaces[0].CallSites[0].Results[0].Words = 8 },
+		"result order": func(p *Profile) {
+			r := p.Spaces[0].CallSites[0].Results
+			r[0], r[1] = r[1], r[0]
+		},
+		"zero count": func(p *Profile) { p.Spaces[0].CallSites[0].Results[0].Count = 0 },
+		"rp range":   func(p *Profile) { p.Spaces[0].RPSites[0].RPs[0].RP = 8 },
+		"empty rows": func(p *Profile) { p.Spaces[0].RPSites[0].RPs = nil },
+		"dup proc": func(p *Profile) {
+			p.Spaces[0].Procs = append(p.Spaces[0].Procs, ProcWeight{Name: "main", Calls: 1})
+		},
+		"negative weight": func(p *Profile) { p.Spaces[0].Procs[0].Calls = -1 },
+	}
+	for name, mutate := range cases {
+		p := sample(1, 1)
+		mutate(p)
+		if err := Validate(p); err == nil {
+			t.Errorf("%s: Validate accepted a broken profile", name)
+		}
+	}
+	if err := Validate(sample(1, 1)); err != nil {
+		t.Errorf("pristine sample rejected: %v", err)
+	}
+}
+
+func TestParseRejectsTrailingAndUnknown(t *testing.T) {
+	p := sample(1, 1)
+	j, err := p.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseProfile(append(j, []byte("{}")...)); err == nil {
+		t.Error("trailing data accepted")
+	}
+	bad := strings.Replace(string(j), `"workload"`, `"wrkload"`, 1)
+	if _, err := ParseProfile([]byte(bad)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+// TestCaptureEmpty: a capture with no attached files and no events still
+// snapshots to a valid (empty) profile.
+func TestCaptureEmpty(t *testing.T) {
+	p := NewCapture().Profile()
+	if err := Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Spaces) != 0 || p.Runs != 1 {
+		t.Errorf("empty capture: %+v", p)
+	}
+}

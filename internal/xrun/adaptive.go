@@ -1,0 +1,121 @@
+package xrun
+
+import (
+	"fmt"
+
+	"tnsr/internal/codefile"
+	"tnsr/internal/core"
+	"tnsr/internal/millicode"
+	"tnsr/internal/obs"
+	"tnsr/internal/pgo"
+	"tnsr/internal/risc"
+)
+
+// Profile-guided retranslation: the feedback loop the paper's customers
+// closed by hand — run, notice interpreter interludes, write a hint file,
+// retranslate — done automatically. Pass 1 translates with no advice and
+// runs the program observed, capturing every fact the guards surface (the
+// dynamic RP wherever a check fired, actual call targets and result sizes
+// on the interpreted paths, residency weights). Pass 2 retranslates with
+// the captured profile attached and reruns. Both translations keep every
+// run-time guard, so the two passes are observationally identical; only
+// the mode residency differs.
+
+// AdaptiveResult reports a RunAdaptive cycle.
+type AdaptiveResult struct {
+	// Profile is the pass-1 capture that steered the pass-2 translation.
+	Profile *pgo.Profile
+
+	// First and Second are the completed runners of the two passes, with
+	// FirstObs/SecondObs their telemetry (escape histograms, residency).
+	First, Second       *Runner
+	FirstObs, SecondObs *obs.Recorder
+
+	Console    string
+	Halted     bool
+	ExitStatus uint16
+	Trap       int
+	TrapP      uint16
+}
+
+// InterpFractions returns the interpreter-mode residency of each pass.
+func (a *AdaptiveResult) InterpFractions() (first, second float64) {
+	return a.First.InterpFraction(), a.Second.InterpFraction()
+}
+
+// RunAdaptive executes the observe -> retranslate -> rerun cycle on fresh
+// copies of user/lib (the caller's codefiles are not modified). Each pass
+// translates at the given level with the given worker count and runs under
+// the given instruction budget. It errors if the two passes disagree on any
+// observable outcome — the profile being advisory, they never should.
+func RunAdaptive(user, lib *codefile.File, libSummaries map[uint16]int8,
+	level codefile.AccelLevel, workers int, budget int64,
+	cfg risc.Config) (*AdaptiveResult, error) {
+
+	res := &AdaptiveResult{}
+
+	cap1 := pgo.NewCapture()
+	r1, rec1, err := runPass(user, lib, libSummaries, level, workers, budget, cfg, nil, cap1)
+	if err != nil {
+		return nil, fmt.Errorf("xrun: adaptive pass 1: %w", err)
+	}
+	res.First, res.FirstObs = r1, rec1
+	res.Profile = cap1.Profile()
+
+	r2, rec2, err := runPass(user, lib, libSummaries, level, workers, budget, cfg, res.Profile, nil)
+	if err != nil {
+		return nil, fmt.Errorf("xrun: adaptive pass 2: %w", err)
+	}
+	res.Second, res.SecondObs = r2, rec2
+
+	if r1.Halted != r2.Halted || r1.Trap != r2.Trap ||
+		r1.ExitStatus != r2.ExitStatus || r1.Console() != r2.Console() {
+		return nil, fmt.Errorf("xrun: adaptive passes diverged (trap %d vs %d, exit %d vs %d)",
+			r1.Trap, r2.Trap, r1.ExitStatus, r2.ExitStatus)
+	}
+	res.Console = r2.Console()
+	res.Halted = r2.Halted
+	res.ExitStatus = r2.ExitStatus
+	res.Trap = r2.Trap
+	res.TrapP = r2.TrapP
+	return res, nil
+}
+
+// runPass translates fresh copies of the codefiles (with prof attached if
+// non-nil) and runs them observed (with cap attached if non-nil).
+func runPass(user, lib *codefile.File, libSummaries map[uint16]int8,
+	level codefile.AccelLevel, workers int, budget int64, cfg risc.Config,
+	prof *pgo.Profile, cap *pgo.Capture) (*Runner, *obs.Recorder, error) {
+
+	rec := obs.NewRecorder()
+	tu := cloneFile(user)
+	if err := core.Accelerate(tu, core.Options{
+		Level: level, Workers: workers, LibSummaries: libSummaries,
+		Obs: rec, Profile: prof,
+	}); err != nil {
+		return nil, nil, err
+	}
+	var tl *codefile.File
+	if lib != nil {
+		tl = cloneFile(lib)
+		if err := core.Accelerate(tl, core.Options{
+			Level: level, Workers: workers,
+			CodeBase: millicode.LibCodeBase, Space: 1,
+			Obs: rec, Profile: prof,
+		}); err != nil {
+			return nil, nil, err
+		}
+	}
+	r, err := New(tu, tl, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	r.Observe(rec)
+	if cap != nil {
+		r.Capture(cap)
+	}
+	if err := r.Run(budget); err != nil {
+		return nil, nil, err
+	}
+	return r, rec, nil
+}

@@ -16,6 +16,7 @@ import (
 	"tnsr/internal/machine"
 	"tnsr/internal/millicode"
 	"tnsr/internal/obs"
+	"tnsr/internal/pgo"
 	"tnsr/internal/risc"
 	"tnsr/internal/tns"
 )
@@ -58,6 +59,12 @@ type Runner struct {
 	// comparison at each transition site (the per-instruction hooks live
 	// in interp.Machine and risc.Sim).
 	Obs *obs.Recorder
+
+	// PGO, when attached via Capture, receives the dynamic RP at every
+	// fired run-time guard (failed return-point checks and refused
+	// re-entries) — the raw material of profile-guided retranslation. Nil
+	// costs one comparison per transition site.
+	PGO *pgo.Capture
 
 	inRISC  bool
 	skipBP  bool
@@ -191,6 +198,9 @@ func (r *Runner) enterRISCIfMapped() bool {
 	if int(r.Int.P) < len(acc.ExpectedRP) {
 		if exp := acc.ExpectedRP[r.Int.P]; exp != 0xFF && exp != r.Int.RP {
 			r.noEnter = obs.EscapeRPConflict
+			if r.PGO != nil {
+				r.PGO.EscapeRP(uint8(r.Int.Space), r.Int.P, r.Int.RP)
+			}
 			return false
 		}
 	}
@@ -361,6 +371,13 @@ func (r *Runner) runRISC(maxInstrs int64) error {
 			space := interp.UnpackENVSpace(uint16(s.Reg[risc.RegENV]))
 			r.Obs.Escape(uint8(space), p, r.fallbackReason(space, p), true)
 		}
+		if r.PGO != nil {
+			// The dynamic RP that contradicted the static assumption is in
+			// $env, which translated code keeps synchronized at every
+			// canonicalized point (including fallback stubs).
+			space := interp.UnpackENVSpace(uint16(s.Reg[risc.RegENV]))
+			r.PGO.EscapeRP(uint8(space), p, uint8(s.Reg[risc.RegENV]&7))
+		}
 		r.loadIntFromSim(p)
 		r.Sim.Cycles += SwitchPenalty
 		r.Switches++
@@ -471,6 +488,9 @@ func (r *Runner) AdoptInterpreter(m *interp.Machine) {
 	if r.Obs != nil {
 		m.Obs = r.Obs
 	}
+	if r.PGO != nil {
+		m.PGO = r.PGO
+	}
 	r.Int = m
 	r.Sim.OnSyscall = r.onSyscall
 	r.syncMemToSim()
@@ -486,6 +506,15 @@ func (r *Runner) Observe(rec *obs.Recorder) {
 	r.Obs = rec
 	r.Int.Obs = rec
 	r.Sim.OnInstr = rec.RISCStep
+}
+
+// Capture attaches a PGO capture to the runner and its interpreter, and
+// binds it to the run's codefiles for attribution and fingerprint stamping.
+// Call it once, before Run; compose freely with Observe.
+func (r *Runner) Capture(c *pgo.Capture) {
+	c.AttachFiles(r.User, r.Lib)
+	r.PGO = c
+	r.Int.PGO = c
 }
 
 // Report builds the full execution report: the recorder's counters plus the
