@@ -176,6 +176,9 @@ func mustRead(path string) *codefile.File {
 	f, err := codefile.Read(r)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "axcel: %s: %v\n", path, err)
+		if codefile.IsCorrupt(err) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 	return f

@@ -10,13 +10,24 @@
 // option). -time prints cycle accounting under the Cyclone/R model.
 // -profile captures a PGO profile of the run (either mode) and writes it to
 // the given path for a later `axcel -profile` retranslation.
+//
+// -chaos N runs the fault-injection campaign instead of a program: N seeded
+// codefile mutations across the built-in workloads, each asserted to be
+// either rejected with a typed error at load or to run output-identical to
+// the pure interpreter. -chaos-seed picks the deterministic seed and
+// -chaos-out a directory for failing mutant artifacts.
+//
+// Exit codes: 0 program result, 1 runtime error, 2 usage, 3 corrupt input
+// artifact (typed integrity rejection).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
+	"tnsr/internal/chaos"
 	"tnsr/internal/codefile"
 	"tnsr/internal/interp"
 	"tnsr/internal/machine"
@@ -32,7 +43,15 @@ func main() {
 	showTime := flag.Bool("time", false, "print cycle accounting")
 	budget := flag.Int64("budget", 2_000_000_000, "instruction budget")
 	profilePath := flag.String("profile", "", "write a PGO profile of this run")
+	quarantine := flag.Int("quarantine", xrun.DefaultQuarantineThreshold,
+		"trap-storm threshold before a procedure is demoted to the interpreter")
+	chaosN := flag.Int("chaos", 0, "run a chaos campaign of N seeded mutations and exit")
+	chaosSeed := flag.Int64("chaos-seed", 1, "chaos campaign base seed")
+	chaosOut := flag.String("chaos-out", "", "directory for failing chaos mutants")
 	flag.Parse()
+	if *chaosN > 0 {
+		os.Exit(runChaos(*chaosN, *chaosSeed, *chaosOut))
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tnsrun [-lib lib.tns] [-interp] prog.tns")
 		os.Exit(2)
@@ -86,6 +105,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tnsrun:", err)
 		os.Exit(1)
 	}
+	r.QuarantineThreshold = *quarantine
+	if r.Degraded {
+		fmt.Fprintf(os.Stderr, "tnsrun: acceleration failed verification, running interpreted: %s\n",
+			r.DegradedReason)
+	}
 	if cap != nil {
 		r.Capture(cap)
 	}
@@ -122,7 +146,43 @@ func mustRead(path string) *codefile.File {
 	cf, err := codefile.Read(f)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tnsrun: %s: %v\n", path, err)
+		if codefile.IsCorrupt(err) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 	return cf
+}
+
+// runChaos executes the fault-injection campaign and returns the process
+// exit code: 0 when every mutant honored the integrity contract, 1 when any
+// violated it (failing mutants are written to outDir when given).
+func runChaos(n int, seed int64, outDir string) int {
+	sum, err := chaos.RunCampaign(nil, n, seed, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tnsrun:", err)
+		return 1
+	}
+	sum.WriteText(os.Stdout)
+	if outDir != "" && len(sum.Failures) > 0 {
+		if err := os.MkdirAll(outDir, 0o777); err != nil {
+			fmt.Fprintln(os.Stderr, "tnsrun:", err)
+			return 1
+		}
+		for _, f := range sum.Failures {
+			if f.Data == nil {
+				continue
+			}
+			name := fmt.Sprintf("mutant-%d-%s-%s.tns", f.Index, f.Workload, f.Op)
+			if err := os.WriteFile(filepath.Join(outDir, name), f.Data, 0o666); err != nil {
+				fmt.Fprintln(os.Stderr, "tnsrun:", err)
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "tnsrun: wrote %s\n", filepath.Join(outDir, name))
+		}
+	}
+	if len(sum.Failures) > 0 {
+		return 1
+	}
+	return 0
 }

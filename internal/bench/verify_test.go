@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"testing"
+
+	"tnsr/internal/codefile"
+	"tnsr/internal/core"
+	"tnsr/internal/millicode"
+	"tnsr/internal/workloads"
+)
+
+// TestVerifySmokeAllWorkloads pins the translator to the structural
+// contract the runtime enforces: every acceleration the Accelerator emits,
+// for every workload at every level, must pass AccelSection.Verify — the
+// same gate a corrupt artifact is degraded by. A failure here means the
+// translator ships artifacts the runtime would refuse to execute.
+func TestVerifySmokeAllWorkloads(t *testing.T) {
+	levels := []codefile.AccelLevel{
+		codefile.LevelStmtDebug, codefile.LevelDefault, codefile.LevelFast,
+	}
+	for _, name := range workloads.Names {
+		for _, lvl := range levels {
+			w, err := workloads.Build(name, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w.Lib != nil {
+				opts := core.Options{
+					Level: lvl, CodeBase: millicode.LibCodeBase, Space: 1,
+				}
+				if err := core.Accelerate(w.Lib, opts); err != nil {
+					t.Fatal(err)
+				}
+				if err := w.Lib.Accel.Verify(w.Lib, millicode.LibCodeBase); err != nil {
+					t.Errorf("%s lib at %v: %v", name, lvl, err)
+				}
+			}
+			opts := core.Options{Level: lvl, LibSummaries: w.LibSummaries}
+			if err := core.Accelerate(w.User, opts); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.User.Accel.Verify(w.User, millicode.UserCodeBase); err != nil {
+				t.Errorf("%s user at %v: %v", name, lvl, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// Failure is one oracle violation: everything needed to reproduce it (the
+// campaign seed and mutant index determine the mutation exactly) plus the
+// mutant bytes for an artifact dump.
+type Failure struct {
+	Workload string
+	Op       string
+	Target   string
+	Index    int   // mutant index within the campaign
+	Seed     int64 // campaign base seed
+	Err      string
+	Data     []byte // the mutated image (nil if mutation itself failed)
+}
+
+// Summary aggregates a campaign.
+type Summary struct {
+	Mutants  int
+	Rejected int
+	Ran      int
+	ByOp     map[string]int
+	Failures []Failure
+}
+
+// DefaultIterations is the workload iteration count a campaign builds its
+// references with; small, because degraded mutants re-run the whole
+// program interpreted.
+const DefaultIterations = 2
+
+// DefaultBudget bounds each mutant execution (and the reference runs).
+const DefaultBudget = 200_000_000
+
+// RunCampaign executes n seeded mutations spread round-robin over the
+// given workloads (nil means all five) and every operator, checking each
+// against the differential oracle. The campaign is fully determined by
+// (names, n, seed): mutant i uses operator i%NumOps, workload
+// (i/NumOps)%len(names), and an rng seeded from seed and i. progress, when
+// non-nil, receives one line per failure as it happens.
+func RunCampaign(names []string, n int, seed int64, progress io.Writer) (*Summary, error) {
+	if len(names) == 0 {
+		names = []string{"dhry16", "dhry32", "tal", "axcel", "et1"}
+	}
+	refs := make([]*Reference, len(names))
+	for i, name := range names {
+		ref, err := NewReference(name, DefaultIterations, DefaultBudget)
+		if err != nil {
+			return nil, err
+		}
+		refs[i] = ref
+	}
+
+	sum := &Summary{ByOp: map[string]int{}}
+	for i := 0; i < n; i++ {
+		op := Op(i % int(NumOps))
+		ref := refs[(i/int(NumOps))%len(refs)]
+		rng := rand.New(rand.NewSource(seed + int64(i)*1000003))
+
+		sum.Mutants++
+		sum.ByOp[op.String()]++
+		mu, err := ref.Mutate(rng, op)
+		if err != nil {
+			sum.Failures = append(sum.Failures, Failure{
+				Workload: ref.Name, Op: op.String(), Index: i, Seed: seed,
+				Err: "mutation failed: " + err.Error(),
+			})
+			continue
+		}
+		outcome, err := ref.Check(mu, DefaultBudget)
+		if err != nil {
+			data := mu.User
+			if data == nil {
+				data = mu.Lib
+			}
+			f := Failure{
+				Workload: ref.Name, Op: op.String(), Target: mu.Target,
+				Index: i, Seed: seed, Err: err.Error(), Data: data,
+			}
+			sum.Failures = append(sum.Failures, f)
+			if progress != nil {
+				fmt.Fprintf(progress, "chaos: FAIL mutant %d (%s, %s, %s): %s\n",
+					i, ref.Name, op, mu.Target, err)
+			}
+			continue
+		}
+		switch outcome {
+		case Rejected:
+			sum.Rejected++
+		case RanIdentical:
+			sum.Ran++
+		}
+	}
+	return sum, nil
+}
+
+// WriteText prints the campaign summary.
+func (s *Summary) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "chaos: %d mutants: %d rejected at load, %d ran output-identical, %d FAILURES\n",
+		s.Mutants, s.Rejected, s.Ran, len(s.Failures))
+	for _, f := range s.Failures {
+		fmt.Fprintf(w, "  FAIL mutant %d (%s, %s, %s): %s\n",
+			f.Index, f.Workload, f.Op, f.Target, f.Err)
+	}
+}

@@ -13,7 +13,8 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
-	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"sort"
 )
@@ -134,6 +135,12 @@ type File struct {
 	Statements []Statement
 	Symbols    []Symbol
 	Accel      *AccelSection // nil until accelerated
+
+	// Unverified is set by Read for pre-v5 files, which carry no section
+	// checksums: the file loaded, but nothing vouches for its integrity.
+	// Runners treat an unverified acceleration exactly like a verified
+	// one only after AccelSection.Verify passes its structural checks.
+	Unverified bool
 }
 
 // ProcByName returns the PEP index of the named procedure, or -1.
@@ -171,19 +178,40 @@ func (f *File) StatementAt(addr uint16) *Statement {
 }
 
 const (
-	magic   = 0x544E5343 // "TNSC"
-	version = 4          // v4 added AccelSection.FallbackWhy
+	magic = 0x544E5343 // "TNSC"
+	// version 5 added per-section CRC-32 checksums (v4 added FallbackWhy).
+	// v4 files still load — flagged Unverified — so a fleet can upgrade
+	// tools before re-accelerating its codefiles.
+	version   = 5
+	versionV4 = 4
 )
 
-// WriteTo serializes the codefile.
-func (f *File) WriteTo(w io.Writer) (int64, error) {
+// Marshal serializes the codefile (always at the current version) and
+// returns the byte image together with its section layout. WriteTo is the
+// io.WriterTo convenience over it; the chaos harness uses the spans to aim
+// mutations at individual sections.
+func (f *File) Marshal() ([]byte, []SectionSpan) {
 	var buf bytes.Buffer
 	p := func(v any) { binary.Write(&buf, binary.BigEndian, v) }
+	var spans []SectionSpan
+	start := 0
+	// seal closes the current section: append the CRC-32 of its payload
+	// and record the span (payload + checksum).
+	seal := func(id SectionID) {
+		p(crc32.ChecksumIEEE(buf.Bytes()[start:]))
+		spans = append(spans, SectionSpan{ID: id, Start: start, End: buf.Len()})
+		start = buf.Len()
+	}
+
 	p(uint32(magic))
 	p(uint16(version))
 	writeString(&buf, f.Name)
+	seal(SecHeader)
+
 	p(uint32(len(f.Code)))
 	p(f.Code)
+	seal(SecCode)
+
 	p(uint32(len(f.Procs)))
 	for i := range f.Procs {
 		writeString(&buf, f.Procs[i].Name)
@@ -214,54 +242,92 @@ func (f *File) WriteTo(w io.Writer) (int64, error) {
 	}
 	if f.Accel == nil {
 		p(uint8(0))
-	} else {
-		p(uint8(1))
-		a := f.Accel
-		p(uint8(a.Level))
-		p(uint32(len(a.RISC)))
-		p(a.RISC)
-		p(uint32(len(a.Entries)))
-		p(a.Entries)
-		p(uint32(len(a.ExpectedRP)))
-		p(a.ExpectedRP)
-		a.PMap.write(&buf)
-		p(int64(a.Stats.TNSInstrs))
-		p(int64(a.Stats.TableWords))
-		p(int64(a.Stats.RISCInstrs))
-		p(int64(a.Stats.RPChecks))
-		p(int64(a.Stats.GuessedProcs))
-		p(int64(a.Stats.PuzzlePoints))
-		p(int64(a.Stats.WeldedStmts))
-		p(int64(a.Stats.FilledSlots))
-		p(int64(a.Stats.ElidedFlagOps))
-		// FallbackWhy, sorted by address so serialization is deterministic.
-		addrs := make([]uint16, 0, len(a.FallbackWhy))
-		for addr := range a.FallbackWhy {
-			addrs = append(addrs, addr)
-		}
-		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-		p(uint32(len(addrs)))
-		for _, addr := range addrs {
-			p(addr)
-			p(a.FallbackWhy[addr])
-		}
+		seal(SecMeta)
+		return buf.Bytes(), spans
 	}
-	n, err := w.Write(buf.Bytes())
+	p(uint8(1))
+	seal(SecMeta)
+
+	a := f.Accel
+	p(uint8(a.Level))
+	p(uint32(len(a.RISC)))
+	p(a.RISC)
+	seal(SecAccelRISC)
+
+	p(uint32(len(a.Entries)))
+	p(a.Entries)
+	p(uint32(len(a.ExpectedRP)))
+	p(a.ExpectedRP)
+	seal(SecEMap)
+
+	a.PMap.write(&buf)
+	seal(SecPMap)
+
+	p(int64(a.Stats.TNSInstrs))
+	p(int64(a.Stats.TableWords))
+	p(int64(a.Stats.RISCInstrs))
+	p(int64(a.Stats.RPChecks))
+	p(int64(a.Stats.GuessedProcs))
+	p(int64(a.Stats.PuzzlePoints))
+	p(int64(a.Stats.WeldedStmts))
+	p(int64(a.Stats.FilledSlots))
+	p(int64(a.Stats.ElidedFlagOps))
+	// FallbackWhy, sorted by address so serialization is deterministic.
+	addrs := make([]uint16, 0, len(a.FallbackWhy))
+	for addr := range a.FallbackWhy {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	p(uint32(len(addrs)))
+	for _, addr := range addrs {
+		p(addr)
+		p(a.FallbackWhy[addr])
+	}
+	seal(SecFallback)
+	return buf.Bytes(), spans
+}
+
+// WriteTo serializes the codefile.
+func (f *File) WriteTo(w io.Writer) (int64, error) {
+	data, _ := f.Marshal()
+	n, err := w.Write(data)
 	return int64(n), err
 }
 
-// Read deserializes a codefile.
+// Read deserializes a codefile. Format v5 verifies the per-section
+// checksums as it goes; every rejection — bad magic, unsupported version,
+// checksum mismatch, implausible count, truncation, trailing garbage — is
+// a typed *ErrCorrupt naming the section the damage was detected in, so a
+// damaged artifact can never surface as garbage structures. v4 files
+// (which carry no checksums) still load, with File.Unverified set.
 func Read(r io.Reader) (*File, error) {
-	br := &reader{r: r}
+	br := newReader(r)
 	if br.u32() != magic {
-		return nil, errors.New("codefile: bad magic")
-	}
-	if v := br.u16(); v != version {
-		return nil, fmt.Errorf("codefile: unsupported version %d", v)
+		if br.err == nil {
+			br.err = corruptf(SecHeader, "bad magic")
+		}
+		return nil, br.fail()
 	}
 	f := &File{}
+	switch v := br.u16(); {
+	case br.err != nil:
+		return nil, br.fail()
+	case v == version:
+		br.sums = true
+	case v == versionV4:
+		f.Unverified = true
+	default:
+		br.err = corruptf(SecHeader, "unsupported version %d", v)
+		return nil, br.fail()
+	}
 	f.Name = br.str()
+	br.seal(SecHeader)
+
+	br.sec = SecCode
 	f.Code = br.u16s(br.u32())
+	br.seal(SecCode)
+
+	br.sec = SecMeta
 	np := br.count(br.u32())
 	f.Procs = make([]Proc, np)
 	for i := range f.Procs {
@@ -293,17 +359,30 @@ func Read(r io.Reader) (*File, error) {
 		f.Symbols[i].Addr = int16(br.u16())
 		f.Symbols[i].Words = br.u8()
 	}
-	if br.u8() == 1 {
+	hasAccel := br.u8() == 1
+	br.seal(SecMeta)
+
+	if hasAccel && br.err == nil {
 		a := &AccelSection{}
+		br.sec = SecAccelRISC
 		a.Level = AccelLevel(br.u8())
 		a.RISC = br.u32s(br.u32())
+		br.seal(SecAccelRISC)
+
+		br.sec = SecEMap
 		a.Entries = br.i32s(br.u32())
-		nrp := br.u32()
-		if br.err == nil && nrp > 0 && nrp <= 1<<24 {
+		nrp := br.count(br.u32())
+		if br.err == nil && nrp > 0 {
 			a.ExpectedRP = make([]uint8, nrp)
 			br.read(a.ExpectedRP)
 		}
+		br.seal(SecEMap)
+
+		br.sec = SecPMap
 		a.PMap.read(br)
+		br.seal(SecPMap)
+
+		br.sec = SecFallback
 		a.Stats.TNSInstrs = int(br.i64())
 		a.Stats.TableWords = int(br.i64())
 		a.Stats.RISCInstrs = int(br.i64())
@@ -321,10 +400,18 @@ func Read(r io.Reader) (*File, error) {
 				a.FallbackWhy[addr] = br.u8()
 			}
 		}
+		br.seal(SecFallback)
 		f.Accel = a
 	}
 	if br.err != nil {
-		return nil, br.err
+		return nil, br.fail()
+	}
+	// The format is self-terminating: anything after the last section is
+	// not ours. Rejecting it closes the door on a shorter (e.g. version-
+	// relabeled) parse "succeeding" inside a longer damaged image.
+	var trailing [1]byte
+	if _, err := io.ReadFull(br.raw, trailing[:]); err == nil {
+		return nil, corruptf(br.sec, "trailing garbage after end of file")
 	}
 	return f, nil
 }
@@ -335,14 +422,57 @@ func writeString(buf *bytes.Buffer, s string) {
 }
 
 type reader struct {
-	r   io.Reader
-	err error
+	raw  io.Reader    // the undecorated source (checksum words read here)
+	r    io.Reader    // raw teed into hash: every payload byte is summed
+	hash hash.Hash32  // running CRC-32 of the current section's payload
+	sums bool         // v5: verify a stored checksum at each seal point
+	sec  SectionID    // section under parse, for error attribution
+	err  error
+}
+
+func newReader(r io.Reader) *reader {
+	h := crc32.NewIEEE()
+	return &reader{raw: r, r: io.TeeReader(r, h), hash: h}
 }
 
 func (b *reader) read(v any) {
 	if b.err == nil {
 		b.err = binary.Read(b.r, binary.BigEndian, v)
 	}
+}
+
+// seal ends the section under parse: for v5, read the stored CRC-32 (from
+// the raw stream — checksums do not checksum themselves) and compare it to
+// the running sum of the payload bytes.
+func (b *reader) seal(id SectionID) {
+	if b.err != nil {
+		return
+	}
+	if b.sums {
+		var crcBuf [4]byte
+		if _, err := io.ReadFull(b.raw, crcBuf[:]); err != nil {
+			b.err = &ErrCorrupt{Section: id, Detail: "truncated checksum", Err: err}
+			return
+		}
+		stored := binary.BigEndian.Uint32(crcBuf[:])
+		if computed := b.hash.Sum32(); stored != computed {
+			b.err = corruptf(id, "checksum mismatch (stored %08X, computed %08X)",
+				stored, computed)
+			return
+		}
+	}
+	b.hash.Reset()
+}
+
+// fail wraps any pending untyped error (truncation, io failure) as a
+// corruption of the section being parsed, so Read's error is always a
+// typed *ErrCorrupt.
+func (b *reader) fail() error {
+	var ce *ErrCorrupt
+	if !errors.As(b.err, &ce) {
+		b.err = &ErrCorrupt{Section: b.sec, Err: b.err}
+	}
+	return b.err
 }
 
 // maxCount bounds every element count read from the wire. TNS addresses are
@@ -354,7 +484,7 @@ const maxCount = 1 << 20
 
 func (b *reader) count(n uint32) int {
 	if b.err == nil && n > maxCount {
-		b.err = fmt.Errorf("codefile: implausible element count %d", n)
+		b.err = corruptf(b.sec, "implausible element count %d", n)
 	}
 	if b.err != nil {
 		return 0

@@ -230,15 +230,21 @@ func TestPMapPack(t *testing.T) {
 	}
 }
 
-func TestPMapGroupOverflowPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic on group offset overflow")
-		}
-	}()
+func TestPMapGroupOverflowErrors(t *testing.T) {
 	pm := NewPMap(16)
-	pm.Add(0, 0, true)
-	pm.Add(1, 400, true)
+	if err := pm.Add(0, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.Add(1, 400, true); err == nil {
+		t.Error("expected error on group offset overflow")
+	}
+	if err := pm.Add(0xFFFF, 1, true); err == nil {
+		t.Error("expected error on out-of-range address")
+	}
+	// The failed adds must not have mapped anything.
+	if _, _, ok := pm.Lookup(1); ok {
+		t.Error("overflowing add left a mapping behind")
+	}
 }
 
 func TestAccelLevelString(t *testing.T) {

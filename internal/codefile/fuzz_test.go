@@ -2,13 +2,16 @@ package codefile
 
 import (
 	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
-// fuzzSeedFile builds a small but fully-populated codefile — every section
-// present, including an acceleration section with a non-trivial PMap — and
-// returns its serialization, the shape a fuzzer should mutate from.
-func fuzzSeedFile() []byte {
+// sampleAccelFile builds a small but fully-populated codefile — every
+// section present, including an acceleration section with a non-trivial
+// PMap — the shape the fuzzers and the integrity tests mutate from.
+func sampleAccelFile() *File {
 	f := &File{
 		Name:        "seed",
 		Code:        []uint16{0x0017, 0x1234, 0x8001, 0x0000, 0xFFFF, 0x0203},
@@ -41,9 +44,13 @@ func fuzzSeedFile() []byte {
 		PMap:       pm,
 		Stats:      AccelStats{TNSInstrs: 6, RISCInstrs: 3},
 	}
-	var buf bytes.Buffer
-	f.WriteTo(&buf)
-	return buf.Bytes()
+	return f
+}
+
+// fuzzSeedFile is sampleAccelFile's serialization.
+func fuzzSeedFile() []byte {
+	data, _ := sampleAccelFile().Marshal()
+	return data
 }
 
 // FuzzParseCodefile throws arbitrary bytes at the codefile deserializer.
@@ -75,6 +82,129 @@ func FuzzParseCodefile(f *testing.F) {
 			t.Fatalf("round trip not stable: %d vs %d bytes", once.Len(), twice.Len())
 		}
 	})
+}
+
+// accelFuzzParts splits the serialized sample file at the end of the meta
+// section: the prefix ends with the acceleration-present flag set, so
+// whatever follows is parsed as the four acceleration sections (RISC,
+// EMap, PMap, Fallback) with their v5 checksums.
+func accelFuzzParts() (prefix, suffix []byte) {
+	data, spans := sampleAccelFile().Marshal()
+	for _, sp := range spans {
+		if sp.ID == SecMeta {
+			return data[:sp.End], data[sp.End:]
+		}
+	}
+	panic("no meta section")
+}
+
+// accelFuzzVariants are the deliberate corpus seeds, each aimed at one
+// gate of the v5 integrity layer: the pristine suffix (full parse +
+// Verify), truncations, checksum damage, a count skew, and a
+// checksum-valid but structurally incoherent section that only
+// AccelSection.Verify can reject.
+func accelFuzzVariants() map[string][]byte {
+	_, suffix := accelFuzzParts()
+	v := map[string][]byte{
+		"pristine":  suffix,
+		"empty":     {},
+		"truncated": suffix[:len(suffix)/2],
+	}
+	crc := append([]byte(nil), suffix...)
+	crc[len(crc)-1] ^= 0x40 // fallback section checksum
+	v["crc-stomp"] = crc
+
+	count := append([]byte(nil), suffix...)
+	// Byte 1 begins the RISC word count (after the level byte); force it
+	// implausible and repair the section checksum so the count gate, not
+	// the checksum, rejects it.
+	count[1] = 0xFF
+	data, spans := sampleAccelFile().Marshal()
+	for _, sp := range spans {
+		if sp.ID == SecAccelRISC {
+			whole := append(append([]byte(nil), data[:len(data)-len(count)]...), count...)
+			FixChecksum(whole, sp)
+			v["count-skew"] = whole[len(data)-len(count):]
+		}
+	}
+
+	f := sampleAccelFile()
+	f.Accel.Entries[0] = 1 << 24 // structurally incoherent, checksums fine
+	bad, badSpans := f.Marshal()
+	for _, sp := range badSpans {
+		if sp.ID == SecMeta {
+			v["verify-reject"] = bad[sp.End:]
+		}
+	}
+	return v
+}
+
+// FuzzParseAccelSection fuzzes only the acceleration sections behind a
+// fixed valid CISC prefix: the deserializer must reject damage with typed
+// errors, never panic, and anything it accepts must survive Verify without
+// panicking and round-trip stably. Seeds beyond f.Add live in
+// testdata/fuzz/FuzzParseAccelSection (see TestRegenAccelFuzzCorpus).
+func FuzzParseAccelSection(f *testing.F) {
+	prefix, _ := accelFuzzParts()
+	for _, seed := range accelFuzzVariants() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, tail []byte) {
+		data := append(append([]byte(nil), prefix...), tail...)
+		cf, err := Read(bytes.NewReader(data))
+		if err != nil {
+			if !IsCorrupt(err) {
+				t.Fatalf("untyped rejection: %v", err)
+			}
+			return
+		}
+		if cf.Accel != nil {
+			_ = cf.Accel.Verify(cf, 0x010000) // any verdict, but no panic
+		}
+		var once bytes.Buffer
+		if _, err := cf.WriteTo(&once); err != nil {
+			t.Fatalf("serializing an accepted file: %v", err)
+		}
+		cf2, err := Read(bytes.NewReader(once.Bytes()))
+		if err != nil {
+			t.Fatalf("reparsing own serialization: %v", err)
+		}
+		var twice bytes.Buffer
+		cf2.WriteTo(&twice)
+		if !bytes.Equal(once.Bytes(), twice.Bytes()) {
+			t.Fatal("round trip not stable")
+		}
+	})
+}
+
+// TestRegenAccelFuzzCorpus rewrites the checked-in fuzz corpus from
+// accelFuzzVariants (run with REGEN_FUZZ_CORPUS=1 after a format change);
+// normally it just asserts the checked-in files match the variants.
+func TestRegenAccelFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzParseAccelSection")
+	regen := os.Getenv("REGEN_FUZZ_CORPUS") != ""
+	if regen {
+		if err := os.MkdirAll(dir, 0o777); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, b := range accelFuzzVariants() {
+		want := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", b)
+		path := filepath.Join(dir, name)
+		if regen {
+			if err := os.WriteFile(path, []byte(want), 0o666); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (set REGEN_FUZZ_CORPUS=1 to regenerate)", err)
+		}
+		if string(got) != want {
+			t.Errorf("%s is stale (set REGEN_FUZZ_CORPUS=1 to regenerate)", name)
+		}
+	}
 }
 
 // FuzzPMapLookup drives the PMap through arbitrary legal Add sequences

@@ -1,5 +1,7 @@
 package codefile
 
+import "fmt"
+
 // PMap is the Program Address Map: a sparse, monotonic mapping from 16-bit
 // TNS instruction addresses to 32-bit RISC instruction addresses. Following
 // the paper, it is compressed into one byte per TNS instruction word plus one
@@ -48,10 +50,16 @@ func (p *PMap) Len() int { return len(p.off) }
 // Add records that TNS address tnsAddr maps to RISC word index riscIdx.
 // Within one 8-word group, addresses must be added in increasing TNS and
 // RISC order (the Accelerator emits code in address order, so this holds by
-// construction). Add panics if the delta from the group base exceeds the
-// 8-bit budget — which would mean a single 8-word group expanded past ~254
-// RISC instructions, far beyond any real translation.
-func (p *PMap) Add(tnsAddr uint16, riscIdx int, regExact bool) {
+// construction). Add returns an error — it must never panic, whatever a
+// buggy or hostile caller feeds it — when the address is out of range or
+// the delta from the group base exceeds the 8-bit budget, which would mean
+// a single 8-word group expanded past ~254 RISC instructions, far beyond
+// any real translation.
+func (p *PMap) Add(tnsAddr uint16, riscIdx int, regExact bool) error {
+	if int(tnsAddr) >= len(p.off) {
+		return fmt.Errorf("codefile: PMap address %d outside %d code words",
+			tnsAddr, len(p.off))
+	}
 	g := int(tnsAddr) / 8
 	if p.base[g] < 0 {
 		// Anchor the group base so the first mapped word has offset 0; the
@@ -61,24 +69,37 @@ func (p *PMap) Add(tnsAddr uint16, riscIdx int, regExact bool) {
 	}
 	d := riscIdx - int(p.base[g])
 	if d < 0 || d >= offUnmapped {
-		panic("codefile: PMap group offset out of range")
+		return fmt.Errorf("codefile: PMap group offset %d out of range at tns %d",
+			d, tnsAddr)
 	}
 	p.off[tnsAddr] = uint8(d)
 	p.cacheValid = false
 	if regExact {
 		p.regExact[tnsAddr/64] |= 1 << (tnsAddr % 64)
 	}
+	return nil
 }
 
 // Lookup maps a TNS address to its RISC word index. It returns ok=false when
 // the address is unmapped; regExact reports whether the point may be entered
 // by a dynamic jump (as opposed to being a debugger-only memory-exact point).
+// Lookup is bounds-safe even on a structurally damaged PMap (skewed array
+// lengths, a mapped word in a group with no base): damage reads as
+// "unmapped", never as a panic or a fabricated index.
 func (p *PMap) Lookup(tnsAddr uint16) (riscIdx int, regExact, ok bool) {
-	if int(tnsAddr) >= len(p.off) || p.off[tnsAddr] == offUnmapped {
+	a := int(tnsAddr)
+	if a >= len(p.off) || p.off[a] == offUnmapped {
 		return 0, false, false
 	}
-	idx := int(p.base[tnsAddr/8]) + int(p.off[tnsAddr])
-	re := p.regExact[tnsAddr/64]&(1<<(tnsAddr%64)) != 0
+	g := a / 8
+	if g >= len(p.base) || p.base[g] < 0 {
+		return 0, false, false
+	}
+	idx := int(p.base[g]) + int(p.off[a])
+	re := false
+	if w := a / 64; w < len(p.regExact) {
+		re = p.regExact[w]&(1<<(a%64)) != 0
+	}
 	return idx, re, true
 }
 
@@ -158,8 +179,10 @@ func (p *PMap) Pack() []byte {
 	offBase := 4 + 4*g
 	for a := range p.off {
 		v := p.off[a]
-		if v != offUnmapped && p.regExact[a/64]&(1<<(a%64)) == 0 {
-			v = offUnmapped
+		if v != offUnmapped {
+			if w := a / 64; w >= len(p.regExact) || p.regExact[w]&(1<<(a%64)) == 0 {
+				v = offUnmapped
+			}
 		}
 		out[offBase+a] = v
 	}
@@ -184,15 +207,14 @@ func (p *PMap) write(buf interface{ Write([]byte) (int, error) }) {
 }
 
 func (p *PMap) read(br *reader) {
-	nb := br.u32()
-	p.base = br.i32s(nb)
-	no := br.u32()
-	if br.err == nil && no <= 1<<24 {
+	p.base = br.i32s(br.u32())
+	no := br.count(br.u32())
+	if br.err == nil {
 		p.off = make([]uint8, no)
 		br.read(p.off)
 	}
-	nr := br.u32()
-	if br.err == nil && nr <= 1<<24 {
+	nr := br.count(br.u32())
+	if br.err == nil {
 		p.regExact = make([]uint64, nr)
 		for i := range p.regExact {
 			hi := br.u32()

@@ -41,7 +41,9 @@ func finalizeSection(p *program, opts *Options, f *fn,
 		if err != nil {
 			return nil, err
 		}
-		pm.Add(pt.tnsAddr, int(base)+int(pp), pt.regExact)
+		if err := pm.Add(pt.tnsAddr, int(base)+int(pp), pt.regExact); err != nil {
+			return nil, err
+		}
 		if pt.regExact && pt.rp >= 0 {
 			expRP[pt.tnsAddr] = uint8(pt.rp)
 		}

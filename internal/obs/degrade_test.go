@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func degradedReport() *Report {
+	return &Report{
+		Schema: Schema, Level: "Default",
+		Degraded:       true,
+		DegradedReason: "user: codefile: corrupt emap section: test",
+		Quarantined: []QuarantinedProc{
+			{Name: "addup", Space: "user", Traps: 3},
+		},
+	}
+}
+
+func TestValidateDegradation(t *testing.T) {
+	if err := Validate(degradedReport()); err != nil {
+		t.Fatalf("baseline invalid: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Report)
+	}{
+		{"degraded without reason", func(r *Report) { r.DegradedReason = "" }},
+		{"reason without flag", func(r *Report) { r.Degraded = false }},
+		{"quarantined empty name", func(r *Report) { r.Quarantined[0].Name = "" }},
+		{"quarantined bad space", func(r *Report) { r.Quarantined[0].Space = "rom" }},
+		{"quarantined zero traps", func(r *Report) { r.Quarantined[0].Traps = 0 }},
+	}
+	for _, c := range cases {
+		r := degradedReport()
+		c.mut(r)
+		if Validate(r) == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestDegradationJSONRoundTrip(t *testing.T) {
+	rep := degradedReport()
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Degraded || back.DegradedReason != rep.DegradedReason ||
+		len(back.Quarantined) != 1 || back.Quarantined[0] != rep.Quarantined[0] {
+		t.Fatalf("round trip changed the degradation: %+v", back)
+	}
+	// A healthy report omits the degradation keys entirely.
+	healthy, err := (&Report{Schema: Schema, Level: "Default"}).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"degraded", "quarantined"} {
+		if bytes.Contains(healthy, []byte(key)) {
+			t.Errorf("healthy report carries %q", key)
+		}
+	}
+}
+
+func TestDegradationText(t *testing.T) {
+	var buf bytes.Buffer
+	degradedReport().WriteText(&buf, 0)
+	out := buf.String()
+	for _, want := range []string{
+		"DEGRADED: running fully interpreted",
+		"Quarantined procedures",
+		"addup",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestDegradationPrometheus(t *testing.T) {
+	var buf bytes.Buffer
+	degradedReport().WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"tnsr_degraded 1",
+		`tnsr_quarantined_traps_total{proc="addup",space="user"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	(&Report{Schema: Schema, Level: "Default"}).WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), "tnsr_degraded 0") {
+		t.Error("healthy export missing tnsr_degraded 0")
+	}
+}

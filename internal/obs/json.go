@@ -96,6 +96,23 @@ func Validate(rep *Report) error {
 			return fmt.Errorf("obs: per-proc risc sum %d != total %d", sumR, m.RISCInstrs)
 		}
 	}
+	if rep.Degraded && rep.DegradedReason == "" {
+		return fmt.Errorf("obs: degraded without a reason")
+	}
+	if !rep.Degraded && rep.DegradedReason != "" {
+		return fmt.Errorf("obs: degraded_reason %q without degraded flag", rep.DegradedReason)
+	}
+	for _, q := range rep.Quarantined {
+		if q.Name == "" {
+			return fmt.Errorf("obs: quarantined procedure with empty name")
+		}
+		if q.Space != "user" && q.Space != "lib" {
+			return fmt.Errorf("obs: quarantined %q has unknown space %q", q.Name, q.Space)
+		}
+		if q.Traps <= 0 {
+			return fmt.Errorf("obs: quarantined %q with non-positive trap count %d", q.Name, q.Traps)
+		}
+	}
 	for _, p := range rep.Phases {
 		if !knownPhases[p.Phase] {
 			return fmt.Errorf("obs: unknown translation phase %q", p.Phase)

@@ -53,13 +53,18 @@ const (
 	EscapeTrap
 	// EscapeBreakpoint: a debugger breakpoint stopped execution.
 	EscapeBreakpoint
+	// EscapeQuarantined: integrity degradation — the accel section failed
+	// verification and the run is fully interpreted, or this procedure
+	// was demoted to interpreter-only after a trap storm, or translated
+	// code was rolled back to its entry point after an unexpected trap.
+	EscapeQuarantined
 
 	NumEscapeReasons
 )
 
 var escapeNames = [NumEscapeReasons]string{
 	"unknown", "unmapped", "computed-jump", "indirect-call",
-	"rp-conflict", "untranslated", "trap", "breakpoint",
+	"rp-conflict", "untranslated", "trap", "breakpoint", "quarantined",
 }
 
 func (e EscapeReason) String() string {

@@ -58,6 +58,19 @@ func (rep *Report) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "tnsr_proc_instructions_total{%s,mode=\"interp\"} %d\n", lbl, p.InterpInstrs)
 	}
 
+	fmt.Fprintf(w, "# HELP tnsr_degraded Whether the run was fully interpreted after integrity verification failed.\n")
+	fmt.Fprintf(w, "# TYPE tnsr_degraded gauge\n")
+	fmt.Fprintf(w, "tnsr_degraded %d\n", b2i(rep.Degraded))
+
+	if len(rep.Quarantined) > 0 {
+		fmt.Fprintf(w, "# HELP tnsr_quarantined_traps_total Traps that demoted a procedure to interpreter-only.\n")
+		fmt.Fprintf(w, "# TYPE tnsr_quarantined_traps_total counter\n")
+		for _, q := range rep.Quarantined {
+			fmt.Fprintf(w, "tnsr_quarantined_traps_total{proc=%q,space=%q} %d\n",
+				promEscape(q.Name), q.Space, q.Traps)
+		}
+	}
+
 	fmt.Fprintf(w, "# HELP tnsr_translation_phase_seconds Wall time per Accelerator phase.\n")
 	fmt.Fprintf(w, "# TYPE tnsr_translation_phase_seconds gauge\n")
 	for _, p := range rep.Phases {
@@ -69,4 +82,11 @@ func (rep *Report) WritePrometheus(w io.Writer) {
 // backslashes are escaped by %q; strip newlines defensively).
 func promEscape(s string) string {
 	return strings.ReplaceAll(s, "\n", " ")
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }

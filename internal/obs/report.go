@@ -24,6 +24,23 @@ type Report struct {
 	PMap    PMapStats       `json:"pmap"`
 	Procs   []ProcResidency `json:"procs"`
 	Phases  []PhaseTiming   `json:"translation_phases"`
+
+	// Degradation: set when the runner refused or abandoned translated
+	// code. Degraded means a whole acceleration section failed
+	// verification and the run was fully interpreted; Quarantined lists
+	// procedures individually demoted to the interpreter after repeated
+	// unexpected traps.
+	Degraded       bool              `json:"degraded,omitempty"`
+	DegradedReason string            `json:"degraded_reason,omitempty"`
+	Quarantined    []QuarantinedProc `json:"quarantined,omitempty"`
+}
+
+// QuarantinedProc is one procedure demoted to interpreter-only execution
+// after its RISC fragment produced a trap storm.
+type QuarantinedProc struct {
+	Name  string `json:"name"`
+	Space string `json:"space"`
+	Traps int64  `json:"traps"`
 }
 
 // ModeResidency splits the run between translated RISC code and
@@ -153,6 +170,9 @@ func (rep *Report) WriteText(w io.Writer, top int) {
 		name = "(run)"
 	}
 	fmt.Fprintf(w, "tnsprof — %s (accel %s)\n", name, rep.Level)
+	if rep.Degraded {
+		fmt.Fprintf(w, "  DEGRADED: running fully interpreted — %s\n", rep.DegradedReason)
+	}
 	m := rep.Modes
 	fmt.Fprintf(w, "\nMode residency (Cyclone/R cycles):\n")
 	fmt.Fprintf(w, "  translated RISC    %14.0f cycles  (%.3f%%)\n",
@@ -195,6 +215,13 @@ func (rep *Report) WriteText(w io.Writer, top int) {
 			fmt.Fprintf(w, "  %-20s %-6s %12d %12d %8.2f%%\n",
 				p.Name, p.Space, p.RISCInstrs, p.InterpInstrs,
 				pct(float64(p.InterpInstrs), float64(p.RISCInstrs+p.InterpInstrs)))
+		}
+	}
+
+	if len(rep.Quarantined) > 0 {
+		fmt.Fprintf(w, "\nQuarantined procedures (trap storm, demoted to interpreter):\n")
+		for _, q := range rep.Quarantined {
+			fmt.Fprintf(w, "  %-20s %-6s %8d traps\n", q.Name, q.Space, q.Traps)
 		}
 	}
 

@@ -4,11 +4,12 @@ import "fmt"
 
 // Trap codes raised by RISC execution.
 const (
-	TrapNone     = 0
-	TrapOverflow = 1 // ADD/ADDI/SUB signed overflow
-	TrapAddress  = 2 // unaligned or out-of-range access
-	TrapBadInstr = 3
-	TrapDivZero  = 4 // raised by millicode via BREAK, not by DIV itself
+	TrapNone      = 0
+	TrapOverflow  = 1 // ADD/ADDI/SUB signed overflow
+	TrapAddress   = 2 // unaligned or out-of-range access
+	TrapBadInstr  = 3
+	TrapDivZero   = 4 // raised by millicode via BREAK, not by DIV itself
+	TrapProtected = 5 // store into the fenced runtime-table region
 )
 
 // CacheConfig describes one direct-mapped cache. A zero SizeBytes disables
@@ -127,6 +128,15 @@ type Sim struct {
 	// instruction (after Instrs is incremented, so hook calls equal the
 	// Instrs total exactly). Nil costs one comparison per step.
 	OnInstr func(pc uint32)
+
+	// ProtectedLo/ProtectedHi, when Hi > Lo, fence [Lo, Hi) of data
+	// memory against simulated stores: the host lays the packed
+	// PMap/EMap runtime tables there, and damaged translated code must
+	// not be able to rewrite the structures the recovery path depends
+	// on. A store into the range raises TrapProtected. Host-side writes
+	// (WriteWord and friends) bypass the fence.
+	ProtectedLo uint32
+	ProtectedHi uint32
 
 	cfg     Config
 	icache  *cache
@@ -456,6 +466,10 @@ func (s *Sim) load(in Instr) bool {
 
 func (s *Sim) storeOp(in Instr) bool {
 	addr := s.Reg[in.Rs] + uint32(in.Imm)
+	if s.ProtectedHi > s.ProtectedLo && addr >= s.ProtectedLo && addr < s.ProtectedHi {
+		s.trap(TrapProtected)
+		return false
+	}
 	v := s.Reg[in.Rt]
 	switch in.Op {
 	case SB:

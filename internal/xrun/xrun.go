@@ -10,6 +10,7 @@ package xrun
 
 import (
 	"fmt"
+	"sort"
 
 	"tnsr/internal/codefile"
 	"tnsr/internal/interp"
@@ -24,6 +25,11 @@ import (
 // SwitchPenalty is the RISC cycle cost charged per execution-mode switch
 // (state packing and dispatch into or out of the interpreter loop).
 const SwitchPenalty = 40
+
+// DefaultQuarantineThreshold is the number of rolled-back trap storms one
+// procedure's translation is allowed before the procedure is demoted to
+// interpreter-only execution for the rest of the run.
+const DefaultQuarantineThreshold = 3
 
 // Runner executes a user codefile (optionally with a system library) in
 // mixed mode.
@@ -66,32 +72,86 @@ type Runner struct {
 	// costs one comparison per transition site.
 	PGO *pgo.Capture
 
+	// Degradation state. Degraded is set when an acceleration section
+	// failed codefile verification at New time and the affected space
+	// runs fully interpreted; DegradedReason carries the typed detail.
+	Degraded       bool
+	DegradedReason string
+
+	// QuarantineThreshold is the number of unexpected-trap rollbacks one
+	// procedure's translation may cause before the procedure is demoted
+	// to interpreter-only (<= 0 means DefaultQuarantineThreshold).
+	QuarantineThreshold int
+
+	// RollbackLog records recent rollback diagnostics (capped).
+	RollbackLog []string
+
+	accel    [2]*codefile.AccelSection // verified sections by space; nil = unusable
+	degraded [2]bool                   // space's section failed Verify
+
+	quarTraps   map[uint32]int64 // quarKey -> rolled-back traps
+	quarantined map[uint32]bool  // quarKey -> demoted to interpreter-only
+
+	// Rollback anchor: the interpreter state at the last RISC entry is
+	// still live in r.Int (RISC episodes never write the interpreter),
+	// so abandoning an episode only needs these bookkeeping values.
+	entrySpace   interp.Space
+	entryAddr    uint16
+	entryProc    int // proc index containing entryAddr, -1 if unknown
+	entryConsole int // console length at entry: output since = irreversible
+
 	inRISC  bool
 	skipBP  bool
 	cfg     risc.Config
 	noEnter obs.EscapeReason // why the last enterRISCIfMapped refused
 }
 
+// quarKey packs a quarantine map key: space in the top bit, proc index
+// below (-1 saturates, so unattributed entries still share one counter).
+func quarKey(space interp.Space, proc int) uint32 {
+	return uint32(space&1)<<31 | (uint32(proc) & 0x7FFFFFFF)
+}
+
 // New builds the runtime image. Either or both codefiles may be
-// accelerated; unaccelerated files simply run interpreted.
+// accelerated; unaccelerated files simply run interpreted. An acceleration
+// section that fails structural verification is dropped rather than
+// failing the load — the CISC image is intact and authoritative, so the
+// affected space runs fully interpreted (Degraded is set and every refused
+// re-entry is classified obs.EscapeQuarantined).
 func New(user, lib *codefile.File, cfg risc.Config) (*Runner, error) {
-	r := &Runner{User: user, Lib: lib, cfg: cfg}
+	r := &Runner{User: user, Lib: lib, cfg: cfg,
+		QuarantineThreshold: DefaultQuarantineThreshold}
+
+	if user.Accel != nil {
+		if err := user.Accel.Verify(user, millicode.UserCodeBase); err != nil {
+			r.setDegraded("user", err)
+		} else {
+			r.accel[0] = user.Accel
+		}
+	}
+	if lib != nil && lib.Accel != nil {
+		if err := lib.Accel.Verify(lib, millicode.LibCodeBase); err != nil {
+			r.setDegraded("lib", err)
+		} else {
+			r.accel[1] = lib.Accel
+		}
+	}
 
 	milli, _ := millicode.Build()
 	codeLen := millicode.UserCodeBase
-	if user.Accel != nil {
-		codeLen = millicode.UserCodeBase + len(user.Accel.RISC)
+	if r.accel[0] != nil {
+		codeLen = millicode.UserCodeBase + len(r.accel[0].RISC)
 	}
-	if lib != nil && lib.Accel != nil {
-		codeLen = millicode.LibCodeBase + len(lib.Accel.RISC)
+	if r.accel[1] != nil {
+		codeLen = millicode.LibCodeBase + len(r.accel[1].RISC)
 	}
 	code := make([]uint32, codeLen)
 	copy(code, milli)
-	if user.Accel != nil {
-		copy(code[millicode.UserCodeBase:], user.Accel.RISC)
+	if r.accel[0] != nil {
+		copy(code[millicode.UserCodeBase:], r.accel[0].RISC)
 	}
-	if lib != nil && lib.Accel != nil {
-		copy(code[millicode.LibCodeBase:], lib.Accel.RISC)
+	if r.accel[1] != nil {
+		copy(code[millicode.LibCodeBase:], r.accel[1].RISC)
 	}
 
 	r.Sim = risc.NewSim(code, millicode.MemBytes, cfg)
@@ -108,25 +168,46 @@ func New(user, lib *codefile.File, cfg risc.Config) (*Runner, error) {
 	}
 	writePtr := func(at, v uint32) { r.Sim.WriteWord(at, v) }
 
-	if user.Accel != nil {
-		pm := user.Accel.PMap.Pack()
+	if r.accel[0] != nil {
+		pm := r.accel[0].PMap.Pack()
 		pmAddr := place(pm)
 		writePtr(millicode.PtrUserPMapBase, pmAddr+4)
 		writePtr(millicode.PtrUserPMapOff, pmAddr+4+4*uint32(beU32(pm, 0)))
-		writePtr(millicode.PtrUserEMap, place(packEMap(user.Accel.Entries)))
+		writePtr(millicode.PtrUserEMap, place(packEMap(r.accel[0].Entries)))
 	}
-	if lib != nil && lib.Accel != nil {
-		pm := lib.Accel.PMap.Pack()
+	if r.accel[1] != nil {
+		pm := r.accel[1].PMap.Pack()
 		pmAddr := place(pm)
 		writePtr(millicode.PtrLibPMapBase, pmAddr+4)
 		writePtr(millicode.PtrLibPMapOff, pmAddr+4+4*uint32(beU32(pm, 0)))
-		writePtr(millicode.PtrLibEMap, place(packEMap(lib.Accel.Entries)))
+		writePtr(millicode.PtrLibEMap, place(packEMap(r.accel[1].Entries)))
 	}
+
+	// Fence the pointer words and the packed tables against simulated
+	// stores: damaged translated code must not be able to rewrite the
+	// structures the recovery path depends on.
+	r.Sim.ProtectedLo = millicode.PtrArea
+	r.Sim.ProtectedHi = next
 
 	// Mirror the interpreter's initial data image into RISC memory.
 	r.syncMemToSim()
 	r.inRISC = false
 	return r, nil
+}
+
+// setDegraded records a failed section verification; the space runs
+// interpreted for the whole run.
+func (r *Runner) setDegraded(space string, err error) {
+	idx := 0
+	if space == "lib" {
+		idx = 1
+	}
+	r.degraded[idx] = true
+	r.Degraded = true
+	if r.DegradedReason != "" {
+		r.DegradedReason += "; "
+	}
+	r.DegradedReason += space + ": " + err.Error()
 }
 
 func beU32(b []byte, off int) uint32 {
@@ -166,13 +247,10 @@ func (r *Runner) syncMemToInt() {
 	}
 }
 
-// accelOf returns the acceleration section for a code space, or nil.
+// accelOf returns the verified acceleration section for a code space, or
+// nil (no section, or one that failed verification at New time).
 func (r *Runner) accelOf(space interp.Space) *codefile.AccelSection {
-	f := r.Int.CodeFile(space)
-	if f == nil {
-		return nil
-	}
-	return f.Accel
+	return r.accel[space&1]
 }
 
 // enterRISCIfMapped checks whether the interpreter's current position is a
@@ -181,7 +259,20 @@ func (r *Runner) accelOf(space interp.Space) *codefile.AccelSection {
 func (r *Runner) enterRISCIfMapped() bool {
 	acc := r.accelOf(r.Int.Space)
 	if acc == nil {
-		r.noEnter = obs.EscapeUntranslated
+		if r.degraded[r.Int.Space&1] {
+			r.noEnter = obs.EscapeQuarantined
+		} else {
+			r.noEnter = obs.EscapeUntranslated
+		}
+		return false
+	}
+	// Quarantined procedures stay interpreted for the rest of the run.
+	proc := -1
+	if f := r.Int.CodeFile(r.Int.Space); f != nil {
+		proc = f.ProcContaining(r.Int.P)
+	}
+	if r.quarantined[quarKey(r.Int.Space, proc)] {
+		r.noEnter = obs.EscapeQuarantined
 		return false
 	}
 	idx, regExact, ok := acc.PMap.Lookup(r.Int.P)
@@ -204,6 +295,13 @@ func (r *Runner) enterRISCIfMapped() bool {
 			return false
 		}
 	}
+	// Anchor the rollback point: the interpreter keeps the exact
+	// architectural state of this instant for the whole RISC episode.
+	r.entrySpace = r.Int.Space
+	r.entryAddr = r.Int.P
+	r.entryProc = proc
+	r.entryConsole = r.Int.Console.Len()
+
 	r.loadSimFromInt()
 	r.Sim.ResumeAt(uint32(idx))
 	r.Sim.Cycles += SwitchPenalty
@@ -347,8 +445,16 @@ func (r *Runner) runRISC(maxInstrs int64) error {
 		}
 		r.syncMemToInt()
 	case s.Trap != risc.TrapNone:
-		// Raw simulator trap: translated code stays inside the data
-		// space unless the TNS program itself misbehaved.
+		// Raw simulator trap: correct translated code stays inside the
+		// data space, so this is damage — corrupt RISC words, a fenced
+		// store into the runtime tables — not TNS semantics. Roll the
+		// episode back to its interpreter entry state and re-run it
+		// interpreted; a procedure that storms repeatedly is
+		// quarantined. Only when rollback is impossible (console output
+		// already escaped) does the run halt.
+		if r.rollback(fmt.Sprintf("risc trap %d at pc %d", s.Trap, s.TrapPC)) {
+			return nil
+		}
 		r.Halted = true
 		r.Trap = tns.TrapAddress
 		r.TrapP = 0
@@ -392,9 +498,73 @@ func (r *Runner) runRISC(maxInstrs int64) error {
 		}
 		r.syncMemToInt()
 	default:
+		if r.rollback(fmt.Sprintf("unexpected break %d at pc %d", s.BreakCode, s.PC)) {
+			return nil
+		}
 		return fmt.Errorf("xrun: unexpected break %d at %d", s.BreakCode, s.PC)
 	}
 	return nil
+}
+
+// rollback abandons the current RISC episode after an unexpected trap or
+// break. It is sound because the interpreter still holds the exact
+// architectural state from the episode's entry point: memory is copied
+// into the simulator at entry and the interpreter is never written during
+// RISC execution. The one irreversible side effect is console output
+// (onSyscall writes it directly), so an episode that already printed
+// cannot be re-run and rollback reports false.
+//
+// Every rollback counts against the procedure the episode entered through
+// (the entry procedure, not the trapping PC: RISC-internal direct calls
+// bypass entry checks, and quarantining the entry path is what guarantees
+// the storm cannot recur). At QuarantineThreshold the procedure is demoted
+// to interpreter-only for the rest of the run, which bounds the total
+// number of rollbacks and guarantees forward progress.
+func (r *Runner) rollback(detail string) bool {
+	if r.Int.Console.Len() != r.entryConsole {
+		return false
+	}
+	if r.quarTraps == nil {
+		r.quarTraps = map[uint32]int64{}
+		r.quarantined = map[uint32]bool{}
+	}
+	key := quarKey(r.entrySpace, r.entryProc)
+	r.quarTraps[key]++
+	thr := r.QuarantineThreshold
+	if thr <= 0 {
+		thr = DefaultQuarantineThreshold
+	}
+	if r.quarTraps[key] >= int64(thr) {
+		r.quarantined[key] = true
+	}
+	if len(r.RollbackLog) < 32 {
+		r.RollbackLog = append(r.RollbackLog, fmt.Sprintf("%s/%s: %s",
+			spaceName(r.entrySpace), r.procName(r.entrySpace, r.entryProc), detail))
+	}
+	if r.Obs != nil {
+		r.Obs.Escape(uint8(r.entrySpace), r.entryAddr, obs.EscapeQuarantined, true)
+	}
+	// Discard the simulator episode; the interpreter resumes at the
+	// entry point (its state was never touched). Simulator data memory
+	// is re-mirrored on the next RISC entry.
+	r.Sim.Cycles += SwitchPenalty
+	r.Switches++
+	r.Interludes++
+	r.inRISC = false
+	return true
+}
+
+var spaceNames = [2]string{"user", "lib"}
+
+func spaceName(space interp.Space) string { return spaceNames[space&1] }
+
+// procName resolves a procedure index in a space to its name.
+func (r *Runner) procName(space interp.Space, proc int) string {
+	f := r.Int.CodeFile(space)
+	if f == nil || proc < 0 || proc >= len(f.Procs) {
+		return "(unknown)"
+	}
+	return f.Procs[proc].Name
 }
 
 // fallbackReason classifies a BreakFallback escape at TNS address p. The
@@ -501,7 +671,20 @@ func (r *Runner) AdoptInterpreter(m *interp.Machine) {
 // simulator per-instruction hooks, the mode-transition sites, and the
 // proc-attribution tables for both code spaces. Call it once, before Run.
 func (r *Runner) Observe(rec *obs.Recorder) {
-	rec.AttachRuntime(r.User, r.Lib, len(r.Sim.Code),
+	// Attribution must describe the image actually built: a section that
+	// failed verification was never loaded, so present its file accel-less.
+	user, lib := r.User, r.Lib
+	if r.degraded[0] {
+		u := *user
+		u.Accel = nil
+		user = &u
+	}
+	if lib != nil && r.degraded[1] {
+		l := *lib
+		l.Accel = nil
+		lib = &l
+	}
+	rec.AttachRuntime(user, lib, len(r.Sim.Code),
 		millicode.UserCodeBase, millicode.LibCodeBase)
 	r.Obs = rec
 	r.Int.Obs = rec
@@ -530,6 +713,29 @@ func (r *Runner) Report(rec *obs.Recorder) *obs.Report {
 	if r.User.Accel != nil {
 		rep.Level = r.User.Accel.Level.String()
 	}
+	rep.Degraded = r.Degraded
+	rep.DegradedReason = r.DegradedReason
+	for key, demoted := range r.quarantined {
+		if !demoted {
+			continue
+		}
+		space := interp.Space(key >> 31)
+		proc := int(key & 0x7FFFFFFF)
+		if proc == 0x7FFFFFFF {
+			proc = -1
+		}
+		rep.Quarantined = append(rep.Quarantined, obs.QuarantinedProc{
+			Name:  r.procName(space, proc),
+			Space: spaceName(space),
+			Traps: r.quarTraps[key],
+		})
+	}
+	sort.Slice(rep.Quarantined, func(i, j int) bool {
+		if rep.Quarantined[i].Space != rep.Quarantined[j].Space {
+			return rep.Quarantined[i].Space < rep.Quarantined[j].Space
+		}
+		return rep.Quarantined[i].Name < rep.Quarantined[j].Name
+	})
 	return rep
 }
 
