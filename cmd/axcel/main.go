@@ -15,9 +15,18 @@
 //	-workers n                      translation workers (0 = all CPUs)
 //	-profile p.pgo.json             apply a captured PGO profile (advisory:
 //	                                guards stay; a stale profile is ignored)
+//	-profile-url http://host:9911   fetch the fleet aggregate for this
+//	                                codefile from a tnsprofd daemon and apply
+//	                                it (same advisory semantics; a missing or
+//	                                stale aggregate degrades to no profile)
+//	-token t                        bearer token for -profile-url
 //	-profile-cover f                with -profile, translate only the hottest
 //	                                procedures covering fraction f of the
 //	                                observed residency weight
+//	-cache dir                      persistent retranslation cache: serve the
+//	                                translation from dir when an entry with
+//	                                this exact (codefile, options, profile)
+//	                                key exists, populate it otherwise
 //	-report                         print the analysis report and exit
 //	-stats                          print translation statistics
 package main
@@ -33,6 +42,8 @@ import (
 	"tnsr/internal/core"
 	"tnsr/internal/millicode"
 	"tnsr/internal/pgo"
+	"tnsr/internal/profsrv"
+	"tnsr/internal/tcache"
 )
 
 type hintList []string
@@ -50,8 +61,12 @@ func main() {
 	workers := flag.Int("workers", 0,
 		"translation workers; 0 uses every CPU (output is identical either way)")
 	profilePath := flag.String("profile", "", "PGO profile to apply (see tnsprof -emit-profile)")
+	profileURL := flag.String("profile-url", "",
+		"tnsprofd base URL: fetch and apply the fleet aggregate for this codefile")
+	token := flag.String("token", "", "bearer token for -profile-url")
 	profileCover := flag.Float64("profile-cover", 0,
 		"with -profile, translate only the hottest procedures covering this weight fraction")
+	cacheDir := flag.String("cache", "", "persistent retranslation cache directory")
 	var hints hintList
 	flag.Var(&hints, "hint", "ReturnValSize hint, name=words")
 	flag.Parse()
@@ -83,11 +98,33 @@ func main() {
 			opts.LibSummaries[uint16(i)] = p.ResultWords
 		}
 	}
+	if *profilePath != "" && *profileURL != "" {
+		fmt.Fprintln(os.Stderr, "axcel: -profile and -profile-url are mutually exclusive")
+		os.Exit(2)
+	}
 	if *profilePath != "" {
 		prof, err := pgo.ReadFile(*profilePath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "axcel:", err)
 			os.Exit(1)
+		}
+		opts.Profile = prof
+		opts.ProfileCover = *profileCover
+	}
+	if *profileURL != "" {
+		// Fetch-then-translate. A fleet aggregate that doesn't exist (or
+		// that was captured against a different build — core.Accelerate
+		// ignores mismatched fingerprints) degrades to an unprofiled
+		// translation; only a network/protocol failure is fatal, because
+		// the user explicitly asked for fleet advice.
+		cl := profsrv.NewClient(*profileURL, *token)
+		prof, err := cl.Fetch(fmt.Sprintf("%016x", f.Fingerprint()))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "axcel:", err)
+			os.Exit(1)
+		}
+		if prof == nil {
+			fmt.Fprintln(os.Stderr, "axcel: no fleet aggregate for this codefile yet; translating without a profile")
 		}
 		opts.Profile = prof
 		opts.ProfileCover = *profileCover
@@ -131,7 +168,21 @@ func main() {
 		return
 	}
 
-	if err := core.Accelerate(f, opts); err != nil {
+	if *cacheDir != "" {
+		c, err := tcache.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "axcel:", err)
+			os.Exit(1)
+		}
+		hit, err := c.Accelerate(f, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "axcel:", err)
+			os.Exit(1)
+		}
+		if *stats {
+			fmt.Printf("cache:            %s\n", map[bool]string{true: "hit", false: "miss"}[hit])
+		}
+	} else if err := core.Accelerate(f, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "axcel:", err)
 		os.Exit(1)
 	}

@@ -16,6 +16,12 @@
 //	    additionally run the observe -> retranslate -> rerun cycle
 //	    (xrun.RunAdaptive) and write the captured PGO profile; the printed
 //	    report is then the profile-fed second pass.
+//
+//	tnsprof -push http://host:9911 dhry16
+//	    run the same cycle against a tnsprofd fleet profile daemon: pass 1
+//	    translates under the fetched fleet aggregate, the local capture is
+//	    pushed, and the printed report is the pass steered by the merged
+//	    aggregate. -push-token sends a bearer token.
 package main
 
 import (
@@ -28,6 +34,8 @@ import (
 	"tnsr/internal/codefile"
 	"tnsr/internal/obs"
 	"tnsr/internal/pgo"
+	"tnsr/internal/profsrv"
+	"tnsr/internal/xrun"
 )
 
 func parseLevel(s string) (codefile.AccelLevel, error) {
@@ -51,6 +59,9 @@ func main() {
 	list := flag.Bool("list", false, "list runnable workloads and examples")
 	emitProfile := flag.String("emit-profile", "",
 		"capture a PGO profile via the adaptive two-pass cycle and write it here")
+	push := flag.String("push", "",
+		"tnsprofd base URL: fetch the fleet aggregate, run the adaptive cycle, push the capture")
+	pushToken := flag.String("push-token", "", "bearer token for -push")
 	flag.Parse()
 
 	if *list {
@@ -71,15 +82,21 @@ func main() {
 	}
 
 	var rep *obs.Report
-	if *emitProfile != "" {
-		prof, prep, err := bench.CaptureWorkload(flag.Arg(0), lvl, *iters)
+	if *emitProfile != "" || *push != "" {
+		var o xrun.AdaptiveOptions
+		if *push != "" {
+			o.Source = profsrv.NewClient(*push, *pushToken)
+		}
+		prof, prep, err := bench.CaptureWorkloadOpts(flag.Arg(0), lvl, *iters, o)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tnsprof: %v\n", err)
 			os.Exit(1)
 		}
-		if err := pgo.WriteFile(*emitProfile, prof); err != nil {
-			fmt.Fprintf(os.Stderr, "tnsprof: %v\n", err)
-			os.Exit(1)
+		if *emitProfile != "" {
+			if err := pgo.WriteFile(*emitProfile, prof); err != nil {
+				fmt.Fprintf(os.Stderr, "tnsprof: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		rep = prep
 	} else {

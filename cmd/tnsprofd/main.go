@@ -1,0 +1,86 @@
+// Command tnsprofd is the fleet profile daemon: the aggregation point that
+// turns per-machine PGO captures into a shared, continuously-improving
+// translation hint store. Runners push captures (tnsprof -push), the daemon
+// merges them order-independently under the fingerprint of the codefile
+// they were captured against, ages the aggregate across runs so stale
+// behavior decays, and serves the aggregate back to any machine about to
+// translate the same codefile (axcel -profile-url, xrun.RunAdaptiveOpts).
+//
+// Usage:
+//
+//	tnsprofd -addr :9911 -dir /var/lib/tnsprofd [flags]
+//
+//	-addr host:port    listen address (default "127.0.0.1:9911")
+//	-dir path          profile store directory (default "./profstore")
+//	-token t           require "Authorization: Bearer t" on the profile
+//	                   endpoints (metrics and health stay open); empty
+//	                   disables auth
+//	-max-body n        reject uploads larger than n bytes (default 4 MiB)
+//	-age-every n       age an aggregate whenever its merged run count
+//	                   reaches n (halve histograms, drop cold rows);
+//	                   0 disables aging (default 32)
+//	-age-floor n       drop aged rows whose count falls below n (default 1)
+//	-rate r            sustained requests/second across all clients
+//	                   (default 50; 0 disables limiting)
+//	-burst b           rate-limiter burst size (default 100)
+//
+// Endpoints:
+//
+//	POST /v1/profiles/{fingerprint}   upload one capture; responds with the
+//	                                  merged aggregate
+//	GET  /v1/profiles/{fingerprint}   fetch the current aggregate
+//	GET  /metrics                     Prometheus text exposition
+//	GET  /healthz                     liveness probe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"tnsr/internal/profsrv"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9911", "listen address")
+	dir := flag.String("dir", "profstore", "profile store directory")
+	token := flag.String("token", "", "bearer token (empty disables auth)")
+	maxBody := flag.Int64("max-body", profsrv.DefaultMaxBody, "maximum upload size in bytes")
+	ageEvery := flag.Int64("age-every", 32, "age an aggregate every N merged runs (0 = never)")
+	ageFloor := flag.Int64("age-floor", profsrv.DefaultAgeFloor, "drop aged rows below this count")
+	rate := flag.Float64("rate", 50, "sustained requests/second (0 = unlimited)")
+	burst := flag.Int("burst", 100, "rate-limiter burst")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: tnsprofd [flags]")
+		os.Exit(2)
+	}
+
+	store, err := profsrv.OpenStore(*dir)
+	if err != nil {
+		log.Fatalf("tnsprofd: %v", err)
+	}
+	srv := profsrv.New(profsrv.Config{
+		Store:      store,
+		Token:      *token,
+		MaxBody:    *maxBody,
+		AgeEvery:   *ageEvery,
+		AgeFloor:   *ageFloor,
+		RatePerSec: *rate,
+		RateBurst:  *burst,
+	})
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("tnsprofd: serving profiles from %s on %s (auth %s, age every %d runs)",
+		*dir, *addr, map[bool]string{true: "on", false: "off"}[*token != ""], *ageEvery)
+	if err := hs.ListenAndServe(); err != http.ErrServerClosed {
+		log.Fatalf("tnsprofd: %v", err)
+	}
+}

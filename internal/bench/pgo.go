@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"os"
 
 	"tnsr/internal/codefile"
 	"tnsr/internal/obs"
@@ -15,13 +16,31 @@ import (
 // recorder, and returns the captured profile with the execution report.
 // This is what `tnsprof -emit-profile` writes to disk.
 func CaptureWorkload(name string, level codefile.AccelLevel, iterations int) (*pgo.Profile, *obs.Report, error) {
+	return CaptureWorkloadOpts(name, level, iterations, xrun.AdaptiveOptions{})
+}
+
+// CaptureWorkloadOpts is CaptureWorkload with the fleet knobs exposed: a
+// Source pushes the capture through a tnsprofd daemon (the second pass then
+// runs under the fleet aggregate, `tnsprof -push`), a Cache serves the
+// translations. Level, Budget and Config in o are overwritten from the
+// workload parameters.
+func CaptureWorkloadOpts(name string, level codefile.AccelLevel, iterations int,
+	o xrun.AdaptiveOptions) (*pgo.Profile, *obs.Report, error) {
+
 	user, lib, summaries, err := buildProfiled(name, iterations)
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := xrun.RunAdaptive(user, lib, summaries, level, 0, 4_000_000_000, CycloneRConfig())
+	o.Level = level
+	o.Budget = 4_000_000_000
+	o.Config = CycloneRConfig()
+	o.LibSummaries = summaries
+	res, err := xrun.RunAdaptiveOpts(user, lib, o)
 	if err != nil {
 		return nil, nil, err
+	}
+	for _, serr := range res.SourceErrs {
+		fmt.Fprintf(os.Stderr, "warning: %v\n", serr)
 	}
 	if res.Trap != tns.TrapNone {
 		return nil, nil, fmt.Errorf("%s: trap %d at %d", name, res.Trap, res.TrapP)
@@ -44,4 +63,26 @@ func AdaptiveAdversarial(budget int64) (*xrun.AdaptiveResult, error) {
 		return nil, err
 	}
 	return xrun.RunAdaptive(f, nil, nil, codefile.LevelDefault, 0, budget, CycloneRConfig())
+}
+
+// AdversarialProgram builds a fresh copy of the adversarial workload — the
+// program whose XCAL result sizes static analysis must guess wrong — for
+// callers (the fleet e2e harness) that need the codefile itself rather
+// than a canned cycle.
+func AdversarialProgram() (*codefile.File, error) {
+	return adversarialProgram()
+}
+
+// AdaptiveAdversarialOpts is AdaptiveAdversarial with the fleet knobs
+// exposed: a remote profile source and/or a persistent retranslation
+// cache, threaded straight into RunAdaptiveOpts.
+func AdaptiveAdversarialOpts(budget int64, o xrun.AdaptiveOptions) (*xrun.AdaptiveResult, error) {
+	f, err := adversarialProgram()
+	if err != nil {
+		return nil, err
+	}
+	o.Level = codefile.LevelDefault
+	o.Budget = budget
+	o.Config = CycloneRConfig()
+	return xrun.RunAdaptiveOpts(f, nil, o)
 }

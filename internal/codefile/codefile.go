@@ -186,6 +186,11 @@ const (
 	versionV4 = 4
 )
 
+// FormatVersion is the current serialization version. Cache keys include
+// it so a format bump invalidates every cached artifact instead of serving
+// bytes a newer reader would reject.
+const FormatVersion = version
+
 // Marshal serializes the codefile (always at the current version) and
 // returns the byte image together with its section layout. WriteTo is the
 // io.WriterTo convenience over it; the chaos harness uses the spans to aim

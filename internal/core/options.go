@@ -11,7 +11,10 @@
 package core
 
 import (
+	"fmt"
+	"hash/fnv"
 	"runtime"
+	"sort"
 
 	"tnsr/internal/codefile"
 	"tnsr/internal/millicode"
@@ -110,6 +113,86 @@ type Hints struct {
 // Default option levels for convenience.
 func DefaultOptions() Options {
 	return Options{Level: codefile.LevelDefault}
+}
+
+// TransKey condenses every knob that affects Accelerate's output — plus the
+// input codefile's fingerprint and the serialization format version — into
+// 16 hex digits: the retranslation-cache key. Two translations with equal
+// keys emit byte-identical acceleration sections (the determinism the
+// parallel-pipeline tests already prove), so a cache may serve one's output
+// for the other. Workers and Obs are deliberately excluded: they change
+// wall-clock and telemetry, never the artifact.
+func (o Options) TransKey(fileFingerprint uint64) (string, error) {
+	o = o.withDefaults()
+	h := fnv.New64a()
+	put := func(parts ...any) {
+		fmt.Fprintln(h, parts...)
+	}
+	put("tnsr/transkey/v1", codefile.FormatVersion, fileFingerprint)
+	put(o.Level, o.Space, o.CodeBase, o.IgnoreSummaries,
+		o.DisableFlagElision, o.DisableCSE, o.DisableSchedule)
+
+	putStringMap := func(tag string, m map[string]int8) {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			put(tag, k, m[k])
+		}
+	}
+	putStringMap("hint-ret", o.Hints.ReturnValSize)
+	{
+		keys := make([]int, 0, len(o.Hints.XCALResultSize))
+		for k := range o.Hints.XCALResultSize {
+			keys = append(keys, int(k))
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			put("hint-xcal", k, o.Hints.XCALResultSize[uint16(k)])
+		}
+	}
+	{
+		keys := make([]int, 0, len(o.LibSummaries))
+		for k := range o.LibSummaries {
+			keys = append(keys, int(k))
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			put("libsum", k, o.LibSummaries[uint16(k)])
+		}
+	}
+	{
+		keys := make([]string, 0, len(o.SelectProcs))
+		for k, v := range o.SelectProcs {
+			if v {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			put("select", k)
+		}
+	}
+	{
+		keys := make([]string, 0, len(o.MilliLabels))
+		for k := range o.MilliLabels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			put("milli", k, o.MilliLabels[k])
+		}
+	}
+	if o.Profile != nil {
+		ph, err := o.Profile.Hash()
+		if err != nil {
+			return "", fmt.Errorf("core: TransKey: %w", err)
+		}
+		put("profile", ph, o.ProfileCover)
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), nil
 }
 
 // withDefaults returns a copy of o with every unset knob filled in. All

@@ -6,73 +6,76 @@ import (
 	"strings"
 )
 
+// PromHeader writes the HELP/TYPE preamble of one metric family in the
+// Prometheus text exposition format (version 0.0.4). Every tnsr exporter —
+// the report writer below, the profile server's /metrics endpoint — goes
+// through it so the fleet's scrape surface stays uniform.
+func PromHeader(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// PromEscape keeps a label value within the exposition format (quotes and
+// backslashes are escaped by %q at the call site; newlines are stripped
+// defensively here).
+func PromEscape(s string) string { return promEscape(s) }
+
 // WritePrometheus renders the report in the Prometheus text exposition
 // format (version 0.0.4), suitable for a node-exporter textfile collector
 // or a scrape endpoint fed by tnsprof -prom.
 func (rep *Report) WritePrometheus(w io.Writer) {
 	info := fmt.Sprintf("workload=%q,level=%q", rep.Workload, rep.Level)
-	fmt.Fprintf(w, "# HELP tnsr_run_info Run identity (constant 1).\n")
-	fmt.Fprintf(w, "# TYPE tnsr_run_info gauge\n")
+	PromHeader(w, "tnsr_run_info", "gauge", "Run identity (constant 1).")
 	fmt.Fprintf(w, "tnsr_run_info{%s} 1\n", info)
 
 	m := rep.Modes
-	fmt.Fprintf(w, "# HELP tnsr_mode_instructions_total Instructions executed per execution mode.\n")
-	fmt.Fprintf(w, "# TYPE tnsr_mode_instructions_total counter\n")
+	PromHeader(w, "tnsr_mode_instructions_total", "counter",
+		"Instructions executed per execution mode.")
 	fmt.Fprintf(w, "tnsr_mode_instructions_total{mode=\"risc\"} %d\n", m.RISCInstrs)
 	fmt.Fprintf(w, "tnsr_mode_instructions_total{mode=\"interp\"} %d\n", m.InterpInstrs)
 
-	fmt.Fprintf(w, "# HELP tnsr_mode_cycles_total Cyclone/R cycles priced per execution mode.\n")
-	fmt.Fprintf(w, "# TYPE tnsr_mode_cycles_total counter\n")
+	PromHeader(w, "tnsr_mode_cycles_total", "counter", "Cyclone/R cycles priced per execution mode.")
 	fmt.Fprintf(w, "tnsr_mode_cycles_total{mode=\"risc\"} %g\n", m.RISCCycles)
 	fmt.Fprintf(w, "tnsr_mode_cycles_total{mode=\"interp\"} %g\n", m.InterpCycles)
 
-	fmt.Fprintf(w, "# HELP tnsr_interp_fraction Fraction of cycles spent in interpreter mode.\n")
-	fmt.Fprintf(w, "# TYPE tnsr_interp_fraction gauge\n")
+	PromHeader(w, "tnsr_interp_fraction", "gauge", "Fraction of cycles spent in interpreter mode.")
 	fmt.Fprintf(w, "tnsr_interp_fraction %g\n", m.InterpFraction)
 
-	fmt.Fprintf(w, "# HELP tnsr_interludes_total Interpreter interludes.\n")
-	fmt.Fprintf(w, "# TYPE tnsr_interludes_total counter\n")
+	PromHeader(w, "tnsr_interludes_total", "counter", "Interpreter interludes.")
 	fmt.Fprintf(w, "tnsr_interludes_total %d\n", m.Interludes)
 
-	fmt.Fprintf(w, "# HELP tnsr_mode_switches_total Execution-mode switches, both directions.\n")
-	fmt.Fprintf(w, "# TYPE tnsr_mode_switches_total counter\n")
+	PromHeader(w, "tnsr_mode_switches_total", "counter", "Execution-mode switches, both directions.")
 	fmt.Fprintf(w, "tnsr_mode_switches_total %d\n", m.Switches)
 
-	fmt.Fprintf(w, "# HELP tnsr_escapes_total Escapes from translated code by reason.\n")
-	fmt.Fprintf(w, "# TYPE tnsr_escapes_total counter\n")
+	PromHeader(w, "tnsr_escapes_total", "counter", "Escapes from translated code by reason.")
 	for _, e := range rep.Escapes {
 		fmt.Fprintf(w, "tnsr_escapes_total{reason=%q} %d\n", e.Reason, e.Count)
 	}
 
-	fmt.Fprintf(w, "# HELP tnsr_pmap_lookups_total Host-side PMap probes by result.\n")
-	fmt.Fprintf(w, "# TYPE tnsr_pmap_lookups_total counter\n")
+	PromHeader(w, "tnsr_pmap_lookups_total", "counter", "Host-side PMap probes by result.")
 	fmt.Fprintf(w, "tnsr_pmap_lookups_total{result=\"hit\"} %d\n", rep.PMap.Hits)
 	fmt.Fprintf(w, "tnsr_pmap_lookups_total{result=\"miss\"} %d\n",
 		rep.PMap.Lookups-rep.PMap.Hits)
 
-	fmt.Fprintf(w, "# HELP tnsr_proc_instructions_total Instructions per procedure and mode.\n")
-	fmt.Fprintf(w, "# TYPE tnsr_proc_instructions_total counter\n")
+	PromHeader(w, "tnsr_proc_instructions_total", "counter", "Instructions per procedure and mode.")
 	for _, p := range rep.Procs {
 		lbl := fmt.Sprintf("proc=%q,space=%q", promEscape(p.Name), p.Space)
 		fmt.Fprintf(w, "tnsr_proc_instructions_total{%s,mode=\"risc\"} %d\n", lbl, p.RISCInstrs)
 		fmt.Fprintf(w, "tnsr_proc_instructions_total{%s,mode=\"interp\"} %d\n", lbl, p.InterpInstrs)
 	}
 
-	fmt.Fprintf(w, "# HELP tnsr_degraded Whether the run was fully interpreted after integrity verification failed.\n")
-	fmt.Fprintf(w, "# TYPE tnsr_degraded gauge\n")
+	PromHeader(w, "tnsr_degraded", "gauge", "Whether the run was fully interpreted after integrity verification failed.")
 	fmt.Fprintf(w, "tnsr_degraded %d\n", b2i(rep.Degraded))
 
 	if len(rep.Quarantined) > 0 {
-		fmt.Fprintf(w, "# HELP tnsr_quarantined_traps_total Traps that demoted a procedure to interpreter-only.\n")
-		fmt.Fprintf(w, "# TYPE tnsr_quarantined_traps_total counter\n")
+		PromHeader(w, "tnsr_quarantined_traps_total", "counter",
+			"Traps that demoted a procedure to interpreter-only.")
 		for _, q := range rep.Quarantined {
 			fmt.Fprintf(w, "tnsr_quarantined_traps_total{proc=%q,space=%q} %d\n",
 				promEscape(q.Name), q.Space, q.Traps)
 		}
 	}
 
-	fmt.Fprintf(w, "# HELP tnsr_translation_phase_seconds Wall time per Accelerator phase.\n")
-	fmt.Fprintf(w, "# TYPE tnsr_translation_phase_seconds gauge\n")
+	PromHeader(w, "tnsr_translation_phase_seconds", "gauge", "Wall time per Accelerator phase.")
 	for _, p := range rep.Phases {
 		fmt.Fprintf(w, "tnsr_translation_phase_seconds{phase=%q} %g\n", p.Phase, p.Seconds)
 	}

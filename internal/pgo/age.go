@@ -1,0 +1,128 @@
+package pgo
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Cross-run aging: the decay that keeps a fleet aggregate honest. A program
+// whose behaviour shifted (new build of a caller, different workload mix)
+// keeps fingerprint-matching, so without decay the aggregate is forever
+// steered by observations that stopped being true. Age halves every count
+// histogram and drops rows that have decayed below a floor, so facts that
+// keep being re-observed stay dominant and facts that stopped recurring
+// fade out over a bounded number of aging events.
+//
+// Decay semantics (pinned by TestAgeMergeTolerance before fleets depend on
+// them):
+//
+//   - Every count c becomes ceil(c/2), so a surviving row never decays to
+//     zero by halving alone; only the floor removes it.
+//   - A row whose halved count is below floor is dropped; a site left with
+//     no rows is removed entirely (Validate rejects empty sites).
+//   - Procedure weights halve the same way and a procedure whose total
+//     weight falls below floor is dropped.
+//   - Runs halves with ceiling too, which is what makes a served aggregate
+//     self-clocking: a server that ages whenever Runs reaches N brings Runs
+//     back under N in the same step.
+//
+// Aging commutes with Merge only up to integer rounding and floor drops.
+// The documented tolerance, for K profiles merged: every row differs by
+// LESS THAN K*floor between age-then-merge and merge-then-age (an absent
+// row counts as zero). Two effects compose into that bound: ceiling-of-sum
+// versus sum-of-ceilings contributes at most K-1, and age-then-merge loses
+// whole sub-floor contributions (at most floor-1 each) that merge-then-age
+// retains inside the sum. At floor 1 nothing drops, so the bound tightens
+// to the pure rounding term K-1. The property test holds both bounds
+// across K and floors.
+
+// Age returns a decayed copy of p: every count histogram halved (ceiling),
+// rows below floor dropped, empty sites removed, Runs halved. floor values
+// below 1 behave as 1 (halving alone never drops a row). The input profile
+// is not modified.
+func Age(p *Profile, floor int64) *Profile {
+	if floor < 1 {
+		floor = 1
+	}
+	half := func(c int64) int64 {
+		if c <= 0 {
+			return 0
+		}
+		return (c + 1) / 2
+	}
+	out := &Profile{
+		Schema:   p.Schema,
+		Workload: p.Workload,
+		Runs:     half(p.Runs),
+	}
+	for si := range p.Spaces {
+		sp := &p.Spaces[si]
+		dst := SpaceProfile{
+			Space:       sp.Space,
+			File:        sp.File,
+			Fingerprint: sp.Fingerprint,
+		}
+		for _, cs := range sp.CallSites {
+			d := CallSite{Addr: cs.Addr}
+			for _, r := range cs.Results {
+				if c := half(r.Count); c >= floor {
+					d.Results = append(d.Results, ResultCount{Words: r.Words, Count: c})
+				}
+			}
+			for _, t := range cs.Targets {
+				if c := half(t.Count); c >= floor {
+					d.Targets = append(d.Targets, TargetCount{Space: t.Space, PEP: t.PEP, Count: c})
+				}
+			}
+			if len(d.Results) > 0 || len(d.Targets) > 0 {
+				dst.CallSites = append(dst.CallSites, d)
+			}
+		}
+		for _, cs := range sp.CaseSites {
+			d := CaseSite{Addr: cs.Addr}
+			for _, t := range cs.Targets {
+				if c := half(t.Count); c >= floor {
+					d.Targets = append(d.Targets, AddrCount{Addr: t.Addr, Count: c})
+				}
+			}
+			if len(d.Targets) > 0 {
+				dst.CaseSites = append(dst.CaseSites, d)
+			}
+		}
+		for _, rs := range sp.RPSites {
+			d := RPSite{Addr: rs.Addr}
+			for _, r := range rs.RPs {
+				if c := half(r.Count); c >= floor {
+					d.RPs = append(d.RPs, RPCount{RP: r.RP, Count: c})
+				}
+			}
+			if len(d.RPs) > 0 {
+				dst.RPSites = append(dst.RPSites, d)
+			}
+		}
+		for _, pw := range sp.Procs {
+			calls, interp := half(pw.Calls), half(pw.InterpInstrs)
+			if calls+interp >= floor {
+				dst.Procs = append(dst.Procs, ProcWeight{
+					Name: pw.Name, Calls: calls, InterpInstrs: interp,
+				})
+			}
+		}
+		out.Spaces = append(out.Spaces, dst)
+	}
+	return out
+}
+
+// Hash returns the FNV-1a hash of the profile's canonical JSON as 16 hex
+// digits — the profile component of a retranslation-cache key. Equal
+// observation sets hash equal regardless of capture or merge order, because
+// JSON is canonical. Hashing fails only when the profile fails Validate.
+func (p *Profile) Hash() (string, error) {
+	data, err := p.JSON()
+	if err != nil {
+		return "", err
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}

@@ -1,0 +1,204 @@
+package pgo
+
+import (
+	"fmt"
+	"testing"
+)
+
+// flattenCounts maps every count-carrying row of a profile to a stable key,
+// so aged/merged variants can be compared row by row.
+func flattenCounts(p *Profile) map[string]int64 {
+	out := map[string]int64{"runs": p.Runs}
+	for si := range p.Spaces {
+		sp := &p.Spaces[si]
+		for _, cs := range sp.CallSites {
+			for _, r := range cs.Results {
+				out[fmt.Sprintf("%s/call/%d/res/%d", sp.Space, cs.Addr, r.Words)] = r.Count
+			}
+			for _, t := range cs.Targets {
+				out[fmt.Sprintf("%s/call/%d/tgt/%s/%d", sp.Space, cs.Addr, t.Space, t.PEP)] = t.Count
+			}
+		}
+		for _, cs := range sp.CaseSites {
+			for _, t := range cs.Targets {
+				out[fmt.Sprintf("%s/case/%d/%d", sp.Space, cs.Addr, t.Addr)] = t.Count
+			}
+		}
+		for _, rs := range sp.RPSites {
+			for _, r := range rs.RPs {
+				out[fmt.Sprintf("%s/rp/%d/%d", sp.Space, rs.Addr, r.RP)] = r.Count
+			}
+		}
+		for _, pw := range sp.Procs {
+			out[fmt.Sprintf("%s/proc/%s/calls", sp.Space, pw.Name)] = pw.Calls
+			out[fmt.Sprintf("%s/proc/%s/interp", sp.Space, pw.Name)] = pw.InterpInstrs
+		}
+	}
+	return out
+}
+
+// TestAgeHalvesAndDrops pins the decay arithmetic on a hand-checked case:
+// ceiling halving, floor removal, empty-site removal, Runs self-clocking.
+func TestAgeHalvesAndDrops(t *testing.T) {
+	p := sample(5, 1) // smallest counts: 1s and 2s throughout
+	aged := Age(p, 2)
+	if err := Validate(aged); err != nil {
+		t.Fatalf("aged profile invalid: %v", err)
+	}
+	if aged.Runs != 3 {
+		t.Errorf("Runs = %d, want ceil(5/2) = 3", aged.Runs)
+	}
+	u := aged.Space("user")
+	if u == nil {
+		t.Fatal("user space dropped")
+	}
+	// Call site 10: results were {1w: 2, 3w: 1} -> halved {1, 1}, both
+	// below floor 2 -> rows dropped; targets {user/7: 2, lib/4: 1} -> {1,1}
+	// dropped too -> whole site removed. Site 40 (count 1) removed as well.
+	if cs := u.callSite(10); cs != nil {
+		t.Errorf("call site 10 should have aged away, has %+v", *cs)
+	}
+	if len(u.CallSites) != 0 {
+		t.Errorf("all user call sites should age away at floor 2, have %d", len(u.CallSites))
+	}
+	// Case site 20: {21: 1, 30: 5} -> {1, 3}; the 1 drops, the 3 survives.
+	if len(u.CaseSites) != 1 || len(u.CaseSites[0].Targets) != 1 ||
+		u.CaseSites[0].Targets[0] != (AddrCount{Addr: 30, Count: 3}) {
+		t.Errorf("case site 20 aged wrong: %+v", u.CaseSites)
+	}
+	// RP site 11: count 3 -> 2, survives exactly at the floor.
+	if len(u.RPSites) != 1 || u.RPSites[0].RPs[0].Count != 2 {
+		t.Errorf("rp site aged wrong: %+v", u.RPSites)
+	}
+	// Procs: main {1, 100} -> {1, 50}; work {9, 0} -> {5, 0}.
+	if len(u.Procs) != 2 || u.Procs[0].InterpInstrs != 50 || u.Procs[1].Calls != 5 {
+		t.Errorf("proc weights aged wrong: %+v", u.Procs)
+	}
+	// The lib space's single count-1 row drops; the space section stays
+	// (it still carries the fingerprint) but must validate.
+	l := aged.Space("lib")
+	if l == nil || len(l.RPSites) != 0 {
+		t.Errorf("lib rp site should age away: %+v", l)
+	}
+	// Input untouched.
+	if p.Runs != 5 || len(p.Spaces[0].CallSites) != 2 {
+		t.Error("Age modified its input")
+	}
+}
+
+// TestAgeFloorOneNeverDrops: with the default floor, halving alone never
+// removes a row — counts saturate at 1 instead of vanishing.
+func TestAgeFloorOneNeverDrops(t *testing.T) {
+	p := sample(1, 1)
+	aged := Age(Age(Age(p, 1), 1), 1)
+	if err := Validate(aged); err != nil {
+		t.Fatalf("aged profile invalid: %v", err)
+	}
+	before, after := flattenCounts(p), flattenCounts(aged)
+	for k, v := range before {
+		if v > 0 && after[k] < 1 {
+			t.Errorf("row %s decayed to %d at floor 1", k, after[k])
+		}
+	}
+	if len(before) != len(after) {
+		t.Errorf("floor-1 aging changed row count %d -> %d", len(before), len(after))
+	}
+}
+
+// TestAgeMergeTolerance is the property test pinning the decay semantics
+// the fleet server depends on: aging-then-merging and merging-then-aging
+// the same upload set agree within the documented tolerance — every row
+// (absent rows counting as zero) differs by less than K*floor, and at
+// floor 1 by at most the pure rounding term K-1.
+func TestAgeMergeTolerance(t *testing.T) {
+	for _, K := range []int{2, 3, 6} {
+		for _, floor := range []int64{1, 2, 4} {
+			t.Run(fmt.Sprintf("K=%d/floor=%d", K, floor), func(t *testing.T) {
+				var ps []*Profile
+				for i := 0; i < K; i++ {
+					// Varied scales make counts collide with every rounding
+					// boundary; sample keeps fingerprints equal so Merge
+					// accepts the set.
+					ps = append(ps, sample(int64(i)+1, int64(3*i+1)))
+				}
+
+				merged, err := Merge(ps...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mergeThenAge := Age(merged, floor)
+
+				var aged []*Profile
+				for _, p := range ps {
+					aged = append(aged, Age(p, floor))
+				}
+				ageThenMerge, err := Merge(aged...)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				for _, p := range []*Profile{mergeThenAge, ageThenMerge} {
+					if err := Validate(p); err != nil {
+						t.Fatalf("order produced invalid profile: %v", err)
+					}
+				}
+
+				a, b := flattenCounts(mergeThenAge), flattenCounts(ageThenMerge)
+				tol := int64(K)*floor - 1 // documented: differ by < K*floor
+				keys := map[string]bool{}
+				for k := range a {
+					keys[k] = true
+				}
+				for k := range b {
+					keys[k] = true
+				}
+				for k := range keys {
+					av, bv := a[k], b[k]
+					if av-bv > tol || bv-av > tol {
+						t.Errorf("%s differs beyond tolerance: merge-then-age %d vs age-then-merge %d (tol %d)",
+							k, av, bv, tol)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestHashStableAndSensitive: equal observation sets hash equal regardless
+// of merge order; any count change moves the hash.
+func TestHashStableAndSensitive(t *testing.T) {
+	a, b := sample(1, 2), sample(2, 5)
+	m1, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Merge(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := m1.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := m2.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Errorf("merge order changed the hash: %s vs %s", h1, h2)
+	}
+	if len(h1) != 16 {
+		t.Errorf("hash %q is not 16 hex digits", h1)
+	}
+	m2.Spaces[0].RPSites[0].RPs[0].Count++
+	h3, err := m2.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 == h1 {
+		t.Error("count change did not move the hash")
+	}
+	if _, err := (&Profile{Schema: "wrong"}).Hash(); err == nil {
+		t.Error("Hash should refuse an invalid profile")
+	}
+}

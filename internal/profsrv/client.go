@@ -1,0 +1,132 @@
+package profsrv
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"tnsr/internal/pgo"
+)
+
+// Client talks to a tnsprofd daemon. It implements xrun.ProfileSource
+// (Fetch/Push), so a runner can hand it straight to RunAdaptive and the
+// fleet aggregate closes the hint-file loop across machines.
+//
+// Responses pass through the same strict parser uploads do: a server (or a
+// middlebox) handing back damaged JSON produces a typed error, never
+// silently-wrong advice.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://profiles.fleet:9911".
+	BaseURL string
+	// Token is the bearer token; empty sends no Authorization header.
+	Token string
+	// HTTPClient, when nil, falls back to a 30-second-timeout client.
+	HTTPClient *http.Client
+}
+
+// NewClient builds a client for a daemon root URL.
+func NewClient(baseURL, token string) *Client {
+	return &Client{BaseURL: baseURL, Token: token}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+func (c *Client) url(fp string) string {
+	return strings.TrimSuffix(c.BaseURL, "/") + profilesPrefix + fp
+}
+
+func (c *Client) do(req *http.Request) (*http.Response, error) {
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	return c.http().Do(req)
+}
+
+// UserFingerprint extracts the user-space fingerprint a profile was
+// captured against — the fleet aggregation key.
+func UserFingerprint(p *pgo.Profile) (string, error) {
+	sp := p.Space("user")
+	if sp == nil || sp.Fingerprint == "" {
+		return "", fmt.Errorf("profsrv: profile has no user-space fingerprint")
+	}
+	return sp.Fingerprint, nil
+}
+
+// Fetch returns the current aggregate for a fingerprint, or (nil, nil)
+// when the server has none — the no-profile case a translator degrades to.
+func (c *Client) Fetch(fingerprint string) (*pgo.Profile, error) {
+	req, err := http.NewRequest(http.MethodGet, c.url(fingerprint), nil)
+	if err != nil {
+		return nil, fmt.Errorf("profsrv: fetch: %w", err)
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, fmt.Errorf("profsrv: fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("profsrv: fetch %s: %s", fingerprint, readStatus(resp))
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, DefaultMaxBody))
+	if err != nil {
+		return nil, fmt.Errorf("profsrv: fetch: %w", err)
+	}
+	p, err := pgo.ParseProfile(data)
+	if err != nil {
+		return nil, fmt.Errorf("profsrv: fetch %s: server sent invalid profile: %w", fingerprint, err)
+	}
+	return p, nil
+}
+
+// Push uploads one capture and returns the merged fleet aggregate the
+// server now holds for that fingerprint.
+func (c *Client) Push(p *pgo.Profile) (*pgo.Profile, error) {
+	fp, err := UserFingerprint(p)
+	if err != nil {
+		return nil, err
+	}
+	data, err := p.JSON()
+	if err != nil {
+		return nil, fmt.Errorf("profsrv: push: %w", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, c.url(fp), bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("profsrv: push: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, fmt.Errorf("profsrv: push: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("profsrv: push %s: %s", fp, readStatus(resp))
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, DefaultMaxBody))
+	if err != nil {
+		return nil, fmt.Errorf("profsrv: push: %w", err)
+	}
+	agg, err := pgo.ParseProfile(body)
+	if err != nil {
+		return nil, fmt.Errorf("profsrv: push %s: server sent invalid aggregate: %w", fp, err)
+	}
+	return agg, nil
+}
+
+// readStatus folds the status line and a bounded error body into one
+// message.
+func readStatus(resp *http.Response) string {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	return fmt.Sprintf("%s: %s", resp.Status, strings.TrimSpace(string(msg)))
+}

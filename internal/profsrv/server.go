@@ -1,0 +1,283 @@
+package profsrv
+
+import (
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"tnsr/internal/pgo"
+)
+
+// Default limits; Config zero values fall back to these.
+const (
+	DefaultMaxBody  = 4 << 20 // canonical profiles are tens of KB; 4 MiB is generous
+	DefaultAgeFloor = 1
+)
+
+// profilesPrefix is the resource path: POST uploads one runner's capture,
+// GET serves the current aggregate.
+const profilesPrefix = "/v1/profiles/"
+
+// Config parameterizes a Server.
+type Config struct {
+	// Store holds the aggregates. Required.
+	Store *Store
+
+	// Token is the bearer token every /v1 request must present. Empty
+	// disables auth (tests, trusted networks); tnsprofd requires one.
+	Token string
+
+	// MaxBody caps the accepted upload size in bytes (<= 0 means
+	// DefaultMaxBody). Oversized uploads are rejected 413 without being
+	// read.
+	MaxBody int64
+
+	// AgeEvery applies cross-run aging whenever a merged aggregate's run
+	// count reaches this value: the aggregate is replaced by
+	// pgo.Age(aggregate, AgeFloor), which also halves Runs, so the decay
+	// self-clocks. 0 disables aging (the aggregate is then exactly the
+	// order-independent merge of every upload — the differential harness
+	// runs in this mode).
+	AgeEvery int64
+
+	// AgeFloor is the count below which an aged row is dropped
+	// (<= 0 means DefaultAgeFloor).
+	AgeFloor int64
+
+	// RatePerSec, when > 0, applies a token-bucket rate limit across all
+	// /v1 requests (a single shared bucket: tnsprofd fronts one fleet, not
+	// the internet). RateBurst is the bucket depth (<= 0 means 1).
+	RatePerSec float64
+	RateBurst  int
+}
+
+// Server is the tnsprofd HTTP surface. It is an http.Handler; routing,
+// auth, limits and metrics all live here so the fuzz target can drive the
+// entire request path without a socket.
+type Server struct {
+	cfg Config
+	m   *metrics
+
+	bucketMu sync.Mutex
+	tokens   float64
+	lastFill time.Time
+}
+
+// New builds a Server. The store is required.
+func New(cfg Config) *Server {
+	if cfg.Store == nil {
+		panic("profsrv: New: Config.Store is required")
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = DefaultMaxBody
+	}
+	if cfg.AgeFloor <= 0 {
+		cfg.AgeFloor = DefaultAgeFloor
+	}
+	if cfg.RateBurst <= 0 {
+		cfg.RateBurst = 1
+	}
+	return &Server{cfg: cfg, m: newMetrics(), tokens: float64(cfg.RateBurst), lastFill: time.Now()}
+}
+
+// allow is the shared token bucket.
+func (s *Server) allow() bool {
+	if s.cfg.RatePerSec <= 0 {
+		return true
+	}
+	s.bucketMu.Lock()
+	defer s.bucketMu.Unlock()
+	now := time.Now()
+	s.tokens += now.Sub(s.lastFill).Seconds() * s.cfg.RatePerSec
+	if max := float64(s.cfg.RateBurst); s.tokens > max {
+		s.tokens = max
+	}
+	s.lastFill = now
+	if s.tokens < 1 {
+		return false
+	}
+	s.tokens--
+	return true
+}
+
+// authed checks the bearer token in constant time.
+func (s *Server) authed(r *http.Request) bool {
+	if s.cfg.Token == "" {
+		return true
+	}
+	got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	return ok && subtle.ConstantTimeCompare([]byte(got), []byte(s.cfg.Token)) == 1
+}
+
+// fail writes a plain-text error and records the reject.
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, code int, reason, msg string) {
+	s.m.reject(reason)
+	s.m.request(r.Method, code)
+	http.Error(w, msg, code)
+}
+
+func (s *Server) ok(w http.ResponseWriter, r *http.Request, code int, body []byte, contentType string) {
+	s.m.request(r.Method, code)
+	w.Header().Set("Content-Type", contentType)
+	w.WriteHeader(code)
+	w.Write(body)
+}
+
+// ServeHTTP routes:
+//
+//	POST /v1/profiles/{fingerprint}  upload one capture; responds with the
+//	                                 merged (and possibly aged) aggregate
+//	GET  /v1/profiles/{fingerprint}  current aggregate, 404 when absent
+//	GET  /metrics                    Prometheus text exposition (no auth:
+//	                                 scrapers hold no fleet secrets)
+//	GET  /healthz                    liveness probe
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/healthz":
+		s.ok(w, r, http.StatusOK, []byte("ok\n"), "text/plain; charset=utf-8")
+		return
+	case r.URL.Path == "/metrics":
+		s.serveMetrics(w, r)
+		return
+	}
+
+	fp, isProfile := strings.CutPrefix(r.URL.Path, profilesPrefix)
+	if !isProfile {
+		s.fail(w, r, http.StatusNotFound, "path", "not found")
+		return
+	}
+	if !s.authed(r) {
+		s.fail(w, r, http.StatusUnauthorized, "auth", "missing or wrong bearer token")
+		return
+	}
+	if !s.allow() {
+		s.fail(w, r, http.StatusTooManyRequests, "rate", "rate limit exceeded")
+		return
+	}
+	if !ValidFingerprint(fp) {
+		s.fail(w, r, http.StatusBadRequest, "fingerprint",
+			"fingerprint must be 16 lowercase hex digits")
+		return
+	}
+
+	switch r.Method {
+	case http.MethodGet:
+		s.serveAggregate(w, r, fp)
+	case http.MethodPost:
+		s.acceptUpload(w, r, fp)
+	default:
+		s.fail(w, r, http.StatusMethodNotAllowed, "method", "use GET or POST")
+	}
+}
+
+// serveAggregate is the GET side: the stored bytes are already canonical,
+// but they are re-parsed and re-validated on every load — a damaged file
+// must become a typed 500, never served advice.
+func (s *Server) serveAggregate(w http.ResponseWriter, r *http.Request, fp string) {
+	p, err := s.cfg.Store.Load(fp)
+	if err != nil {
+		s.fail(w, r, http.StatusInternalServerError, "store",
+			"aggregate unreadable; refusing to serve it")
+		return
+	}
+	if p == nil {
+		s.fail(w, r, http.StatusNotFound, "absent", "no aggregate for this fingerprint")
+		return
+	}
+	data, err := p.JSON()
+	if err != nil {
+		s.fail(w, r, http.StatusInternalServerError, "store", "aggregate failed validation")
+		return
+	}
+	s.m.add(&s.m.served)
+	s.ok(w, r, http.StatusOK, data, "application/json")
+}
+
+// acceptUpload is the POST side: parse strictly, pin the upload to the
+// fingerprint in the path, merge under the fingerprint's lock, age when
+// the run count says so, persist atomically, and answer with the new
+// aggregate so the uploader can retranslate against it immediately.
+func (s *Server) acceptUpload(w http.ResponseWriter, r *http.Request, fp string) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, r, http.StatusRequestEntityTooLarge, "size",
+				fmt.Sprintf("profile exceeds %d bytes", s.cfg.MaxBody))
+			return
+		}
+		s.fail(w, r, http.StatusBadRequest, "read", "body read failed")
+		return
+	}
+
+	up, err := pgo.ParseProfile(data)
+	if err != nil {
+		s.fail(w, r, http.StatusBadRequest, "parse", err.Error())
+		return
+	}
+	// The store key is the user-space fingerprint: an upload must carry
+	// one, and it must match the path. A mismatch is the stale-profile
+	// case — the server refuses it so an aggregate can never mix builds
+	// (pgo.Merge would refuse the cross-build merge anyway; rejecting here
+	// types the error for the runner).
+	usp := up.Space("user")
+	if usp == nil || usp.Fingerprint == "" {
+		s.fail(w, r, http.StatusBadRequest, "no-fingerprint",
+			"profile has no user-space fingerprint")
+		return
+	}
+	if usp.Fingerprint != fp {
+		s.fail(w, r, http.StatusConflict, "stale-fingerprint",
+			fmt.Sprintf("profile fingerprint %s does not match path %s", usp.Fingerprint, fp))
+		return
+	}
+
+	aged := false
+	merged, err := s.cfg.Store.Update(fp, func(cur *pgo.Profile) (*pgo.Profile, error) {
+		next, err := pgo.Merge(cur, up) // Merge skips a nil cur
+		if err != nil {
+			return nil, err
+		}
+		if s.cfg.AgeEvery > 0 && next.Runs >= s.cfg.AgeEvery {
+			next = pgo.Age(next, s.cfg.AgeFloor)
+			aged = true
+		}
+		return next, nil
+	})
+	if err != nil {
+		// Merge refusal (cross-build aggregate, should be unreachable past
+		// the fingerprint gate) or a store failure.
+		s.fail(w, r, http.StatusInternalServerError, "merge", err.Error())
+		return
+	}
+	data, err = merged.JSON()
+	if err != nil {
+		s.fail(w, r, http.StatusInternalServerError, "merge", "merged aggregate failed validation")
+		return
+	}
+	s.m.add(&s.m.uploads)
+	if aged {
+		s.m.add(&s.m.ages)
+	}
+	s.ok(w, r, http.StatusOK, data, "application/json")
+}
+
+func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, r, http.StatusMethodNotAllowed, "method", "use GET")
+		return
+	}
+	stored, err := s.cfg.Store.List()
+	if err != nil {
+		s.fail(w, r, http.StatusInternalServerError, "store", "store unreadable")
+		return
+	}
+	var b strings.Builder
+	s.m.write(&b, len(stored))
+	s.ok(w, r, http.StatusOK, []byte(b.String()), "text/plain; version=0.0.4; charset=utf-8")
+}

@@ -1,0 +1,145 @@
+// Package tcache is the persistent retranslation cache: the read that
+// replaces a translation. RunAdaptive (and any repeated axcel invocation)
+// retranslates the same codefile under the same profile over and over; the
+// Accelerator is deterministic, so the pair (input fingerprint, every
+// output-affecting option — including the profile hash) fully determines
+// the acceleration section. The cache stores the whole accelerated
+// codefile under that key; a hit grafts the cached section after the same
+// integrity gates any loaded codefile passes (v5 checksums in
+// codefile.Read, AccelSection.Verify, and an input-fingerprint recheck),
+// so a damaged or mismatched cache entry degrades to a cold translation,
+// never to wrong code.
+package tcache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"tnsr/internal/codefile"
+	"tnsr/internal/core"
+	"tnsr/internal/millicode"
+)
+
+// Cache is a directory of accelerated codefiles keyed by
+// core.Options.TransKey. Safe for concurrent use: entries are written via
+// temp-file + rename, and a racing double-translation writes identical
+// bytes by determinism.
+type Cache struct {
+	dir string
+
+	hits, misses, rejects atomic.Int64
+}
+
+// Stats is a point-in-time view of cache effectiveness.
+type Stats struct {
+	// Hits served a translation from disk; Misses translated cold and
+	// populated the cache; Rejects found an entry that failed an
+	// integrity gate and retranslated (the entry is replaced).
+	Hits, Misses, Rejects int64
+}
+
+// Open opens (creating if needed) a cache rooted at dir.
+func Open(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("tcache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+// Stats returns the counters accumulated since Open.
+func (c *Cache) Stats() Stats {
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Rejects: c.rejects.Load()}
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".tns")
+}
+
+// Accelerate is core.Accelerate behind the cache: on a hit the codefile
+// gains the cached acceleration section without translating; on a miss it
+// translates cold and persists the result. The emitted section is
+// byte-identical either way (test-pinned), so callers can treat the hit
+// flag as pure telemetry.
+func (c *Cache) Accelerate(f *codefile.File, opts core.Options) (hit bool, err error) {
+	fp := f.Fingerprint()
+	key, err := opts.TransKey(fp)
+	if err != nil {
+		return false, err
+	}
+	path := c.path(key)
+
+	if data, err := os.ReadFile(path); err == nil {
+		if sec := c.verifyEntry(data, fp, opts); sec != nil {
+			f.Accel = sec
+			c.hits.Add(1)
+			return true, nil
+		}
+		// Damaged, truncated, or mismatched entry: drop it and retranslate.
+		c.rejects.Add(1)
+		os.Remove(path)
+	}
+
+	if err := core.Accelerate(f, opts); err != nil {
+		return false, err
+	}
+	c.misses.Add(1)
+	if err := c.write(path, f); err != nil {
+		return false, err
+	}
+	return false, nil
+}
+
+// verifyEntry runs a cached entry through every gate a fresh load gets:
+// the strict v5 parser, structural verification against the translated
+// region, and an input-fingerprint recheck (TransKey collisions are
+// astronomically unlikely but the recheck makes them harmless). Returns
+// nil when any gate fails.
+func (c *Cache) verifyEntry(data []byte, wantFP uint64, opts core.Options) *codefile.AccelSection {
+	cf, err := codefile.Read(bytes.NewReader(data))
+	if err != nil || cf.Accel == nil {
+		return nil
+	}
+	if cf.Fingerprint() != wantFP {
+		return nil
+	}
+	base := opts.CodeBase
+	if base == 0 {
+		base = millicode.UserCodeBase
+	}
+	if err := cf.Accel.Verify(cf, int(base)); err != nil {
+		return nil
+	}
+	return cf.Accel
+}
+
+// write persists the accelerated codefile atomically: a unique temp file
+// in the cache directory, then rename. Racing writers (goroutines or
+// processes sharing the directory) each rename their own temp file, and
+// the renames are benign because determinism makes the bytes identical.
+func (c *Cache) write(path string, f *codefile.File) error {
+	w, err := os.CreateTemp(c.dir, "tmp-*")
+	if err != nil {
+		return fmt.Errorf("tcache: %w", err)
+	}
+	tmp := w.Name()
+	if _, err := f.WriteTo(w); err != nil {
+		w.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("tcache: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("tcache: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("tcache: %w", err)
+	}
+	return nil
+}

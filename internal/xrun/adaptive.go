@@ -9,6 +9,7 @@ import (
 	"tnsr/internal/obs"
 	"tnsr/internal/pgo"
 	"tnsr/internal/risc"
+	"tnsr/internal/tcache"
 )
 
 // Profile-guided retranslation: the feedback loop the paper's customers
@@ -20,11 +21,62 @@ import (
 // the captured profile attached and reruns. Both translations keep every
 // run-time guard, so the two passes are observationally identical; only
 // the mode residency differs.
+//
+// With a ProfileSource attached the loop closes across machines: pass 1
+// starts from the fleet aggregate instead of from nothing, the local
+// capture is pushed back, and pass 2 runs under the merged aggregate the
+// whole fleet now shares.
+
+// ProfileSource serves fleet-aggregated profiles. *profsrv.Client
+// implements it; tests implement it in-process. Every use is advisory: a
+// source error degrades the run to local-only profiles, recorded in
+// AdaptiveResult.SourceErrs, never failing the run.
+type ProfileSource interface {
+	// Fetch returns the aggregate for a user-space codefile fingerprint
+	// (16 hex digits), or (nil, nil) when the fleet has none yet.
+	Fetch(fingerprint string) (*pgo.Profile, error)
+	// Push uploads a capture and returns the merged aggregate now held for
+	// its fingerprint.
+	Push(p *pgo.Profile) (*pgo.Profile, error)
+}
+
+// AdaptiveOptions configures RunAdaptiveOpts.
+type AdaptiveOptions struct {
+	// Level, Workers, Budget, Config and LibSummaries mean exactly what
+	// the RunAdaptive parameters of the same names mean.
+	Level        codefile.AccelLevel
+	Workers      int
+	Budget       int64
+	Config       risc.Config
+	LibSummaries map[uint16]int8
+
+	// Source, when non-nil, closes the loop through a fleet profile
+	// service: pass 1 translates under the fetched aggregate, the pass-1
+	// capture is pushed, and pass 2 translates under the merged aggregate
+	// the push returns.
+	Source ProfileSource
+
+	// Cache, when non-nil, serves both passes' translations through the
+	// persistent retranslation cache — byte-identical by TransKey, so the
+	// cycle's outcome is unchanged; only translation latency moves.
+	Cache *tcache.Cache
+}
 
 // AdaptiveResult reports a RunAdaptive cycle.
 type AdaptiveResult struct {
-	// Profile is the pass-1 capture that steered the pass-2 translation.
+	// Profile is the pass-1 capture — the local machine's observations,
+	// and (without a Source) the profile that steered pass 2.
 	Profile *pgo.Profile
+
+	// Applied is the profile pass 2 actually translated under: the pushed
+	// merge's returned aggregate when a Source is attached, otherwise
+	// Profile itself.
+	Applied *pgo.Profile
+
+	// SourceErrs records Source failures the cycle degraded around
+	// (profiles are advisory, so a dead or misbehaving server costs
+	// advice, never the run).
+	SourceErrs []error
 
 	// First and Second are the completed runners of the two passes, with
 	// FirstObs/SecondObs their telemetry (escape histograms, residency).
@@ -52,17 +104,55 @@ func RunAdaptive(user, lib *codefile.File, libSummaries map[uint16]int8,
 	level codefile.AccelLevel, workers int, budget int64,
 	cfg risc.Config) (*AdaptiveResult, error) {
 
+	return RunAdaptiveOpts(user, lib, AdaptiveOptions{
+		Level: level, Workers: workers, Budget: budget,
+		Config: cfg, LibSummaries: libSummaries,
+	})
+}
+
+// RunAdaptiveOpts is RunAdaptive with the fleet knobs: an optional remote
+// profile source and an optional persistent retranslation cache.
+func RunAdaptiveOpts(user, lib *codefile.File, o AdaptiveOptions) (*AdaptiveResult, error) {
 	res := &AdaptiveResult{}
+	degrade := func(op string, err error) {
+		res.SourceErrs = append(res.SourceErrs, fmt.Errorf("xrun: adaptive %s: %w", op, err))
+	}
+
+	// Pass 1 starts from the fleet aggregate when a source is attached —
+	// a fresh machine inherits the whole fleet's observations before its
+	// first run.
+	var pass1Prof *pgo.Profile
+	if o.Source != nil {
+		fp := fmt.Sprintf("%016x", user.Fingerprint())
+		agg, err := o.Source.Fetch(fp)
+		if err != nil {
+			degrade("fetch", err)
+		} else {
+			pass1Prof = agg
+		}
+	}
 
 	cap1 := pgo.NewCapture()
-	r1, rec1, err := runPass(user, lib, libSummaries, level, workers, budget, cfg, nil, cap1)
+	r1, rec1, err := runPass(user, lib, o, pass1Prof, cap1)
 	if err != nil {
 		return nil, fmt.Errorf("xrun: adaptive pass 1: %w", err)
 	}
 	res.First, res.FirstObs = r1, rec1
 	res.Profile = cap1.Profile()
 
-	r2, rec2, err := runPass(user, lib, libSummaries, level, workers, budget, cfg, res.Profile, nil)
+	// Pass 2 runs under the merged fleet aggregate when the push lands,
+	// under the local capture otherwise.
+	res.Applied = res.Profile
+	if o.Source != nil {
+		agg, err := o.Source.Push(res.Profile)
+		if err != nil {
+			degrade("push", err)
+		} else if agg != nil {
+			res.Applied = agg
+		}
+	}
+
+	r2, rec2, err := runPass(user, lib, o, res.Applied, nil)
 	if err != nil {
 		return nil, fmt.Errorf("xrun: adaptive pass 2: %w", err)
 	}
@@ -82,15 +172,23 @@ func RunAdaptive(user, lib *codefile.File, libSummaries map[uint16]int8,
 }
 
 // runPass translates fresh copies of the codefiles (with prof attached if
-// non-nil) and runs them observed (with cap attached if non-nil).
-func runPass(user, lib *codefile.File, libSummaries map[uint16]int8,
-	level codefile.AccelLevel, workers int, budget int64, cfg risc.Config,
+// non-nil) and runs them observed (with cap attached if non-nil). A cache
+// in the options serves the translations when it can.
+func runPass(user, lib *codefile.File, o AdaptiveOptions,
 	prof *pgo.Profile, cap *pgo.Capture) (*Runner, *obs.Recorder, error) {
 
 	rec := obs.NewRecorder()
+	accelerate := func(f *codefile.File, opts core.Options) error {
+		if o.Cache != nil {
+			_, err := o.Cache.Accelerate(f, opts)
+			return err
+		}
+		return core.Accelerate(f, opts)
+	}
+
 	tu := cloneFile(user)
-	if err := core.Accelerate(tu, core.Options{
-		Level: level, Workers: workers, LibSummaries: libSummaries,
+	if err := accelerate(tu, core.Options{
+		Level: o.Level, Workers: o.Workers, LibSummaries: o.LibSummaries,
 		Obs: rec, Profile: prof,
 	}); err != nil {
 		return nil, nil, err
@@ -98,15 +196,15 @@ func runPass(user, lib *codefile.File, libSummaries map[uint16]int8,
 	var tl *codefile.File
 	if lib != nil {
 		tl = cloneFile(lib)
-		if err := core.Accelerate(tl, core.Options{
-			Level: level, Workers: workers,
+		if err := accelerate(tl, core.Options{
+			Level: o.Level, Workers: o.Workers,
 			CodeBase: millicode.LibCodeBase, Space: 1,
 			Obs: rec, Profile: prof,
 		}); err != nil {
 			return nil, nil, err
 		}
 	}
-	r, err := New(tu, tl, cfg)
+	r, err := New(tu, tl, o.Config)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -114,7 +212,7 @@ func runPass(user, lib *codefile.File, libSummaries map[uint16]int8,
 	if cap != nil {
 		r.Capture(cap)
 	}
-	if err := r.Run(budget); err != nil {
+	if err := r.Run(o.Budget); err != nil {
 		return nil, nil, err
 	}
 	return r, rec, nil
