@@ -149,12 +149,22 @@ func NewReference(name string, iterations int, budget int64) (*Reference, error)
 	if err != nil {
 		return nil, err
 	}
-	ref := &Reference{Name: name, LibSummaries: w.LibSummaries}
-	ref.PlainUserRaw, _ = w.User.Marshal()
+	return NewReferenceFromFiles(name, w.User, w.Lib, w.LibSummaries, budget)
+}
+
+// NewReferenceFromFiles accelerates and characterizes an arbitrary
+// unaccelerated user/lib pair (lib may be nil), so generated programs —
+// not just the named workloads — can be placed under chaos mutation. It
+// takes ownership of the files and accelerates them in place.
+func NewReferenceFromFiles(name string, user, lib *codefile.File,
+	libSummaries map[uint16]int8, budget int64) (*Reference, error) {
+
+	ref := &Reference{Name: name, LibSummaries: libSummaries}
+	ref.PlainUserRaw, _ = user.Marshal()
 
 	// The oracle's ground truth: the pure interpreter on the pristine,
 	// unaccelerated program.
-	m := interp.New(w.User, w.Lib)
+	m := interp.New(user, lib)
 	if err := m.Run(budget); err != nil {
 		return nil, fmt.Errorf("chaos: %s reference run: %w", name, err)
 	}
@@ -162,18 +172,18 @@ func NewReference(name string, iterations int, budget int64) (*Reference, error)
 	ref.Exit = m.ExitStatus
 	ref.Trap = m.Trap
 
-	opts := core.Options{Level: codefile.LevelDefault, LibSummaries: w.LibSummaries}
-	if err := core.Accelerate(w.User, opts); err != nil {
+	opts := core.Options{Level: codefile.LevelDefault, LibSummaries: libSummaries}
+	if err := core.Accelerate(user, opts); err != nil {
 		return nil, fmt.Errorf("chaos: %s accelerate: %w", name, err)
 	}
-	ref.UserRaw, ref.UserSpans = w.User.Marshal()
-	if w.Lib != nil {
+	ref.UserRaw, ref.UserSpans = user.Marshal()
+	if lib != nil {
 		libOpts := core.Options{Level: codefile.LevelDefault,
 			CodeBase: millicode.LibCodeBase, Space: 1}
-		if err := core.Accelerate(w.Lib, libOpts); err != nil {
+		if err := core.Accelerate(lib, libOpts); err != nil {
 			return nil, fmt.Errorf("chaos: %s accelerate lib: %w", name, err)
 		}
-		ref.LibRaw, ref.LibSpans = w.Lib.Marshal()
+		ref.LibRaw, ref.LibSpans = lib.Marshal()
 	}
 	return ref, nil
 }

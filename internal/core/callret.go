@@ -253,11 +253,17 @@ func (t *translator) ensureProcLabel(pi int) label {
 func (t *translator) transXCAL(addr uint16) {
 	s := t.s
 	f := t.f
-	pl := s.valIn(s.rp, zeroOK)
-	s.pin(pl)
+	// The PLabel stays on the architectural stack: canonicalize it into its
+	// home register with $env still counting it, so a missed dispatch can
+	// break to the interpreter and redo the XCAL exactly (pop included).
+	// Every hit path — the devirtualized fast calls below and the millicode
+	// dispatcher — consumes it by dropping one RP position from $env before
+	// the callee prologue reads $env for the stack marker.
+	s.canonicalize(regBit(s.rp))
+	pl := homeOf(s.rp)
+	postRP := ((s.rp - 1) + 8) & 7
 	s.popDesc()
-	s.canonicalize(0)
-	t.emitDevirt(addr, pl)
+	t.emitDevirt(addr, pl, postRP)
 	t.noteFallback(addr, obs.EscapeIndirectCall)
 	f.li(risc.RegT0, int32(addr)+1)
 	f.move(risc.RegT0+1, pl)
@@ -277,7 +283,7 @@ const maxDevirtTargets = 3
 // target set costs nothing but the compares. Only same-space targets are
 // devirtualized (a cross-space transfer must update $env's space bit, which
 // is the dispatcher's job).
-func (t *translator) emitDevirt(addr uint16, pl uint8) {
+func (t *translator) emitDevirt(addr uint16, pl uint8, postRP int) {
 	prof := t.opts.Profile
 	if prof == nil {
 		return
@@ -304,6 +310,13 @@ func (t *translator) emitDevirt(addr uint16, pl uint8) {
 		f.li(risc.RegT0, int32(int16(plVal)))
 		f.br(risc.BNE, pl, risc.RegT0, next)
 		f.nop()
+		// Consume the PLabel left on the architectural stack (see
+		// transXCAL): drop one RP position from $env before the prologue
+		// writes the stack marker.
+		f.imm(risc.ANDI, risc.RegENV, risc.RegENV, ^int32(7)&0x1FF)
+		if postRP != 0 {
+			f.imm(risc.ORI, risc.RegENV, risc.RegENV, int32(postRP))
+		}
 		f.li(risc.RegT0, int32(addr)+1) // TNS return address
 		f.jLocal(risc.J, t.ensureProcLabel(pep))
 		f.nop()

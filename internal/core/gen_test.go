@@ -2,359 +2,17 @@ package core_test
 
 import (
 	"fmt"
-	"math/rand"
-	"strings"
 	"testing"
+
+	"tnsr/internal/tnsgen"
 )
 
-// Randomized translation-fidelity property test: generate structured TNS
-// programs that respect the compiler conventions (register stack empty
-// across calls, results matching summaries), then check that interpretation
-// and accelerated execution agree bit-for-bit at every option level.
-
-// progGen builds random but well-formed TNS assembly.
-type progGen struct {
-	r     *rand.Rand
-	sb    strings.Builder
-	depth int // static register-stack depth within the current proc
-	label int
-	// procs generated so far: result words and arg words, so calls can be
-	// generated against lower-numbered procedures (a DAG, so no unbounded
-	// recursion; recursion is covered by directed tests).
-	procs []genProc
-}
-
-type genProc struct {
-	name    string
-	results int
-	args    int
-	// summaryHidden procs carry no compiler summary: the Accelerator must
-	// analyze or guess their result size.
-	summaryHidden bool
-}
-
-func (g *progGen) pr(format string, args ...any) {
-	fmt.Fprintf(&g.sb, format+"\n", args...)
-}
-
-func (g *progGen) newLabel() string {
-	g.label++
-	return fmt.Sprintf("lab%d", g.label)
-}
-
-// pushValue emits code that pushes one word.
-func (g *progGen) pushValue() {
-	g.depth++
-	switch g.r.Intn(6) {
-	case 0:
-		g.pr("  LDI %d", g.r.Intn(200)-100)
-	case 1:
-		g.pr("  LOAD G+%d", g.r.Intn(24))
-	case 2:
-		g.pr("  LDI %d", g.r.Intn(100))
-		g.pr("  LDHI %d", g.r.Intn(256))
-	case 3:
-		g.pr("  LDB G+%d", g.r.Intn(24))
-	case 4:
-		g.pr("  LGA %d", g.r.Intn(24))
-	case 5:
-		g.pr("  LDI %d", g.r.Intn(8))
-		g.pr("  LOAD G+8,X") // within the first 24 globals
-	}
-}
-
-// combine pops two words and pushes one.
-func (g *progGen) combine() {
-	ops := []string{"ADD", "SUB", "LAND", "LOR", "XOR", "MPY"}
-	g.pr("  %s", ops[g.r.Intn(len(ops))])
-	g.depth--
-}
-
-// expr builds a random expression of the given approximate size, leaving
-// one word on the register stack.
-func (g *progGen) expr(size int) {
-	g.pushValue()
-	for i := 0; i < size; i++ {
-		g.pushValue()
-		g.combine()
-		if g.r.Intn(3) == 0 {
-			unary := []string{"NEG", "NOT", "SWAB", "ADDI 3", "ANDI 63",
-				"ORI 5", "SHL 2", "SHRL 1", "SHRA 1", "DUP\n  DEL"}
-			g.pr("  %s", unary[g.r.Intn(len(unary))])
-		}
-	}
-}
-
-// store pops the top into a random global (G+2..G+23; G+0/G+1 and the
-// high globals are reserved for the harness).
-func (g *progGen) store() {
-	g.pr("  STOR G+%d", 2+g.r.Intn(22))
-	g.depth--
-}
-
-// statement emits one random statement (net stack effect zero).
-func (g *progGen) statement(depthBudget int) {
-	switch g.r.Intn(13) {
-	case 0, 1, 2: // simple assignment
-		g.expr(g.r.Intn(3))
-		g.store()
-	case 3: // conditional
-		g.expr(g.r.Intn(2))
-		l1 := g.newLabel()
-		l2 := g.newLabel()
-		conds := []string{"BL", "BE", "BLE", "BG", "BNE", "BGE"}
-		g.pr("  CMPI %d", g.r.Intn(20)-10)
-		g.pr("  DEL")
-		g.depth--
-		g.pr("  %s %s", conds[g.r.Intn(len(conds))], l1)
-		g.statementSimple()
-		g.pr("  BUN %s", l2)
-		g.pr("%s:", l1)
-		g.statementSimple()
-		g.pr("%s:", l2)
-	case 4: // byte store
-		g.expr(1)
-		g.pr("  STB G+%d", 8+g.r.Intn(16))
-		g.depth--
-	case 5: // 32-bit arithmetic
-		g.pushValue()
-		g.pushValue()
-		g.pushValue()
-		g.pushValue()
-		dops := []string{"DADD", "DSUB", "DMPY"}
-		g.pr("  %s", dops[g.r.Intn(len(dops))])
-		g.depth -= 2
-		g.pr("  STD G+%d", 2*(1+g.r.Intn(11)))
-		g.depth -= 2
-	case 6: // call a previously generated procedure
-		if len(g.procs) == 0 || depthBudget <= 0 {
-			g.statementSimple()
-			return
-		}
-		g.call(g.procs[g.r.Intn(len(g.procs))])
-	case 7: // CASE dispatch
-		g.caseStmt()
-	case 8: // compare into branch storing flags
-		g.expr(1)
-		g.pushValue()
-		g.pr("  CMP")
-		g.depth -= 2
-		l1 := g.newLabel()
-		g.pr("  BG %s", l1)
-		g.statementSimple()
-		g.pr("%s:", l1)
-	case 9: // indexed store
-		g.expr(1)
-		g.pr("  LDI %d", g.r.Intn(8))
-		g.depth++
-		g.pr("  STOR G+8,X")
-		g.depth -= 2
-	case 10: // block move between two scratch buffers (byte addresses)
-		g.pr("  LDI %d", 2*(32+g.r.Intn(8)))
-		g.pr("  LDI %d", 2*(44+g.r.Intn(8)))
-		g.pr("  LDI %d", 1+g.r.Intn(6))
-		g.depth += 3
-		if g.r.Intn(2) == 0 {
-			g.pr("  MOVB")
-		} else {
-			g.pr("  MOVW")
-		}
-		g.depth -= 3
-	case 11: // byte-string compare or scan feeding a store
-		if g.r.Intn(2) == 0 {
-			g.pr("  LDI %d", 2*(32+g.r.Intn(4)))
-			g.pr("  LDI %d", 2*(44+g.r.Intn(4)))
-			g.pr("  LDI %d", 1+g.r.Intn(6))
-			g.depth += 3
-			g.pr("  CMPB")
-			g.depth -= 3
-			l := g.newLabel()
-			g.pr("  BE %s", l)
-			g.statementSimple()
-			g.pr("%s:", l)
-		} else {
-			g.pr("  LDI %d", 2*(32+g.r.Intn(4)))
-			g.pr("  LDI %d", g.r.Intn(128))
-			g.pr("  LDI %d", 1+g.r.Intn(8))
-			g.depth += 3
-			g.pr("  SCNB")
-			g.depth -= 2
-			g.store()
-		}
-	case 12: // register-barrel gymnastics: absolute registers and EXCH
-		g.pushValue()
-		g.pushValue()
-		switch g.r.Intn(3) {
-		case 0:
-			g.pr("  EXCH")
-		case 1:
-			g.pr("  STAR 2")
-			g.depth--
-			g.pr("  LDRA 2")
-			g.depth++
-		case 2:
-			g.pr("  DUP")
-			g.pr("  DEL")
-		}
-		g.store()
-		g.store()
-	}
-}
-
-// statementSimple emits a guaranteed-simple statement.
-func (g *progGen) statementSimple() {
-	g.expr(1)
-	g.store()
-}
-
-func (g *progGen) caseStmt() {
-	n := 2 + g.r.Intn(3)
-	labels := make([]string, n)
-	for i := range labels {
-		labels[i] = g.newLabel()
-	}
-	after := g.newLabel()
-	g.expr(0)
-	g.pr("  ANDI 7") // keep the index small but sometimes out of range
-	g.pr("  CASE")
-	g.depth--
-	g.pr("CASETAB %s", strings.Join(labels, ", "))
-	// Out-of-range falls through here.
-	g.statementSimple()
-	g.pr("  BUN %s", after)
-	for _, l := range labels {
-		g.pr("%s:", l)
-		g.statementSimple()
-		g.pr("  BUN %s", after)
-	}
-	g.pr("%s:", after)
-}
-
-// call invokes p with the calling convention: args pushed on the memory
-// stack, register stack empty, results consumed afterwards.
-func (g *progGen) call(p genProc) {
-	for i := 0; i < p.args; i++ {
-		g.expr(g.r.Intn(2))
-		g.pr("  ADDS 1")
-		g.pr("  STOR S-0")
-		g.depth--
-	}
-	indirect := g.r.Intn(4) == 0
-	if indirect {
-		idx := -1
-		for i, q := range g.procs {
-			if q.name == p.name {
-				idx = i
-			}
-		}
-		g.pr("  LDPL %d", idx)
-		g.depth++
-		g.pr("  XCAL")
-		g.depth--
-		if g.r.Intn(2) == 0 {
-			// The compiler clue.
-			g.pr("  SETRP %d", (7+p.results)%8)
-		}
-		// Otherwise the Accelerator guesses from the following code.
-	} else {
-		g.pr("  PCAL %s", p.name)
-	}
-	g.depth += p.results
-	for i := 0; i < p.results; i++ {
-		g.store()
-	}
-}
-
-// proc generates one procedure.
-func (g *progGen) proc(idx int, results, args int, hidden bool) genProc {
-	p := genProc{
-		name:    fmt.Sprintf("p%d", idx),
-		results: results,
-		args:    args,
-	}
-	if hidden {
-		g.pr("PROC %s ARGS %d", p.name, args) // no RESULT summary
-		p.summaryHidden = true
-	} else {
-		g.pr("PROC %s RESULT %d ARGS %d", p.name, results, args)
-	}
-	g.depth = 0
-	nstmt := 1 + g.r.Intn(4)
-	for i := 0; i < nstmt; i++ {
-		if g.r.Intn(3) == 0 {
-			g.pr("  STMT %d", i+1)
-		}
-		g.statement(1)
-		if g.depth != 0 {
-			panic("generator lost stack balance")
-		}
-	}
-	// Use the arguments sometimes.
-	if args > 0 && g.r.Intn(2) == 0 {
-		g.pr("  LOAD L-%d", 3+g.r.Intn(args))
-		g.pr("  STOR G+%d", 2+g.r.Intn(22))
-	}
-	for i := 0; i < results; i++ {
-		g.expr(g.r.Intn(2))
-	}
-	g.depth -= results
-	g.pr("  EXIT %d", args)
-	g.pr("ENDPROC")
-	return p
-}
-
-// generate builds a whole program.
-func generateProgram(seed int64) string {
-	g := &progGen{r: rand.New(rand.NewSource(seed))}
-	g.pr("GLOBALS 64")
-	g.pr("DATA 8: 11 22 33 44 55 66 77 88")
-	g.pr("MAIN main")
-	nproc := 1 + g.r.Intn(4)
-	for i := 0; i < nproc; i++ {
-		results := g.r.Intn(3)
-		args := g.r.Intn(3)
-		hidden := g.r.Intn(3) == 0
-		p := g.proc(i, results, args, hidden)
-		g.procs = append(g.procs, p)
-	}
-	// A bounded loop in main exercises join points.
-	g.pr("PROC main")
-	g.depth = 0
-	g.pr("  LDI %d", 3+g.r.Intn(5))
-	g.pr("  STOR G+60") // loop counter, outside the random-store range
-	g.pr("mainloop:")
-	for i := 0; i < 2+g.r.Intn(3); i++ {
-		g.depth = 0
-		g.statement(1)
-	}
-	g.pr("  LOAD G+60")
-	g.pr("  ADDI -1")
-	g.pr("  STOR G+60")
-	g.pr("  LOAD G+60")
-	g.pr("  BNZ mainloop")
-	// Report a checksum over the globals via the console.
-	g.pr("  LDI 0")
-	g.pr("  STOR G+61")
-	g.pr("  LDI 2")
-	g.pr("  STOR G+60")
-	g.pr("ckloop:")
-	g.pr("  LOAD G+61")
-	g.pr("  LOAD G+60")
-	g.pr("  LOAD G+0,X")
-	g.pr("  XOR")
-	g.pr("  STOR G+61")
-	g.pr("  LOAD G+60")
-	g.pr("  ADDI 1")
-	g.pr("  STOR G+60")
-	g.pr("  LOAD G+60")
-	g.pr("  CMPI 24")
-	g.pr("  BL ckloop")
-	g.pr("  LOAD G+61")
-	g.pr("  SVC 2")
-	g.pr("  EXIT 0")
-	g.pr("ENDPROC")
-	return g.sb.String()
-}
+// Randomized translation-fidelity property tests. The program generator
+// itself lives in internal/tnsgen (promoted from this file); these tests
+// keep the historical seed streams running against the core fidelity
+// harness at every option level. The wider coverage-guided campaigns,
+// steering, minimization, and the scenario corpus are in internal/tnsgen's
+// own tests.
 
 func TestFidelityRandomPrograms(t *testing.T) {
 	n := 150
@@ -364,79 +22,16 @@ func TestFidelityRandomPrograms(t *testing.T) {
 	for seed := int64(1); seed <= int64(n); seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			src := generateProgram(seed)
+			p := tnsgen.Generate(fmt.Sprintf("rand%d", seed), seed, tnsgen.LegacyConfig())
+			src := p.UserSource()
 			defer func() {
 				if t.Failed() {
 					t.Logf("program:\n%s", src)
 				}
 			}()
-			runFidelity(t, fmt.Sprintf("rand%d", seed), src)
+			runFidelity(t, p.Name, src)
 		})
 	}
-}
-
-// generateLibProgram builds a random user+library pair: the library is a
-// set of procedures called through SCAL, exercising the cross-codefile
-// dispatch and EXIT paths.
-func generateLibProgram(seed int64) (string, string) {
-	g := &progGen{r: rand.New(rand.NewSource(seed * 7919))}
-	// Library: 3 procedures over its own global region (shared data space;
-	// the harness compiles the user at the same base, so keep the library
-	// writes inside G+24..G+31 to avoid clobbering the user's checksum).
-	var lib strings.Builder
-	lib.WriteString("GLOBALS 64\nMAIN dummy\n")
-	libProcs := []genProc{}
-	for i := 0; i < 3; i++ {
-		results := g.r.Intn(3)
-		args := g.r.Intn(2)
-		var b strings.Builder
-		fmt.Fprintf(&b, "PROC lib%d RESULT %d ARGS %d\n", i, results, args)
-		// A small computation over the shared scratch area.
-		b.WriteString("  LDI 7\n  STOR G+24\n")
-		if args > 0 {
-			b.WriteString("  LOAD L-3\n  STOR G+25\n")
-		}
-		b.WriteString("  LOAD G+24\n  LOAD G+25\n  ADD\n  STOR G+26\n")
-		for j := 0; j < results; j++ {
-			fmt.Fprintf(&b, "  LOAD G+%d\n", 24+g.r.Intn(3))
-		}
-		fmt.Fprintf(&b, "  EXIT %d\nENDPROC\n", args)
-		lib.WriteString(b.String())
-		libProcs = append(libProcs, genProc{name: fmt.Sprintf("lib%d", i),
-			results: results, args: args})
-	}
-	lib.WriteString("PROC dummy\n  EXIT 0\nENDPROC\n")
-
-	var user strings.Builder
-	user.WriteString("GLOBALS 64\nDATA 8: 11 22 33 44\nMAIN main\nPROC main\n")
-	user.WriteString("  LDI 4\n  STOR G+60\n")
-	user.WriteString("mainloop:\n")
-	for i := 0; i < 3; i++ {
-		p := libProcs[g.r.Intn(len(libProcs))]
-		for a := 0; a < p.args; a++ {
-			fmt.Fprintf(&user, "  LDI %d\n  ADDS 1\n  STOR S-0\n", g.r.Intn(50))
-		}
-		fmt.Fprintf(&user, "  SCAL %d\n", indexOf(libProcs, p.name))
-		for rres := 0; rres < p.results; rres++ {
-			fmt.Fprintf(&user, "  STOR G+%d\n", 2+g.r.Intn(20))
-		}
-	}
-	user.WriteString("  LOAD G+60\n  ADDI -1\n  STOR G+60\n  LOAD G+60\n  BNZ mainloop\n")
-	// Checksum.
-	user.WriteString("  LDI 0\n  STOR G+61\n  LDI 2\n  STOR G+60\n")
-	user.WriteString("ck:\n  LOAD G+61\n  LOAD G+60\n  LOAD G+0,X\n  XOR\n  STOR G+61\n")
-	user.WriteString("  LOAD G+60\n  ADDI 1\n  STOR G+60\n  LOAD G+60\n  CMPI 30\n  BL ck\n")
-	user.WriteString("  LOAD G+61\n  SVC 2\n  EXIT 0\nENDPROC\n")
-	return user.String(), lib.String()
-}
-
-func indexOf(ps []genProc, name string) int {
-	for i, p := range ps {
-		if p.name == name {
-			return i
-		}
-	}
-	return -1
 }
 
 func TestFidelityRandomLibraryPrograms(t *testing.T) {
@@ -444,16 +39,19 @@ func TestFidelityRandomLibraryPrograms(t *testing.T) {
 	if testing.Short() {
 		n = 5
 	}
+	cfg := tnsgen.LegacyConfig()
+	cfg.Library = true
 	for seed := int64(1); seed <= int64(n); seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			userSrc, libSrc := generateLibProgram(seed)
+			p := tnsgen.Generate(fmt.Sprintf("randlib%d", seed), seed, cfg)
+			userSrc, libSrc := p.UserSource(), p.LibSource()
 			defer func() {
 				if t.Failed() {
 					t.Logf("user:\n%s\nlib:\n%s", userSrc, libSrc)
 				}
 			}()
-			runFidelityLib(t, fmt.Sprintf("randlib%d", seed), userSrc, libSrc)
+			runFidelityLib(t, p.Name, userSrc, libSrc)
 		})
 	}
 }

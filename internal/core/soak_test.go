@@ -3,6 +3,8 @@ package core_test
 import (
 	"fmt"
 	"testing"
+
+	"tnsr/internal/tnsgen"
 )
 
 // TestSoakRandomPrograms is a deeper randomized sweep than
@@ -16,7 +18,7 @@ func TestSoakRandomPrograms(t *testing.T) {
 	for seed := int64(1000); seed < 1200; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("s%d", seed), func(t *testing.T) {
-			src := generateProgram(seed)
+			src := tnsgen.Generate(fmt.Sprintf("soak%d", seed), seed, tnsgen.LegacyConfig()).UserSource()
 			defer func() {
 				if t.Failed() {
 					t.Logf("program:\n%s", src)

@@ -192,6 +192,15 @@ xcal_go:
   lw    $t5, 0($t5)         ; entry byte address, or 0
   beq   $t5, $z, xcal_fall
   nop
+  ; The call site leaves the PLabel on the architectural stack ($env's RP
+  ; still counts it) so a missed dispatch can redo the XCAL exactly; a hit
+  ; consumes it here by dropping one RP position before the prologue reads
+  ; $env for the stack marker.
+  andi  $t3, $env, 7
+  addiu $t3, $t3, -1
+  andi  $t3, $t3, 7
+  andi  $env, $env, 0x1F8
+  or    $env, $env, $t3
   jr    $t5                 ; to the translated prologue; $t0 = return addr
   nop
 xcal_fall:

@@ -1,0 +1,43 @@
+package obs
+
+import "strings"
+
+// GuaranteeClasses are the escape-reason classes the coverage-guided
+// program generator (internal/tnsgen) must collectively exercise at run
+// time: every class the translator and runtime can legitimately produce.
+// EscapeUnknown is excluded because it must never occur at all, and
+// EscapeQuarantined because it marks integrity degradation — injected by
+// the chaos harness, not reachable from a well-formed program.
+var GuaranteeClasses = []EscapeReason{
+	EscapeUnmapped, EscapeComputedJump, EscapeIndirectCall,
+	EscapeRPConflict, EscapeUntranslated, EscapeTrap, EscapeBreakpoint,
+}
+
+// ReasonMask is a bit set of escape-reason classes.
+type ReasonMask uint16
+
+// Add sets the bit for r.
+func (m *ReasonMask) Add(r EscapeReason) {
+	if r < NumEscapeReasons {
+		*m |= 1 << r
+	}
+}
+
+// Has reports whether the bit for r is set.
+func (m ReasonMask) Has(r EscapeReason) bool {
+	return r < NumEscapeReasons && m&(1<<r) != 0
+}
+
+// String renders the set classes as "a|b|c" ("none" when empty).
+func (m ReasonMask) String() string {
+	var parts []string
+	for r := EscapeReason(0); r < NumEscapeReasons; r++ {
+		if m.Has(r) {
+			parts = append(parts, r.String())
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "|")
+}

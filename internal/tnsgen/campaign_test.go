@@ -1,0 +1,81 @@
+package tnsgen
+
+import (
+	"testing"
+
+	"tnsr/internal/obs"
+)
+
+// TestGuaranteeCoverage is the fidelity guarantee made executable: a
+// steered campaign must reach run-time coverage of every escape-reason
+// class in obs.GuaranteeClasses with zero divergences, zero panics, and no
+// EscapeUnknown event anywhere — statically or at run time.
+func TestGuaranteeCoverage(t *testing.T) {
+	c := &Campaign{
+		Seed: 1, N: 40, Steer: true,
+		LibraryEvery: 5, ChaosEvery: 7, AdaptiveEvery: 6,
+		Oracle: DefaultOracle(),
+		Log:    t.Logf,
+	}
+	res := c.Run()
+	for _, f := range res.Failures {
+		t.Errorf("FAIL %s (seed %d, config %+v): %s", f.Name, f.Seed, f.Config, f.Err)
+	}
+	if miss := res.Coverage.Missing(); len(miss) > 0 {
+		t.Errorf("guarantee classes without run-time coverage: %v", miss)
+	}
+	if n := res.Coverage.Runtime[obs.EscapeUnknown]; n != 0 {
+		t.Errorf("EscapeUnknown fired %d times at run time", n)
+	}
+	if n := res.Coverage.Static[obs.EscapeUnknown]; n != 0 {
+		t.Errorf("translator emitted %d EscapeUnknown fallback sites", n)
+	}
+	if res.BPHits == 0 {
+		t.Error("no breakpoint hits recorded across the campaign")
+	}
+	if res.ChaosMutants == 0 {
+		t.Error("no chaos mutants checked across the campaign")
+	}
+	t.Logf("passes=%d bp=%d chaos=%d\n%s",
+		res.Passes, res.BPHits, res.ChaosMutants, res.Coverage.String())
+}
+
+// TestEscapeInvariantSweep runs a wide unsteered sweep. Every program's
+// oracle already enforces the accounting invariants (escape totals match
+// runner interlude counts, per-procedure sums, EscapeUnknown == 0), so the
+// assertion here is simply that no program in a broad random sample trips
+// them.
+func TestEscapeInvariantSweep(t *testing.T) {
+	n := 200
+	if testing.Short() {
+		n = 40
+	}
+	c := &Campaign{Seed: 10_000, N: n, Oracle: DefaultOracle()}
+	res := c.Run()
+	for _, f := range res.Failures {
+		t.Errorf("FAIL %s (seed %d, config %+v): %s", f.Name, f.Seed, f.Config, f.Err)
+	}
+	if n := res.Coverage.Runtime[obs.EscapeUnknown]; n != 0 {
+		t.Errorf("EscapeUnknown fired %d times at run time", n)
+	}
+	if res.Programs != n {
+		t.Errorf("ran %d programs, want %d", res.Programs, n)
+	}
+}
+
+// TestAdaptiveGeneratedPrograms sends every program through the full
+// adaptive cycle (capture -> retranslate -> rerun): the second pass must
+// produce identical output and must not increase the escape count. Those
+// checks live in the oracle's adaptive pass; a failure surfaces here.
+func TestAdaptiveGeneratedPrograms(t *testing.T) {
+	n := 30
+	if testing.Short() {
+		n = 8
+	}
+	c := &Campaign{Seed: 77_000, N: n, Steer: true, AdaptiveEvery: 1,
+		Oracle: DefaultOracle()}
+	res := c.Run()
+	for _, f := range res.Failures {
+		t.Errorf("FAIL %s (seed %d, config %+v): %s", f.Name, f.Seed, f.Config, f.Err)
+	}
+}

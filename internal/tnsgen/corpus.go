@@ -1,0 +1,229 @@
+package tnsgen
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tnsr/internal/obs"
+)
+
+// A Scenario is one banked corpus entry: a (usually minimized) program
+// with its oracle directives and the escape-reason class it pins, in a
+// plain-text format that diffs well and survives generator evolution — the
+// rendered sources are stored, not the seeds that produced them.
+//
+// File format (";;" directive lines, then the sources):
+//
+//	;; tnsgen scenario v1
+//	;; name: rp-conflict
+//	;; class: rp-conflict
+//	;; seed: 7
+//	;; cold: cold
+//	;; break: true
+//	;; user:
+//	<user assembly>
+//	;; lib:
+//	<library assembly>
+type Scenario struct {
+	Name string
+	// Class is the run-time escape-reason class this scenario must keep
+	// exercising; HasClass is false for scenarios that only pin fidelity.
+	Class    obs.EscapeReason
+	HasClass bool
+	// Seed records provenance (the generator seed the scenario was
+	// minimized from); replay does not use it.
+	Seed      int64
+	Cold      []string
+	WantBreak bool
+	User      string
+	Lib       string
+}
+
+// Subject converts the scenario for the oracle.
+func (s *Scenario) Subject() *Subject {
+	return &Subject{
+		Name:      s.Name,
+		User:      s.User,
+		Lib:       s.Lib,
+		Cold:      append([]string(nil), s.Cold...),
+		WantBreak: s.WantBreak,
+	}
+}
+
+const scenarioHeader = ";; tnsgen scenario v1"
+
+// Marshal renders the scenario file.
+func (s *Scenario) Marshal() []byte {
+	var sb strings.Builder
+	sb.WriteString(scenarioHeader + "\n")
+	fmt.Fprintf(&sb, ";; name: %s\n", s.Name)
+	if s.HasClass {
+		fmt.Fprintf(&sb, ";; class: %s\n", s.Class)
+	}
+	if s.Seed != 0 {
+		fmt.Fprintf(&sb, ";; seed: %d\n", s.Seed)
+	}
+	if len(s.Cold) > 0 {
+		fmt.Fprintf(&sb, ";; cold: %s\n", strings.Join(s.Cold, ","))
+	}
+	if s.WantBreak {
+		sb.WriteString(";; break: true\n")
+	}
+	sb.WriteString(";; user:\n")
+	sb.WriteString(strings.TrimRight(s.User, "\n") + "\n")
+	if s.Lib != "" {
+		sb.WriteString(";; lib:\n")
+		sb.WriteString(strings.TrimRight(s.Lib, "\n") + "\n")
+	}
+	return []byte(sb.String())
+}
+
+// ParseScenario reads the scenario file format.
+func ParseScenario(data []byte) (*Scenario, error) {
+	lines := strings.Split(string(data), "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) != scenarioHeader {
+		return nil, fmt.Errorf("tnsgen: not a scenario file (missing %q)", scenarioHeader)
+	}
+	s := &Scenario{}
+	var cur *strings.Builder
+	var user, lib strings.Builder
+	for _, line := range lines[1:] {
+		if strings.HasPrefix(line, ";; ") || line == ";;" {
+			dir := strings.TrimPrefix(line, ";; ")
+			key, val, _ := strings.Cut(dir, ":")
+			val = strings.TrimSpace(val)
+			switch strings.TrimSpace(key) {
+			case "name":
+				s.Name = val
+			case "class":
+				r, ok := obs.ReasonFromName(val)
+				if !ok {
+					return nil, fmt.Errorf("tnsgen: unknown escape class %q", val)
+				}
+				s.Class, s.HasClass = r, true
+			case "seed":
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("tnsgen: bad seed %q", val)
+				}
+				s.Seed = n
+			case "cold":
+				for _, c := range strings.Split(val, ",") {
+					if c = strings.TrimSpace(c); c != "" {
+						s.Cold = append(s.Cold, c)
+					}
+				}
+			case "break":
+				s.WantBreak = val == "true"
+			case "user":
+				cur = &user
+			case "lib":
+				cur = &lib
+			default:
+				return nil, fmt.Errorf("tnsgen: unknown scenario directive %q", key)
+			}
+			continue
+		}
+		if cur == nil {
+			if strings.TrimSpace(line) == "" {
+				continue
+			}
+			return nil, fmt.Errorf("tnsgen: source line before ';; user:' directive")
+		}
+		cur.WriteString(line)
+		cur.WriteByte('\n')
+	}
+	if s.Name == "" {
+		return nil, fmt.Errorf("tnsgen: scenario has no name")
+	}
+	if strings.TrimSpace(user.String()) == "" {
+		return nil, fmt.Errorf("tnsgen: scenario %s has no user source", s.Name)
+	}
+	s.User = user.String()
+	s.Lib = lib.String()
+	if strings.TrimSpace(s.Lib) == "" {
+		s.Lib = ""
+	}
+	return s, nil
+}
+
+// LoadCorpus reads every *.tns scenario under dir, sorted by filename.
+func LoadCorpus(dir string) ([]*Scenario, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.tns"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var out []*Scenario
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		s, err := ParseScenario(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// FromFailure converts a campaign failure into a scenario (unminimized;
+// callers usually Minimize the program first).
+func FromFailure(f *Failure) *Scenario {
+	return &Scenario{
+		Name: f.Name,
+		Seed: f.Seed,
+		Cold: append([]string(nil), f.Program.Cold...),
+
+		WantBreak: f.Program.WantBreak,
+		User:      f.Program.UserSource(),
+		Lib:       f.Program.LibSource(),
+	}
+}
+
+// BankScenario builds the corpus entry for one guarantee class: it scans
+// seeds from seed0 under a steering config that forces the class, takes the
+// first generated program whose oracle passes while exercising the class at
+// run time, and minimizes it subject to that same predicate.
+func BankScenario(class obs.EscapeReason, seed0 int64, o OracleOptions) (*Scenario, error) {
+	keep := func(p *Program) bool {
+		res, err := RunOracle(p.Subject(), o)
+		return err == nil && res.Coverage.Runtime[class] > 0
+	}
+	// Mark every class except the target as covered, so steering forces
+	// exactly the feature under test and leaves the rest to chance — the
+	// minimizer then has less to strip.
+	force := &Coverage{}
+	for _, r := range obs.GuaranteeClasses {
+		if r != class {
+			force.Runtime[r] = 1
+		}
+	}
+	for seed := seed0; seed < seed0+200; seed++ {
+		d := rand.New(rand.NewSource(seed ^ 0x5DEECE66D))
+		cfg := SteerConfig(force, d)
+		p := Generate(class.String(), seed, cfg)
+		if !keep(p) {
+			continue
+		}
+		min := Minimize(p, keep)
+		return &Scenario{
+			Name:      class.String(),
+			Class:     class,
+			HasClass:  true,
+			Seed:      seed,
+			Cold:      append([]string(nil), min.Cold...),
+			WantBreak: min.WantBreak,
+			User:      min.UserSource(),
+			Lib:       min.LibSource(),
+		}, nil
+	}
+	return nil, fmt.Errorf("tnsgen: no program exercising %s in 200 seeds from %d", class, seed0)
+}

@@ -1,0 +1,100 @@
+package tnsgen
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tnsr/internal/obs"
+)
+
+func TestScenarioRoundTrip(t *testing.T) {
+	s := &Scenario{
+		Name:      "rt",
+		Class:     obs.EscapeTrap,
+		HasClass:  true,
+		Seed:      123,
+		Cold:      []string{"cold", "c2"},
+		WantBreak: true,
+		User:      "  PROC main\nmain:\n  HALT\n",
+		Lib:       "  PROC l0\nl0:\n  EXIT 0\n",
+	}
+	got, err := ParseScenario(s.Marshal())
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	// Sources round-trip modulo trailing whitespace; everything else exactly.
+	if strings.TrimRight(got.User, "\n") != strings.TrimRight(s.User, "\n") ||
+		strings.TrimRight(got.Lib, "\n") != strings.TrimRight(s.Lib, "\n") {
+		t.Fatalf("round trip source mismatch:\nwant %+v\ngot  %+v", s, got)
+	}
+	su, sl := *s, *got
+	su.User, su.Lib, sl.User, sl.Lib = "", "", "", ""
+	if !reflect.DeepEqual(&su, &sl) {
+		t.Fatalf("round trip directive mismatch:\nwant %+v\ngot  %+v", su, sl)
+	}
+	// Marshal is canonical: a second round trip is byte-stable.
+	if string(got.Marshal()) != string(s.Marshal()) {
+		t.Fatal("Marshal is not a fixed point across ParseScenario")
+	}
+
+	if _, err := ParseScenario([]byte("not a scenario")); err == nil {
+		t.Fatal("junk input parsed as a scenario")
+	}
+	if _, err := ParseScenario([]byte(";; tnsgen scenario v1\n;; bogus: x\n")); err == nil {
+		t.Fatal("unknown directive accepted")
+	}
+}
+
+// TestScenarioCorpus replays every banked scenario: each must pass the
+// full oracle and still exercise the escape class it was minimized to pin.
+// This is the regression fence around past generator findings — later
+// translator or performance work must keep it green.
+func TestScenarioCorpus(t *testing.T) {
+	scenarios, err := LoadCorpus("corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) < 5 {
+		t.Fatalf("corpus holds %d scenarios, want at least 5 (regenerate with TNSGEN_REGEN=1)", len(scenarios))
+	}
+	for _, s := range scenarios {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			res, err := RunOracle(s.Subject(), DefaultOracle())
+			if err != nil {
+				t.Fatalf("scenario (from seed %d): %v", s.Seed, err)
+			}
+			if s.HasClass && res.Coverage.Runtime[s.Class] == 0 {
+				t.Fatalf("scenario no longer exercises %s at run time", s.Class)
+			}
+		})
+	}
+}
+
+// TestRegenScenarioCorpus rebuilds the checked-in corpus, one minimized
+// scenario per guarantee class. It only runs when TNSGEN_REGEN=1 is set:
+//
+//	TNSGEN_REGEN=1 go test ./internal/tnsgen -run RegenScenarioCorpus
+func TestRegenScenarioCorpus(t *testing.T) {
+	if os.Getenv("TNSGEN_REGEN") != "1" {
+		t.Skip("set TNSGEN_REGEN=1 to regenerate the corpus")
+	}
+	if err := os.MkdirAll("corpus", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, class := range obs.GuaranteeClasses {
+		sc, err := BankScenario(class, int64(i+1)*1000, DefaultOracle())
+		if err != nil {
+			t.Errorf("%s: %v", class, err)
+			continue
+		}
+		path := filepath.Join("corpus", class.String()+".tns")
+		if err := os.WriteFile(path, sc.Marshal(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("banked %s (seed %d, %d bytes)", path, sc.Seed, len(sc.Marshal()))
+	}
+}

@@ -1,0 +1,81 @@
+package tnsgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tnsr/internal/obs"
+)
+
+// Coverage is the feedback signal that steers generation: how many escape
+// events of each class actually fired at run time, how many fallback sites
+// of each class the translator emitted statically, and which translation
+// phases ran. The steering loop's goal is Runtime coverage of every class
+// in obs.GuaranteeClasses.
+type Coverage struct {
+	// Runtime histograms run-time escape events by reason, summed over
+	// every oracle pass.
+	Runtime [obs.NumEscapeReasons]int64
+	// Static histograms the translator's FallbackWhy sites by reason.
+	Static [obs.NumEscapeReasons]int64
+	// Phases records every translation-phase name observed.
+	Phases map[string]bool
+}
+
+// Merge accumulates o into c.
+func (c *Coverage) Merge(o *Coverage) {
+	for i := range c.Runtime {
+		c.Runtime[i] += o.Runtime[i]
+		c.Static[i] += o.Static[i]
+	}
+	for ph := range o.Phases {
+		c.addPhase(ph)
+	}
+}
+
+func (c *Coverage) addPhase(name string) {
+	if c.Phases == nil {
+		c.Phases = map[string]bool{}
+	}
+	c.Phases[name] = true
+}
+
+// Mask returns the run-time classes seen so far as a bit set.
+func (c *Coverage) Mask() obs.ReasonMask {
+	var m obs.ReasonMask
+	for r := obs.EscapeReason(0); r < obs.NumEscapeReasons; r++ {
+		if c.Runtime[r] > 0 {
+			m.Add(r)
+		}
+	}
+	return m
+}
+
+// Missing returns the guarantee classes with no run-time coverage yet.
+func (c *Coverage) Missing() []obs.EscapeReason {
+	var out []obs.EscapeReason
+	m := c.Mask()
+	for _, r := range obs.GuaranteeClasses {
+		if !m.Has(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// String renders a histogram table for campaign reports.
+func (c *Coverage) String() string {
+	var sb strings.Builder
+	sb.WriteString("class            runtime    static\n")
+	for _, r := range obs.GuaranteeClasses {
+		fmt.Fprintf(&sb, "%-14s %9d %9d\n", r, c.Runtime[r], c.Static[r])
+	}
+	var phases []string
+	for ph := range c.Phases {
+		phases = append(phases, ph)
+	}
+	sort.Strings(phases)
+	fmt.Fprintf(&sb, "phases: %s\n", strings.Join(phases, ", "))
+	return sb.String()
+}

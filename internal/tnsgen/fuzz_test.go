@@ -1,0 +1,32 @@
+package tnsgen
+
+import (
+	"testing"
+
+	"tnsr/internal/codefile"
+)
+
+// FuzzGenProgram lets the native fuzzer mutate generator decisions: the
+// input byte stream drives the Decider, so every mutation explores a
+// different well-formed program. The oracle (one accelerated level, to
+// keep per-exec cost down) must accept every one — any divergence, panic,
+// or EscapeUnknown is a crash for the fuzzer to minimize.
+func FuzzGenProgram(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0xFF, 0x00, 0x7F, 0x80, 0x3C, 0x11, 0x29, 0xEE, 0x42, 0x42})
+	o := OracleOptions{
+		Levels:       []codefile.AccelLevel{codefile.LevelDefault},
+		InterpBudget: 3_000_000,
+		RunBudget:    20_000_000,
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewByteDecider(data)
+		cfg := RandomConfig(d)
+		p := GenerateWith("fuzz", d, cfg)
+		if _, err := RunOracle(p.Subject(), o); err != nil {
+			t.Fatalf("%v\nconfig: %+v\nuser:\n%s\nlib:\n%s",
+				err, cfg, p.UserSource(), p.LibSource())
+		}
+	})
+}

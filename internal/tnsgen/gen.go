@@ -1,0 +1,891 @@
+// Package tnsgen is the coverage-guided TNS program generator: a seeded,
+// reproducible source of well-formed TAL/TNS assembly programs that respect
+// the compiler conventions (register stack empty across calls, results
+// matching summaries), paired with a differential oracle that runs every
+// program interpreted and accelerated at all option levels and treats any
+// divergence, panic, or unclassified escape as a failure.
+//
+// The generator is the enforcement arm of the paper's fidelity claim — the
+// translated code "calculates the same answers as the TNS code" — turned
+// into a testing guarantee: generation is steered by the typed
+// escape-reason histogram from internal/obs until every reason class the
+// translator can emit (obs.GuaranteeClasses) has been exercised by a
+// generated program at run time. Programs that expose a failure are shrunk
+// by a delta-debugging minimizer and banked into a checked-in scenario
+// corpus (see corpus.go) that later performance work must keep green.
+//
+// Everything is deterministic: a program is a pure function of its seed and
+// Config, built through the Decider interface so the same construction
+// serves math/rand streams, fuzzer-controlled byte streams, and replayed
+// corpus decisions.
+package tnsgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Decider is the generator's only source of nondeterminism. *rand.Rand
+// satisfies it; ByteDecider maps a fuzzer's byte stream onto it.
+type Decider interface {
+	// Intn returns a value in [0, n). Implementations must tolerate any
+	// n >= 1 the generator asks for.
+	Intn(n int) int
+}
+
+// ByteDecider drives generation from a finite byte stream, so a native Go
+// fuzzer mutating bytes is mutating generator decisions. An exhausted
+// stream answers 0 forever, which always yields a well-formed (if dull)
+// program — the fuzz target never has to reject an input.
+type ByteDecider struct {
+	data []byte
+	pos  int
+}
+
+// NewByteDecider wraps a fuzz input.
+func NewByteDecider(data []byte) *ByteDecider { return &ByteDecider{data: data} }
+
+// Intn consumes one byte per decision (two for ranges past one byte).
+func (d *ByteDecider) Intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	v := d.next()
+	if n > 256 {
+		v = v<<8 | d.next()
+	}
+	return v % n
+}
+
+func (d *ByteDecider) next() int {
+	if d.pos >= len(d.data) {
+		return 0
+	}
+	v := int(d.data[d.pos])
+	d.pos++
+	return v
+}
+
+// Config selects which program constructs the generator may emit. The
+// boolean features map onto the escape-reason classes the steering loop
+// (see steer.go) is trying to exercise; with everything off the generator
+// still emits straight-line arithmetic, branches and stores.
+type Config struct {
+	// MaxProcs bounds the number of ordinary random procedures (the
+	// generator draws 1..MaxProcs). Zero means the default of 4.
+	MaxProcs int
+
+	// Case enables CASE dispatch tables.
+	Case bool
+	// Indirect enables indirect calls through PLabels (LDPL/XCAL), with
+	// and without the compiler's SETRP clue.
+	Indirect bool
+	// Hidden generates procedures without RESULT summaries, forcing the
+	// Accelerator to analyze or guess their result sizes.
+	Hidden bool
+	// DeepChain adds a three-deep chain of hidden-summary procedures, so
+	// result-size analysis has to recurse.
+	DeepChain bool
+	// RPStress adds statements that drive the register stack to its full
+	// eight-register depth with EXCH/STAR/LDRA gymnastics in the middle.
+	RPStress bool
+
+	// WrongGuess adds a hidden two-result procedure called through XCAL
+	// with no SETRP clue and a one-result continuation, so the translator's
+	// guess is provably wrong and the run-time RP guard must fire
+	// (EscapeRPConflict).
+	WrongGuess bool
+	// PuzzleJoin adds a procedure whose two paths reach a join with
+	// conflicting static RP but identical dynamic depth: the join becomes
+	// a puzzle (EscapeRPConflict) and the code downstream of it an
+	// interpreter-only region whose re-entry points surface
+	// EscapeComputedJump.
+	PuzzleJoin bool
+	// Cold marks one generated procedure for exclusion under selective
+	// acceleration. The oracle then runs an extra pass with that procedure
+	// untranslated, exercising EscapeUntranslated (PCAL into it),
+	// EscapeIndirectCall (XCAL dispatch missing it) and EscapeUnmapped
+	// (returning into it from a translated callee).
+	Cold bool
+	// Trap ends main with a call to a procedure that divides by zero, so
+	// the TNS trap surfaces from translated code (EscapeTrap).
+	Trap bool
+	// Break asks the oracle for an extra breakpointed pass over the
+	// program (EscapeBreakpoint); it changes no generated code.
+	Break bool
+
+	// Library generates a user+library pair: the library is a set of
+	// procedures called through SCAL, exercising the cross-codefile
+	// dispatch and EXIT paths.
+	Library bool
+}
+
+// LegacyConfig reproduces the construct set of the original progGen that
+// lived in internal/core's tests: CASE tables, indirect calls and hidden
+// summaries, none of the adversarial features.
+func LegacyConfig() Config {
+	return Config{Case: true, Indirect: true, Hidden: true}
+}
+
+// FullConfig turns on every program construct and adversarial feature.
+func FullConfig() Config {
+	return Config{
+		Case: true, Indirect: true, Hidden: true,
+		DeepChain: true, RPStress: true,
+		WrongGuess: true, PuzzleJoin: true, Cold: true,
+		Trap: true, Break: true,
+	}
+}
+
+// RandomConfig draws a configuration from d: the legacy constructs with
+// high probability, each adversarial feature with lower probability.
+func RandomConfig(d Decider) Config {
+	return Config{
+		Case:       d.Intn(3) != 0,
+		Indirect:   d.Intn(3) != 0,
+		Hidden:     d.Intn(3) != 0,
+		DeepChain:  d.Intn(2) == 0,
+		RPStress:   d.Intn(2) == 0,
+		WrongGuess: d.Intn(3) == 0,
+		PuzzleJoin: d.Intn(3) == 0,
+		Cold:       d.Intn(3) == 0,
+		Trap:       d.Intn(4) == 0,
+		Break:      d.Intn(4) == 0,
+	}
+}
+
+// GenProc is one generated procedure, split into a fixed prologue and
+// epilogue (calling convention, harness plumbing) and a list of removable
+// statement chunks. Chunks are the delta-debugging unit: every chunk is a
+// balanced statement, so any subset of them still assembles and runs.
+type GenProc struct {
+	Name     string
+	Results  int
+	Args     int
+	Hidden   bool // no RESULT summary in the source
+	Prologue []string
+	Chunks   [][]string
+	Epilogue []string
+}
+
+func (p *GenProc) render(sb *strings.Builder) {
+	if p.Hidden {
+		fmt.Fprintf(sb, "PROC %s ARGS %d\n", p.Name, p.Args)
+	} else {
+		fmt.Fprintf(sb, "PROC %s RESULT %d ARGS %d\n", p.Name, p.Results, p.Args)
+	}
+	for _, l := range p.Prologue {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	for _, c := range p.Chunks {
+		for _, l := range c {
+			sb.WriteString(l)
+			sb.WriteByte('\n')
+		}
+	}
+	for _, l := range p.Epilogue {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("ENDPROC\n")
+}
+
+func (p *GenProc) clone() GenProc {
+	q := *p
+	q.Prologue = append([]string(nil), p.Prologue...)
+	q.Epilogue = append([]string(nil), p.Epilogue...)
+	q.Chunks = make([][]string, len(p.Chunks))
+	for i, c := range p.Chunks {
+		q.Chunks[i] = append([]string(nil), c...)
+	}
+	return q
+}
+
+// Program is a generated test case: structured source (so the minimizer
+// can delete chunks, not lines) plus the oracle directives that travel with
+// it (cold procedures, breakpoint request).
+type Program struct {
+	Name   string
+	Seed   int64
+	Config Config
+
+	Header   []string // GLOBALS / DATA / MAIN directives
+	Procs    []GenProc
+	LibProcs []GenProc // empty unless Config.Library
+
+	// Cold lists procedures the oracle's selective-acceleration pass must
+	// leave untranslated. WantBreak asks the oracle for a breakpointed
+	// pass.
+	Cold      []string
+	WantBreak bool
+}
+
+// UserSource renders the user-space assembly.
+func (p *Program) UserSource() string {
+	var sb strings.Builder
+	for _, l := range p.Header {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	for i := range p.Procs {
+		p.Procs[i].render(&sb)
+	}
+	return sb.String()
+}
+
+// LibSource renders the library assembly, or "" for single-file programs.
+func (p *Program) LibSource() string {
+	if len(p.LibProcs) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString("GLOBALS 64\nMAIN dummy\n")
+	for i := range p.LibProcs {
+		p.LibProcs[i].render(&sb)
+	}
+	return sb.String()
+}
+
+// Clone deep-copies the program (the minimizer mutates clones).
+func (p *Program) Clone() *Program {
+	q := *p
+	q.Header = append([]string(nil), p.Header...)
+	q.Cold = append([]string(nil), p.Cold...)
+	q.Procs = make([]GenProc, len(p.Procs))
+	for i := range p.Procs {
+		q.Procs[i] = p.Procs[i].clone()
+	}
+	q.LibProcs = make([]GenProc, len(p.LibProcs))
+	for i := range p.LibProcs {
+		q.LibProcs[i] = p.LibProcs[i].clone()
+	}
+	return &q
+}
+
+// Generate builds a program from a seed. Identical seed and config yield a
+// byte-identical program on every run and GOMAXPROCS setting: generation is
+// single-goroutine, map-free, and draws only from the seeded stream.
+func Generate(name string, seed int64, cfg Config) *Program {
+	src := seed
+	if cfg.Library {
+		// Preserve the legacy generator's library stream so historic seeds
+		// keep their shapes.
+		src = seed * 7919
+	}
+	p := GenerateWith(name, rand.New(rand.NewSource(src)), cfg)
+	p.Seed = seed
+	return p
+}
+
+// GenerateWith builds a program, drawing every decision from d.
+func GenerateWith(name string, d Decider, cfg Config) *Program {
+	if cfg.MaxProcs <= 0 {
+		cfg.MaxProcs = 4
+	}
+	g := &gen{d: d, cfg: cfg, p: &Program{Name: name, Config: cfg}}
+	if cfg.Library {
+		g.buildLibraryPair()
+	} else {
+		g.buildUser()
+	}
+	return g.p
+}
+
+// gen carries the generation state: the decider, the program under
+// construction, the static register-stack depth within the current chunk,
+// and the procedures generated so far (calls target lower-numbered
+// procedures — a DAG, so no unbounded recursion).
+type gen struct {
+	d   Decider
+	cfg Config
+	p   *Program
+
+	cur   []string // lines of the chunk being built
+	depth int      // static register-stack depth
+	label int
+
+	callable []callee // procedures random call statements may target
+	wgIdx    int      // PEP index of the wrong-guess procedure, -1 if absent
+	coldIdx  int      // PEP index of the cold procedure, -1 if absent
+}
+
+// callee is a call target with its PEP index (needed for LDPL).
+type callee struct {
+	name    string
+	pep     int
+	results int
+	args    int
+}
+
+func (g *gen) pr(format string, args ...any) {
+	g.cur = append(g.cur, fmt.Sprintf(format, args...))
+}
+
+func (g *gen) take() []string {
+	c := g.cur
+	g.cur = nil
+	return c
+}
+
+func (g *gen) newLabel() string {
+	g.label++
+	return fmt.Sprintf("lab%d", g.label)
+}
+
+// addProc appends a finished procedure and returns its PEP index.
+func (g *gen) addProc(p GenProc) int {
+	g.p.Procs = append(g.p.Procs, p)
+	return len(g.p.Procs) - 1
+}
+
+// pushValue emits code that pushes one word.
+func (g *gen) pushValue() {
+	g.depth++
+	switch g.d.Intn(6) {
+	case 0:
+		g.pr("  LDI %d", g.d.Intn(200)-100)
+	case 1:
+		g.pr("  LOAD G+%d", g.d.Intn(24))
+	case 2:
+		g.pr("  LDI %d", g.d.Intn(100))
+		g.pr("  LDHI %d", g.d.Intn(256))
+	case 3:
+		g.pr("  LDB G+%d", g.d.Intn(24))
+	case 4:
+		g.pr("  LGA %d", g.d.Intn(24))
+	case 5:
+		g.pr("  LDI %d", g.d.Intn(8))
+		g.pr("  LOAD G+8,X") // within the first 24 globals
+	}
+}
+
+// combine pops two words and pushes one.
+func (g *gen) combine() {
+	ops := []string{"ADD", "SUB", "LAND", "LOR", "XOR", "MPY"}
+	g.pr("  %s", ops[g.d.Intn(len(ops))])
+	g.depth--
+}
+
+// expr builds a random expression of the given approximate size, leaving
+// one word on the register stack.
+func (g *gen) expr(size int) {
+	g.pushValue()
+	for i := 0; i < size; i++ {
+		g.pushValue()
+		g.combine()
+		if g.d.Intn(3) == 0 {
+			unary := []string{"NEG", "NOT", "SWAB", "ADDI 3", "ANDI 63",
+				"ORI 5", "SHL 2", "SHRL 1", "SHRA 1", "DUP\n  DEL"}
+			g.pr("  %s", unary[g.d.Intn(len(unary))])
+		}
+	}
+}
+
+// store pops the top into a random global (G+2..G+23; G+0/G+1 and the
+// high globals are reserved for the harness).
+func (g *gen) store() {
+	g.pr("  STOR G+%d", 2+g.d.Intn(22))
+	g.depth--
+}
+
+// statement emits one random statement (net stack effect zero).
+func (g *gen) statement(depthBudget int) {
+	nkinds := 13
+	if g.cfg.RPStress {
+		nkinds++
+	}
+	switch g.d.Intn(nkinds) {
+	case 0, 1, 2: // simple assignment
+		g.expr(g.d.Intn(3))
+		g.store()
+	case 3: // conditional
+		g.expr(g.d.Intn(2))
+		l1 := g.newLabel()
+		l2 := g.newLabel()
+		conds := []string{"BL", "BE", "BLE", "BG", "BNE", "BGE"}
+		g.pr("  CMPI %d", g.d.Intn(20)-10)
+		g.pr("  DEL")
+		g.depth--
+		g.pr("  %s %s", conds[g.d.Intn(len(conds))], l1)
+		g.statementSimple()
+		g.pr("  BUN %s", l2)
+		g.pr("%s:", l1)
+		g.statementSimple()
+		g.pr("%s:", l2)
+	case 4: // byte store
+		g.expr(1)
+		g.pr("  STB G+%d", 8+g.d.Intn(16))
+		g.depth--
+	case 5: // 32-bit arithmetic
+		g.pushValue()
+		g.pushValue()
+		g.pushValue()
+		g.pushValue()
+		dops := []string{"DADD", "DSUB", "DMPY"}
+		g.pr("  %s", dops[g.d.Intn(len(dops))])
+		g.depth -= 2
+		g.pr("  STD G+%d", 2*(1+g.d.Intn(11)))
+		g.depth -= 2
+	case 6: // call a previously generated procedure
+		if len(g.callable) == 0 || depthBudget <= 0 {
+			g.statementSimple()
+			return
+		}
+		g.call(g.callable[g.d.Intn(len(g.callable))])
+	case 7: // CASE dispatch
+		if !g.cfg.Case {
+			g.statementSimple()
+			return
+		}
+		g.caseStmt()
+	case 8: // compare into branch storing flags
+		g.expr(1)
+		g.pushValue()
+		g.pr("  CMP")
+		g.depth -= 2
+		l1 := g.newLabel()
+		g.pr("  BG %s", l1)
+		g.statementSimple()
+		g.pr("%s:", l1)
+	case 9: // indexed store
+		g.expr(1)
+		g.pr("  LDI %d", g.d.Intn(8))
+		g.depth++
+		g.pr("  STOR G+8,X")
+		g.depth -= 2
+	case 10: // block move between two scratch buffers (byte addresses)
+		g.pr("  LDI %d", 2*(32+g.d.Intn(8)))
+		g.pr("  LDI %d", 2*(44+g.d.Intn(8)))
+		g.pr("  LDI %d", 1+g.d.Intn(6))
+		g.depth += 3
+		if g.d.Intn(2) == 0 {
+			g.pr("  MOVB")
+		} else {
+			g.pr("  MOVW")
+		}
+		g.depth -= 3
+	case 11: // byte-string compare or scan feeding a store
+		if g.d.Intn(2) == 0 {
+			g.pr("  LDI %d", 2*(32+g.d.Intn(4)))
+			g.pr("  LDI %d", 2*(44+g.d.Intn(4)))
+			g.pr("  LDI %d", 1+g.d.Intn(6))
+			g.depth += 3
+			g.pr("  CMPB")
+			g.depth -= 3
+			l := g.newLabel()
+			g.pr("  BE %s", l)
+			g.statementSimple()
+			g.pr("%s:", l)
+		} else {
+			g.pr("  LDI %d", 2*(32+g.d.Intn(4)))
+			g.pr("  LDI %d", g.d.Intn(128))
+			g.pr("  LDI %d", 1+g.d.Intn(8))
+			g.depth += 3
+			g.pr("  SCNB")
+			g.depth -= 2
+			g.store()
+		}
+	case 12: // register-barrel gymnastics: absolute registers and EXCH
+		g.pushValue()
+		g.pushValue()
+		switch g.d.Intn(3) {
+		case 0:
+			g.pr("  EXCH")
+		case 1:
+			g.pr("  STAR 2")
+			g.depth--
+			g.pr("  LDRA 2")
+			g.depth++
+		case 2:
+			g.pr("  DUP")
+			g.pr("  DEL")
+		}
+		g.store()
+		g.store()
+	case 13: // RP stress: fill the eight-register barrel, then fold down
+		g.rpStress()
+	}
+}
+
+// statementSimple emits a guaranteed-simple statement.
+func (g *gen) statementSimple() {
+	g.expr(1)
+	g.store()
+}
+
+// rpStress drives the register stack to its full depth with shuffles in
+// the middle, stressing the translator's RP tracking at every point.
+func (g *gen) rpStress() {
+	n := 6 + g.d.Intn(3) // 6..8 of the 8 registers
+	for i := 0; i < n; i++ {
+		g.pushValue()
+	}
+	g.pr("  EXCH")
+	if g.d.Intn(2) == 0 {
+		reg := 1 + g.d.Intn(n-1)
+		g.pr("  STAR %d", reg)
+		g.depth--
+		g.pr("  LDRA %d", reg)
+		g.depth++
+	}
+	for i := 0; i < n-1; i++ {
+		g.combine()
+	}
+	g.store()
+}
+
+func (g *gen) caseStmt() {
+	n := 2 + g.d.Intn(3)
+	labels := make([]string, n)
+	for i := range labels {
+		labels[i] = g.newLabel()
+	}
+	after := g.newLabel()
+	g.expr(0)
+	g.pr("  ANDI 7") // keep the index small but sometimes out of range
+	g.pr("  CASE")
+	g.depth--
+	g.pr("CASETAB %s", strings.Join(labels, ", "))
+	// Out-of-range falls through here.
+	g.statementSimple()
+	g.pr("  BUN %s", after)
+	for _, l := range labels {
+		g.pr("%s:", l)
+		g.statementSimple()
+		g.pr("  BUN %s", after)
+	}
+	g.pr("%s:", after)
+}
+
+// call invokes c with the calling convention: args pushed on the memory
+// stack, register stack empty, results consumed afterwards.
+func (g *gen) call(c callee) {
+	for i := 0; i < c.args; i++ {
+		g.expr(g.d.Intn(2))
+		g.pr("  ADDS 1")
+		g.pr("  STOR S-0")
+		g.depth--
+	}
+	indirect := g.cfg.Indirect && g.d.Intn(4) == 0
+	if indirect {
+		g.pr("  LDPL %d", c.pep)
+		g.depth++
+		g.pr("  XCAL")
+		g.depth--
+		if g.d.Intn(2) == 0 {
+			// The compiler clue.
+			g.pr("  SETRP %d", (7+c.results)%8)
+		}
+		// Otherwise the Accelerator guesses from the following code.
+	} else {
+		g.pr("  PCAL %s", c.name)
+	}
+	g.depth += c.results
+	for i := 0; i < c.results; i++ {
+		g.store()
+	}
+}
+
+// randomProc generates one ordinary procedure as chunks.
+func (g *gen) randomProc(idx, results, args int, hidden bool) GenProc {
+	p := GenProc{
+		Name:    fmt.Sprintf("p%d", idx),
+		Results: results,
+		Args:    args,
+		Hidden:  hidden,
+	}
+	g.depth = 0
+	nstmt := 1 + g.d.Intn(4)
+	for i := 0; i < nstmt; i++ {
+		if g.d.Intn(3) == 0 {
+			g.pr("  STMT %d", i+1)
+		}
+		g.statement(1)
+		if g.depth != 0 {
+			panic("tnsgen: generator lost stack balance")
+		}
+		p.Chunks = append(p.Chunks, g.take())
+	}
+	// Use the arguments sometimes.
+	if args > 0 && g.d.Intn(2) == 0 {
+		g.pr("  LOAD L-%d", 3+g.d.Intn(args))
+		g.pr("  STOR G+%d", 2+g.d.Intn(22))
+	}
+	for i := 0; i < results; i++ {
+		g.expr(g.d.Intn(2))
+	}
+	g.depth -= results
+	g.pr("  EXIT %d", args)
+	p.Epilogue = g.take()
+	return p
+}
+
+// fixedProc builds a procedure whose body is one removable chunk.
+func fixedProc(name string, results, args int, hidden bool, body, epilogue []string) GenProc {
+	return GenProc{
+		Name: name, Results: results, Args: args, Hidden: hidden,
+		Chunks:   [][]string{body},
+		Epilogue: epilogue,
+	}
+}
+
+// buildUser assembles the whole single-file program: feature procedures
+// first (so their PEP indexes are known to LDPL sites), random procedures,
+// then main with its bounded loop, feature chunks, and checksum harness.
+func (g *gen) buildUser() {
+	cfg := g.cfg
+	g.p.Header = []string{
+		"GLOBALS 64",
+		"DATA 8: 11 22 33 44 55 66 77 88",
+		"MAIN main",
+	}
+	g.wgIdx, g.coldIdx = -1, -1
+
+	// wg: a hidden two-result procedure. Called through XCAL with no SETRP
+	// clue and a one-result continuation, the translator's guess is wrong
+	// and the run-time RP guard fires.
+	if cfg.WrongGuess || cfg.PuzzleJoin {
+		g.wgIdx = g.addProc(fixedProc("wg", 2, 0, true,
+			[]string{"  LDI 4", "  LDI 9"},
+			[]string{"  EXIT 0"}))
+	}
+	// tj: a trivial translated callee. PCALed from interpreter-only
+	// regions, its millicode EXIT must look up a return point that has no
+	// translation — the unmapped/computed-jump escapes.
+	hasTJ := cfg.PuzzleJoin || cfg.Cold
+	if hasTJ {
+		g.addProc(fixedProc("tj", 0, 0, false,
+			[]string{"  LDI 3", "  STOR G+14"},
+			[]string{"  EXIT 0"}))
+		g.callable = append(g.callable, callee{name: "tj", pep: len(g.p.Procs) - 1})
+	}
+	// The deep chain: three hidden-summary procedures, each passing its
+	// argument down and adding one, so result-size analysis recurses.
+	if cfg.DeepChain {
+		g.addProc(GenProc{Name: "c0", Results: 1, Args: 1, Hidden: true,
+			Chunks:   [][]string{{"  LOAD L-3", "  ADDI 1"}},
+			Epilogue: []string{"  EXIT 1"}})
+		for i := 1; i <= 2; i++ {
+			g.addProc(GenProc{
+				Name: fmt.Sprintf("c%d", i), Results: 1, Args: 1, Hidden: true,
+				Chunks: [][]string{{
+					"  LOAD L-3",
+					"  ADDS 1",
+					"  STOR S-0",
+					fmt.Sprintf("  PCAL c%d", i-1),
+					"  ADDI 1",
+				}},
+				Epilogue: []string{"  EXIT 1"},
+			})
+		}
+		g.callable = append(g.callable,
+			callee{name: "c2", pep: len(g.p.Procs) - 1, results: 1, args: 1})
+	}
+
+	// Ordinary random procedures.
+	nproc := 1 + g.d.Intn(cfg.MaxProcs)
+	for i := 0; i < nproc; i++ {
+		results := g.d.Intn(3)
+		args := g.d.Intn(3)
+		hidden := cfg.Hidden && g.d.Intn(3) == 0
+		p := g.randomProc(i, results, args, hidden)
+		pep := g.addProc(p)
+		g.callable = append(g.callable,
+			callee{name: p.Name, pep: pep, results: results, args: args})
+	}
+
+	// wgc: the wrong-guess call site in a procedure of its own, so the
+	// statically mistracked RP after the XCAL is contained.
+	if cfg.WrongGuess {
+		g.addProc(fixedProc("wgc", 0, 0, false,
+			[]string{
+				fmt.Sprintf("  LDPL %d", g.wgIdx),
+				"  XCAL",
+				"  STOR G+10",
+				"  STOR G+11",
+			},
+			[]string{"  EXIT 0"}))
+	}
+	// pj: the puzzle join. Path A's XCAL is guessed at one result but
+	// dynamically delivers two; path B pushes two literals. The join
+	// consumes two words — dynamically balanced on both paths, statically
+	// contradictory, so the join is a puzzle and everything after it an
+	// interpreter-only region. The PCAL below the join gives that region a
+	// translated callee whose return lands on an unmapped computed-jump
+	// point.
+	if cfg.PuzzleJoin {
+		g.addProc(fixedProc("pj", 0, 0, false,
+			[]string{
+				"  LOAD G+2",
+				"  ANDI 1",
+				"  BNZ pjA",
+				"  LDI 5",
+				"  LDI 9",
+				"  BUN pjJ",
+				"pjA:",
+				fmt.Sprintf("  LDPL %d", g.wgIdx),
+				"  XCAL",
+				"pjJ:",
+				"  STOR G+12",
+				"  STOR G+13",
+				"  PCAL tj",
+				"  LDI 1",
+				"  STOR G+15",
+			},
+			[]string{"  EXIT 0"}))
+		// cj: returns one word past its static return point by bumping the
+		// saved return address in the stack marker. The landing site below
+		// (in main) is reachable only through this unanalyzable return, so
+		// RP propagation never reaches it and the translator maps it as a
+		// computed-jump fallback.
+		g.addProc(fixedProc("cj", 0, 0, false,
+			[]string{"  LOAD L-2", "  ADDI 1", "  STOR L-2"},
+			[]string{"  EXIT 0"}))
+	}
+	// cold: the selective-acceleration victim. Its PCAL into a translated
+	// procedure makes the return address an unmapped point of the
+	// untranslated caller.
+	if cfg.Cold {
+		g.coldIdx = g.addProc(fixedProc("cold", 0, 0, false,
+			[]string{"  PCAL tj", "  LDI 1", "  STOR G+16"},
+			[]string{"  EXIT 0"}))
+		g.p.Cold = append(g.p.Cold, "cold")
+	}
+	// trapper: divides by zero, so the trap surfaces from translated code.
+	if cfg.Trap {
+		g.addProc(fixedProc("trapper", 0, 0, false,
+			[]string{"  LDI 1", "  LDI 0", "  DIV", "  STOR G+17"},
+			[]string{"  EXIT 0"}))
+	}
+
+	// main: a bounded loop exercises join points; the loop body is the
+	// random statements plus one fixed chunk per enabled feature.
+	main := GenProc{Name: "main"}
+	g.depth = 0
+	g.pr("  LDI %d", 3+g.d.Intn(5))
+	g.pr("  STOR G+60") // loop counter, outside the random-store range
+	g.pr("mainloop:")
+	main.Prologue = g.take()
+	for i := 0; i < 2+g.d.Intn(3); i++ {
+		g.depth = 0
+		g.statement(1)
+		main.Chunks = append(main.Chunks, g.take())
+	}
+	if cfg.WrongGuess {
+		main.Chunks = append(main.Chunks, []string{"  PCAL wgc"})
+	}
+	if cfg.PuzzleJoin {
+		main.Chunks = append(main.Chunks, []string{"  PCAL pj"})
+		// The cj landing pad: cj's EXIT skips the BUN and lands on the
+		// STMT-labelled word, which no static path reaches.
+		main.Chunks = append(main.Chunks, []string{
+			"  PCAL cj",
+			"  BUN cjover",
+			"  STMT 90",
+			"  LDI 1",
+			"  STOR G+18",
+			"cjover:",
+		})
+	}
+	if cfg.Cold {
+		// Both call forms into the cold procedure: the direct call escapes
+		// untranslated, the dispatch escapes indirect-call. The SETRP clue
+		// keeps the static RP exact (cold returns nothing).
+		main.Chunks = append(main.Chunks, []string{
+			"  PCAL cold",
+			fmt.Sprintf("  LDPL %d", g.coldIdx),
+			"  XCAL",
+			"  SETRP 7",
+		})
+	}
+	// Report a checksum over the globals via the console.
+	g.pr("  LOAD G+60")
+	g.pr("  ADDI -1")
+	g.pr("  STOR G+60")
+	g.pr("  LOAD G+60")
+	g.pr("  BNZ mainloop")
+	g.pr("  LDI 0")
+	g.pr("  STOR G+61")
+	g.pr("  LDI 2")
+	g.pr("  STOR G+60")
+	g.pr("ckloop:")
+	g.pr("  LOAD G+61")
+	g.pr("  LOAD G+60")
+	g.pr("  LOAD G+0,X")
+	g.pr("  XOR")
+	g.pr("  STOR G+61")
+	g.pr("  LOAD G+60")
+	g.pr("  ADDI 1")
+	g.pr("  STOR G+60")
+	g.pr("  LOAD G+60")
+	g.pr("  CMPI 24")
+	g.pr("  DEL")
+	g.pr("  BL ckloop")
+	g.pr("  LOAD G+61")
+	g.pr("  SVC 2")
+	if cfg.Trap {
+		// After the checksum is printed, so console fidelity is still
+		// checked before the trap ends the run.
+		g.pr("  PCAL trapper")
+	}
+	g.pr("  EXIT 0")
+	main.Epilogue = g.take()
+	g.addProc(main)
+	g.p.WantBreak = cfg.Break
+}
+
+// buildLibraryPair assembles a user+library pair: the library is a set of
+// procedures over its own scratch region (G+24..G+31, so the user's
+// checksum range stays clean), called through SCAL from the user's main.
+func (g *gen) buildLibraryPair() {
+	var libCallees []callee
+	for i := 0; i < 3; i++ {
+		results := g.d.Intn(3)
+		args := g.d.Intn(2)
+		body := []string{"  LDI 7", "  STOR G+24"}
+		if args > 0 {
+			body = append(body, "  LOAD L-3", "  STOR G+25")
+		}
+		body = append(body, "  LOAD G+24", "  LOAD G+25", "  ADD", "  STOR G+26")
+		var epi []string
+		for j := 0; j < results; j++ {
+			epi = append(epi, fmt.Sprintf("  LOAD G+%d", 24+g.d.Intn(3)))
+		}
+		epi = append(epi, fmt.Sprintf("  EXIT %d", args))
+		g.p.LibProcs = append(g.p.LibProcs, GenProc{
+			Name: fmt.Sprintf("lib%d", i), Results: results, Args: args,
+			Chunks: [][]string{body}, Epilogue: epi,
+		})
+		libCallees = append(libCallees, callee{
+			name: fmt.Sprintf("lib%d", i), pep: i, results: results, args: args})
+	}
+	g.p.LibProcs = append(g.p.LibProcs, GenProc{
+		Name: "dummy", Epilogue: []string{"  EXIT 0"}})
+
+	g.p.Header = []string{"GLOBALS 64", "DATA 8: 11 22 33 44", "MAIN main"}
+	main := GenProc{Name: "main"}
+	main.Prologue = []string{"  LDI 4", "  STOR G+60", "mainloop:"}
+	for i := 0; i < 3; i++ {
+		c := libCallees[g.d.Intn(len(libCallees))]
+		for a := 0; a < c.args; a++ {
+			g.pr("  LDI %d", g.d.Intn(50))
+			g.pr("  ADDS 1")
+			g.pr("  STOR S-0")
+		}
+		g.pr("  SCAL %d", c.pep)
+		for j := 0; j < c.results; j++ {
+			g.pr("  STOR G+%d", 2+g.d.Intn(20))
+		}
+		main.Chunks = append(main.Chunks, g.take())
+	}
+	main.Epilogue = []string{
+		"  LOAD G+60", "  ADDI -1", "  STOR G+60", "  LOAD G+60", "  BNZ mainloop",
+		"  LDI 0", "  STOR G+61", "  LDI 2", "  STOR G+60",
+		"ck:", "  LOAD G+61", "  LOAD G+60", "  LOAD G+0,X", "  XOR", "  STOR G+61",
+		"  LOAD G+60", "  ADDI 1", "  STOR G+60", "  LOAD G+60", "  CMPI 30", "  DEL", "  BL ck",
+		"  LOAD G+61", "  SVC 2", "  EXIT 0",
+	}
+	g.p.Procs = append(g.p.Procs, main)
+}

@@ -1,0 +1,134 @@
+package tnsgen
+
+import (
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSeedStability pins the reproducibility contract: the same (name,
+// seed, config) must yield byte-identical sources, run after run, whatever
+// the scheduler does. Campaign seeds are only useful for reproduction if
+// this holds.
+func TestSeedStability(t *testing.T) {
+	configs := map[string]Config{
+		"legacy":  LegacyConfig(),
+		"full":    FullConfig(),
+		"library": {Library: true, Case: true, Hidden: true},
+	}
+	for cname, cfg := range configs {
+		for seed := int64(1); seed <= 5; seed++ {
+			a := Generate("st", seed, cfg)
+			b := Generate("st", seed, cfg)
+			if a.UserSource() != b.UserSource() || a.LibSource() != b.LibSource() {
+				t.Fatalf("config %s seed %d: repeated generation differs", cname, seed)
+			}
+		}
+	}
+
+	// Concurrent generation under varying GOMAXPROCS must agree with the
+	// serial result (the generator shares no state between calls).
+	cfg := FullConfig()
+	want := Generate("st", 42, cfg).UserSource()
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	for _, procs := range []int{1, 4} {
+		runtime.GOMAXPROCS(procs)
+		var wg sync.WaitGroup
+		got := make([]string, 8)
+		for i := range got {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				got[i] = Generate("st", 42, cfg).UserSource()
+			}(i)
+		}
+		wg.Wait()
+		for i, g := range got {
+			if g != want {
+				t.Fatalf("GOMAXPROCS=%d goroutine %d: concurrent generation differs from serial", procs, i)
+			}
+		}
+	}
+}
+
+// TestByteDecider pins the fuzz-input mapping: exhausted streams answer 0
+// (always a valid decision) and values stay in range.
+func TestByteDecider(t *testing.T) {
+	d := NewByteDecider(nil)
+	for n := 1; n < 10; n++ {
+		if v := d.Intn(n); v != 0 {
+			t.Fatalf("exhausted decider Intn(%d) = %d, want 0", n, v)
+		}
+	}
+	d = NewByteDecider([]byte{0xFF, 0x03, 0x80, 0x01})
+	for _, n := range []int{1, 2, 7, 300, 5, 5} {
+		if v := d.Intn(n); v < 0 || v >= n {
+			t.Fatalf("Intn(%d) = %d out of range", n, v)
+		}
+	}
+}
+
+// TestGenerateWithByteDecider checks that fuzzer-shaped inputs (including
+// an empty stream) still yield a program the oracle accepts — the property
+// FuzzGenProgram relies on.
+func TestGenerateWithByteDecider(t *testing.T) {
+	for _, data := range [][]byte{nil, {1}, {7, 3, 9, 250, 0, 0, 14, 99, 1}} {
+		d := NewByteDecider(data)
+		cfg := RandomConfig(d)
+		p := GenerateWith("bd", d, cfg)
+		if _, err := RunOracle(p.Subject(), DefaultOracle()); err != nil {
+			t.Fatalf("input %v: %v\n%s", data, err, p.UserSource())
+		}
+	}
+}
+
+// TestMinimize exercises the delta-debugger against a cheap syntactic keep
+// predicate: the result must still satisfy it, be no larger than the
+// input, and be a fixed point.
+func TestMinimize(t *testing.T) {
+	cfg := FullConfig()
+	p := Generate("min", 11, cfg)
+	keep := func(v *Program) bool { return strings.Contains(v.UserSource(), "DIV") }
+	if !keep(p) {
+		t.Fatal("generated program lacks DIV; adjust the test seed")
+	}
+	min := Minimize(p, keep)
+	if !keep(min) {
+		t.Fatal("minimized program no longer satisfies keep")
+	}
+	if len(min.UserSource()) > len(p.UserSource()) {
+		t.Fatal("minimized program grew")
+	}
+	if min.WantBreak || len(min.Cold) > 0 {
+		t.Fatal("oracle directives should be stripped by a syntactic keep")
+	}
+	again := Minimize(min, keep)
+	if again.UserSource() != min.UserSource() || again.LibSource() != min.LibSource() {
+		t.Fatal("Minimize is not a fixed point")
+	}
+
+	// A keep that never holds must return the program unchanged.
+	same := Minimize(p, func(*Program) bool { return false })
+	if same.UserSource() != p.UserSource() {
+		t.Fatal("Minimize changed a program whose keep predicate fails")
+	}
+}
+
+// TestRandomConfigInRange sanity-checks that random configs stay inside the
+// generator's vocabulary for many draws (no panics, proc counts bounded).
+func TestRandomConfigInRange(t *testing.T) {
+	d := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		cfg := RandomConfig(d)
+		p := Generate("rc", int64(i), cfg)
+		if len(p.Procs) == 0 {
+			t.Fatalf("draw %d: no procedures generated", i)
+		}
+		if cfg.Library && p.LibSource() == "" {
+			t.Fatalf("draw %d: library config with no library source", i)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package tnsgen
+
+// Keep is the minimizer's predicate: it must hold for the original program
+// and stays true for every intermediate the minimizer adopts. For a
+// divergence hunt, keep is "the oracle still fails"; for corpus banking,
+// "the oracle passes and still exercises class X".
+type Keep func(*Program) bool
+
+// Minimize delta-debugs p down to a smaller program still satisfying keep.
+// The unit of deletion is the statement chunk (every chunk is a balanced
+// statement, so any subset still assembles): first whole procedure bodies
+// are stubbed out, then chunks are removed one at a time, then the oracle
+// directives are dropped, to a fixed point. If keep(p) does not hold, p is
+// returned unchanged.
+func Minimize(p *Program, keep Keep) *Program {
+	if !keep(p) {
+		return p
+	}
+	cur := p.Clone()
+	try := func(v *Program) bool {
+		if keep(v) {
+			cur = v
+			return true
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+
+		// Stub out whole procedure bodies (the epilogue keeps the calling
+		// convention valid, so callers are unaffected).
+		for list := 0; list < 2; list++ {
+			procs := cur.Procs
+			if list == 1 {
+				procs = cur.LibProcs
+			}
+			for pi := range procs {
+				if len(procs[pi].Chunks) == 0 {
+					continue
+				}
+				v := cur.Clone()
+				if list == 1 {
+					v.LibProcs[pi].Chunks = nil
+				} else {
+					v.Procs[pi].Chunks = nil
+				}
+				if try(v) {
+					changed = true
+				}
+			}
+		}
+
+		// Remove chunks one at a time.
+		for list := 0; list < 2; list++ {
+			n := len(cur.Procs)
+			if list == 1 {
+				n = len(cur.LibProcs)
+			}
+			for pi := 0; pi < n; pi++ {
+				for ci := 0; ; {
+					procs := cur.Procs
+					if list == 1 {
+						procs = cur.LibProcs
+					}
+					if ci >= len(procs[pi].Chunks) {
+						break
+					}
+					v := cur.Clone()
+					tp := &v.Procs[pi]
+					if list == 1 {
+						tp = &v.LibProcs[pi]
+					}
+					tp.Chunks = append(tp.Chunks[:ci:ci], tp.Chunks[ci+1:]...)
+					if try(v) {
+						changed = true
+					} else {
+						ci++
+					}
+				}
+			}
+		}
+
+		// Drop oracle directives that are no longer needed.
+		if cur.WantBreak {
+			v := cur.Clone()
+			v.WantBreak = false
+			if try(v) {
+				changed = true
+			}
+		}
+		if len(cur.Cold) > 0 {
+			v := cur.Clone()
+			v.Cold = nil
+			if try(v) {
+				changed = true
+			}
+		}
+	}
+	return cur
+}

@@ -406,6 +406,34 @@ func (r *Runner) Continue(maxInstrs int64) error {
 // InRISCMode reports the current execution mode.
 func (r *Runner) InRISCMode() bool { return r.inRISC }
 
+// ArmBreak arms a breakpoint at a TNS address in the given code space
+// (0 = user, 1 = lib) for both execution modes: the interpreter-side check
+// always, and the RISC-side breakpoint when the address is a mapped point
+// of a loaded translation. It reports whether the RISC side was armed;
+// unmapped addresses still break under interpretation.
+func (r *Runner) ArmBreak(space uint8, addr uint16) bool {
+	if r.TNSBreaks == nil {
+		r.TNSBreaks = map[uint32]bool{}
+	}
+	r.TNSBreaks[uint32(space&1)<<16|uint32(addr)] = true
+	f := r.User
+	if space&1 == 1 {
+		f = r.Lib
+	}
+	if f == nil || f.Accel == nil {
+		return false
+	}
+	idx, _, ok := f.Accel.PMap.Lookup(addr)
+	if !ok {
+		return false
+	}
+	if r.Sim.Breakpoints == nil {
+		r.Sim.Breakpoints = map[uint32]bool{}
+	}
+	r.Sim.Breakpoints[uint32(idx)] = true
+	return true
+}
+
 func (r *Runner) runRISC(maxInstrs int64) error {
 	budget := int64(0)
 	if maxInstrs > 0 {
