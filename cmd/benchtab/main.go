@@ -7,6 +7,9 @@
 //	benchtab -figure N     print only figure N (1..2)
 //	benchtab -claims       print only the headline claims
 //	benchtab -iters k=v,.. override per-workload iteration counts
+//	benchtab -fleet N      run an N-machine ET1 fleet and print (and, with
+//	                       -jsondir, export as BENCH_fleet.json) aggregate
+//	                       throughput and latency percentiles
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"strings"
 
 	"tnsr/internal/bench"
+	"tnsr/internal/fleet"
 )
 
 func main() {
@@ -27,6 +31,9 @@ func main() {
 	crossover := flag.Bool("crossover", false, "static vs dynamic translation crossover (extension)")
 	iters := flag.String("iters", "", "override iteration counts, e.g. dhry16=500,et1=100")
 	jsondir := flag.String("jsondir", "", "also write machine-readable BENCH_<workload>.json files here")
+	fleetN := flag.Int("fleet", 0, "run an N-machine ET1 fleet benchmark")
+	fleetChaos := flag.Int("fleet-chaos", 0, "chaos machines within the -fleet run")
+	fleetSeed := flag.Int64("fleet-seed", 1, "seed for the -fleet run")
 	flag.Parse()
 
 	if *iters != "" {
@@ -43,6 +50,40 @@ func main() {
 			}
 			bench.Iterations[parts[0]] = n
 		}
+	}
+
+	if *fleetN > 0 {
+		fr, err := fleet.Run(fleet.Config{
+			Machines: *fleetN, ChaosMachines: *fleetChaos, Seed: *fleetSeed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: fleet: %v\n", err)
+			os.Exit(1)
+		}
+		fr.WriteText(os.Stdout)
+		if *jsondir != "" {
+			rr := fr.Final()
+			rec := bench.FleetRecord{
+				Schema:         bench.BenchSchema,
+				Workload:       fr.Workload,
+				Mode:           "fleet",
+				Machines:       fr.Machines,
+				TxnsPerMachine: fr.TxnsPerMachine,
+				ThroughputTPS:  rr.ThroughputTPS,
+				P50Ms:          rr.Latency.P50Ms,
+				P95Ms:          rr.Latency.P95Ms,
+				P99Ms:          rr.Latency.P99Ms,
+				InterpPct:      100 * rr.Obs.Modes.InterpFraction,
+				Serving:        rr.MachineStates.Serving,
+				Degraded:       rr.MachineStates.Degraded,
+				Failed:         rr.MachineStates.Failed,
+			}
+			if err := bench.WriteFleetJSON(*jsondir, []bench.FleetRecord{rec}); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 
 	if *crossover {

@@ -22,6 +22,11 @@
 //	    translates under the fetched fleet aggregate, the local capture is
 //	    pushed, and the printed report is the pass steered by the merged
 //	    aggregate. -push-token sends a bearer token.
+//
+//	tnsprof -merge a.json b.json ...
+//	    merge per-machine JSON reports (obs.Report.Merge, the fleet host's
+//	    aggregation) into one report and print it; composes with
+//	    -json/-prom/-top.
 package main
 
 import (
@@ -62,7 +67,19 @@ func main() {
 	push := flag.String("push", "",
 		"tnsprofd base URL: fetch the fleet aggregate, run the adaptive cycle, push the capture")
 	pushToken := flag.String("push-token", "", "bearer token for -push")
+	mergeIn := flag.Bool("merge", false,
+		"treat the arguments as per-machine JSON report files and print their merge")
 	flag.Parse()
+
+	if *mergeIn {
+		rep, err := mergeReports(flag.Args())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tnsprof: %v\n", err)
+			os.Exit(1)
+		}
+		emit(rep, *jsonOut, *promOut, *top)
+		return
+	}
 
 	if *list {
 		for _, name := range bench.ProfileNames() {
@@ -106,8 +123,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	emit(rep, *jsonOut, *promOut, *top)
+}
+
+func emit(rep *obs.Report, jsonOut, promOut bool, top int) {
 	switch {
-	case *jsonOut:
+	case jsonOut:
 		data, err := rep.JSON()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tnsprof: %v\n", err)
@@ -115,9 +136,36 @@ func main() {
 		}
 		os.Stdout.Write(data)
 		fmt.Println()
-	case *promOut:
+	case promOut:
 		rep.WritePrometheus(os.Stdout)
 	default:
-		rep.WriteText(os.Stdout, *top)
+		rep.WriteText(os.Stdout, top)
 	}
+}
+
+// mergeReports folds per-machine report files left to right with
+// obs.Report.Merge — the same aggregation the fleet host applies.
+func mergeReports(paths []string) (*obs.Report, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("-merge needs at least one report file")
+	}
+	var acc *obs.Report
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := obs.ParseReport(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if acc == nil {
+			acc = rep
+			continue
+		}
+		if err := acc.Merge(rep); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return acc, nil
 }

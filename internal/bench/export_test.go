@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func validFleetRecord() FleetRecord {
+	return FleetRecord{
+		Schema: BenchSchema, Workload: "et1", Mode: "fleet",
+		Machines: 128, TxnsPerMachine: 2,
+		ThroughputTPS: 1000, P50Ms: 1, P95Ms: 2, P99Ms: 3,
+		InterpPct: 0.1, Serving: 120, Degraded: 6, Failed: 2,
+	}
+}
+
+func TestValidateFleetRecords(t *testing.T) {
+	if err := ValidateFleetRecords([]FleetRecord{validFleetRecord()}); err != nil {
+		t.Fatal(err)
+	}
+	breakers := []struct {
+		name   string
+		mutate func(*FleetRecord)
+	}{
+		{"schema", func(r *FleetRecord) { r.Schema = "bogus" }},
+		{"mode", func(r *FleetRecord) { r.Mode = "accel-Default" }},
+		{"machines", func(r *FleetRecord) { r.Machines = 0 }},
+		{"states", func(r *FleetRecord) { r.Failed++ }},
+		{"throughput", func(r *FleetRecord) { r.ThroughputTPS = -1 }},
+		{"quantiles", func(r *FleetRecord) { r.P95Ms = r.P99Ms + 1 }},
+		{"interp", func(r *FleetRecord) { r.InterpPct = 101 }},
+	}
+	for _, b := range breakers {
+		rec := validFleetRecord()
+		b.mutate(&rec)
+		if err := ValidateFleetRecords([]FleetRecord{rec}); err == nil {
+			t.Errorf("%s: damaged record validated", b.name)
+		}
+	}
+	if err := ValidateFleetRecords(nil); err == nil {
+		t.Error("empty payload validated")
+	}
+}
+
+func TestWriteFleetJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := []FleetRecord{validFleetRecord()}
+	if err := WriteFleetJSON(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_fleet.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []FleetRecord
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != want[0] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if err := ValidateFleetRecords(got); err != nil {
+		t.Fatal(err)
+	}
+	// The writer refuses an invalid payload outright.
+	bad := validFleetRecord()
+	bad.Schema = "nope"
+	if err := WriteFleetJSON(dir, []FleetRecord{bad}); err == nil {
+		t.Fatal("invalid payload written")
+	}
+}

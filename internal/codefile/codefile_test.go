@@ -26,6 +26,7 @@ func sampleFile(withAccel bool) *File {
 		pm.Add(0, 0, true)
 		pm.Add(3, 7, false)
 		pm.Add(6, 12, true)
+		pm.Seal() // producers seal at finalize; Read seals on parse
 		f.Accel = &AccelSection{
 			Level:      LevelDefault,
 			RISC:       []uint32{0xDEADBEEF, 0x12345678},

@@ -20,7 +20,10 @@ type PMap struct {
 	// opposed to memory-exact only).
 	regExact []uint64
 
-	// cache of mapped addresses for inverse lookups.
+	// cache of mapped addresses for inverse lookups. It is populated only
+	// by Seal (never lazily): a sealed PMap is immutable under Lookup and
+	// Inverse, so one AccelSection can back any number of concurrent
+	// runners — the fleet's shared-codefile contract.
 	cache      []uint16
 	cacheValid bool
 }
@@ -126,18 +129,34 @@ func (p *PMap) Inverse(riscIdx int) (tnsAddr uint16, ok bool) {
 	return mapped[lo-1], true
 }
 
+// mappedAddrs returns the mapped TNS addresses in order. It never writes:
+// on a sealed PMap it returns the precomputed cache, otherwise it computes
+// the slice afresh per call. Lazy population here would be a data race
+// under the fleet's shared-AccelSection execution model.
 func (p *PMap) mappedAddrs() []uint16 {
 	if p.cacheValid {
 		return p.cache
 	}
+	return p.computeMapped()
+}
+
+func (p *PMap) computeMapped() []uint16 {
 	var out []uint16
 	for a := range p.off {
 		if p.off[a] != offUnmapped {
 			out = append(out, uint16(a))
 		}
 	}
-	p.cache, p.cacheValid = out, true
 	return out
+}
+
+// Seal precomputes the inverse-lookup cache. After Seal, Lookup and Inverse
+// perform no writes, so the PMap (and the AccelSection holding it) may be
+// shared read-only between any number of concurrent runners. The translator
+// seals every section it finalizes and the loader seals every section it
+// parses; a later Add un-seals (and is then single-writer territory again).
+func (p *PMap) Seal() {
+	p.cache, p.cacheValid = p.computeMapped(), true
 }
 
 // SizeBits returns the PMap's storage cost in bits: 12 bits per TNS word
@@ -222,5 +241,7 @@ func (p *PMap) read(br *reader) {
 			p.regExact[i] = uint64(hi)<<32 | uint64(lo)
 		}
 	}
-	p.cache, p.cacheValid = nil, false
+	// Loaded sections are execution artifacts: seal so concurrent runners
+	// sharing this section never race on the inverse cache.
+	p.Seal()
 }

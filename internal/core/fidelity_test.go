@@ -967,3 +967,44 @@ PROC lib_square RESULT 1 ARGS 1
 ENDPROC
 `)
 }
+
+// TestFidelityConsoleBetweenCalls pins the RP accounting of console SVCs:
+// each one pops its operands, so every block leader and call return point
+// downstream of a print sits one (PUTS: two) register-stack positions
+// lower than a net-zero model would predict. A summary-known call after a
+// PUTNUM gets no run-time RP confirmation, so a wrong static RP there
+// silently reads the result from the wrong physical register.
+func TestFidelityConsoleBetweenCalls(t *testing.T) {
+	runFidelity(t, "svc-rp", `
+GLOBALS 8
+DATA 2: 0x6869   ; "hi"
+MAIN main
+PROC inc RESULT 1 ARGS 1
+  LOAD L-3
+  LDI 1
+  ADD
+  EXIT 1
+ENDPROC
+PROC main
+  LDI 41
+  ADDS 1
+  STOR S-0
+  PCAL inc
+  SVC 2
+  LDI 100
+  ADDS 1
+  STOR S-0
+  PCAL inc
+  SVC 2
+  LDI 4
+  LDI 2
+  SVC 3
+  LDI 99
+  ADDS 1
+  STOR S-0
+  PCAL inc
+  STOR G+0
+  EXIT 0
+ENDPROC
+`)
+}

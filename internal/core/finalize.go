@@ -48,6 +48,9 @@ func finalizeSection(p *program, opts *Options, f *fn,
 			expRP[pt.tnsAddr] = uint8(pt.rp)
 		}
 	}
+	// Seal the inverse cache: the finished section may be shared read-only
+	// by any number of concurrent runners (fleet execution).
+	pm.Seal()
 
 	entries := make([]int32, len(f.procEntry))
 	for i, l := range f.procEntry {

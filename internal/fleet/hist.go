@@ -1,0 +1,134 @@
+package fleet
+
+import "math/bits"
+
+// Hist is a mergeable HDR-style latency histogram: log-linear buckets with
+// histSubBuckets linear sub-buckets per power-of-two octave, giving a
+// bounded relative error of at most 1/histSubBuckets (~3%) at any
+// magnitude. Per-machine histograms are recorded independently and merged
+// by bucket-wise addition at the fleet host, so aggregate percentiles need
+// no raw-sample retention and no cross-machine coordination. Values are
+// non-negative int64s (the fleet records nanoseconds).
+type Hist struct {
+	counts []int64
+	total  int64
+	sum    int64 // of recorded values, for Mean
+	max    int64
+}
+
+const (
+	histSubBits    = 5
+	histSubBuckets = 1 << histSubBits // 32
+)
+
+// histIndex maps a value to its bucket. Values below histSubBuckets get an
+// exact bucket each; above, the top histSubBits bits after the leading one
+// select a linear sub-bucket within the value's octave, so consecutive
+// buckets differ by at most ~3% of their value.
+func histIndex(v int64) int {
+	if v < histSubBuckets {
+		return int(v)
+	}
+	shift := bits.Len64(uint64(v)) - histSubBits - 1
+	return histSubBuckets*shift + int(v>>uint(shift))
+}
+
+// histValue returns the midpoint of bucket i's value range — the value a
+// quantile query reports for ranks landing in the bucket.
+func histValue(i int) int64 {
+	if i < 2*histSubBuckets {
+		return int64(i) // exact buckets, and the first octave is also exact
+	}
+	shift := i/histSubBuckets - 1
+	lo := int64(histSubBuckets+i%histSubBuckets) << uint(shift)
+	return lo + (int64(1)<<uint(shift))/2
+}
+
+// Record adds one observation. Negative values clamp to zero (virtual-time
+// latencies are non-negative by construction; the clamp keeps a buggy
+// caller from corrupting the bucket walk).
+func (h *Hist) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := histIndex(v)
+	if i >= len(h.counts) {
+		grown := make([]int64, i+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[i]++
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge adds other's counts into h.
+func (h *Hist) Merge(other *Hist) {
+	if other == nil {
+		return
+	}
+	if len(other.counts) > len(h.counts) {
+		grown := make([]int64, len(other.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() int64 { return h.total }
+
+// Max returns the largest recorded value (0 when empty).
+func (h *Hist) Max() int64 { return h.max }
+
+// Mean returns the arithmetic mean of recorded values (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Quantile returns the value at quantile q in [0,1]: the bucket midpoint at
+// the ceil(q*count)-th smallest observation. Returns 0 when empty; q is
+// clamped into [0,1].
+func (h *Hist) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(h.total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			v := histValue(i)
+			if v > h.max {
+				return h.max // midpoint rounding must not exceed the observed max
+			}
+			return v
+		}
+	}
+	return h.max
+}

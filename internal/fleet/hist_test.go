@@ -1,0 +1,161 @@
+package fleet
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestHistIndexRoundTrip: every value lands in a bucket whose midpoint is
+// within the advertised relative error.
+func TestHistIndexRoundTrip(t *testing.T) {
+	vals := []int64{0, 1, 31, 32, 33, 63, 64, 100, 1023, 1 << 20, 123456789, 1 << 40}
+	for _, v := range vals {
+		i := histIndex(v)
+		got := histValue(i)
+		tol := float64(v) / histSubBuckets
+		if tol < 1 {
+			tol = 1
+		}
+		if math.Abs(float64(got-v)) > tol {
+			t.Errorf("value %d -> bucket %d -> %d (tol %g)", v, i, got, tol)
+		}
+	}
+	// Bucket indexes are monotonic in the value.
+	prev := -1
+	for v := int64(0); v < 100000; v += 37 {
+		i := histIndex(v)
+		if i < prev {
+			t.Fatalf("index regressed at %d: %d < %d", v, i, prev)
+		}
+		prev = i
+	}
+}
+
+// TestHistQuantilesAgainstExact compares quantiles to the exact sorted
+// sample within the histogram's error bound.
+func TestHistQuantilesAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var h Hist
+	samples := make([]int64, 10000)
+	for i := range samples {
+		v := int64(rng.ExpFloat64() * 2e6) // ~exponential around 2ms-in-ns
+		samples[i] = v
+		h.Record(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		exact := samples[int(q*float64(len(samples)))-1]
+		got := h.Quantile(q)
+		if math.Abs(float64(got-exact)) > float64(exact)/10+2 {
+			t.Errorf("q%g: got %d, exact %d", q, got, exact)
+		}
+	}
+	if h.Max() != samples[len(samples)-1] {
+		t.Errorf("max %d, want %d", h.Max(), samples[len(samples)-1])
+	}
+	if h.Quantile(1) > h.Max() {
+		t.Errorf("q1 %d exceeds max %d", h.Quantile(1), h.Max())
+	}
+}
+
+// TestHistMergeEquivalence: merging shards equals recording everything
+// into one histogram.
+func TestHistMergeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var whole Hist
+	shards := make([]*Hist, 8)
+	for i := range shards {
+		shards[i] = &Hist{}
+	}
+	for i := 0; i < 5000; i++ {
+		v := int64(rng.Intn(1 << 30))
+		whole.Record(v)
+		shards[i%len(shards)].Record(v)
+	}
+	var merged Hist
+	for _, s := range shards {
+		merged.Merge(s)
+	}
+	if merged.Count() != whole.Count() || merged.Max() != whole.Max() ||
+		merged.Mean() != whole.Mean() {
+		t.Fatalf("merge mismatch: %d/%d %d/%d", merged.Count(), whole.Count(),
+			merged.Max(), whole.Max())
+	}
+	for _, q := range []float64{0.25, 0.5, 0.9, 0.99, 1} {
+		if merged.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("q%g: merged %d, whole %d", q, merged.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+// TestHistEmpty: a fresh histogram answers zeros, not panics.
+func TestHistEmpty(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+	h.Merge(nil)
+	h.Record(-5) // clamps to 0
+	if h.Count() != 1 || h.Quantile(1) != 0 {
+		t.Fatal("negative record not clamped")
+	}
+}
+
+// TestTrafficMeanRate: the arrival process hits its configured mean rate
+// for every burstiness shape, and is seed-deterministic.
+func TestTrafficMeanRate(t *testing.T) {
+	for _, b := range []float64{0, 0.5, 1, 4} {
+		tr := Traffic{RateTPS: 20, Burstiness: b}
+		gaps := tr.gaps(rand.New(rand.NewSource(3)), 20000)
+		var sum float64
+		for _, g := range gaps {
+			if g < 0 {
+				t.Fatalf("negative gap %g", g)
+			}
+			sum += g
+		}
+		mean := sum / float64(len(gaps))
+		if want := 1.0 / 20; math.Abs(mean-want)/want > 0.1 {
+			t.Errorf("burstiness %g: mean gap %g, want ~%g", b, mean, want)
+		}
+		again := tr.gaps(rand.New(rand.NewSource(3)), 20000)
+		for i := range gaps {
+			if gaps[i] != again[i] {
+				t.Fatalf("burstiness %g: gaps not deterministic at %d", b, i)
+			}
+		}
+	}
+	// Think time adds straight onto the mean.
+	tr := Traffic{RateTPS: 20, ThinkSeconds: 0.5}
+	gaps := tr.gaps(rand.New(rand.NewSource(4)), 10000)
+	var sum float64
+	for _, g := range gaps {
+		sum += g
+	}
+	if mean := sum / float64(len(gaps)); math.Abs(mean-0.55) > 0.02 {
+		t.Errorf("think time: mean gap %g, want ~0.55", mean)
+	}
+}
+
+// TestTrafficBurstinessShapesVariance: higher burstiness means higher
+// coefficient of variation at the same mean.
+func TestTrafficBurstinessShapesVariance(t *testing.T) {
+	cv := func(b float64) float64 {
+		gaps := Traffic{RateTPS: 10, Burstiness: b}.gaps(rand.New(rand.NewSource(8)), 20000)
+		var sum, sq float64
+		for _, g := range gaps {
+			sum += g
+		}
+		mean := sum / float64(len(gaps))
+		for _, g := range gaps {
+			sq += (g - mean) * (g - mean)
+		}
+		return math.Sqrt(sq/float64(len(gaps))) / mean
+	}
+	smooth, poisson, bursty := cv(0.3), cv(1), cv(6)
+	if !(smooth < poisson && poisson < bursty) {
+		t.Fatalf("cv ordering: smooth %g, poisson %g, bursty %g", smooth, poisson, bursty)
+	}
+}

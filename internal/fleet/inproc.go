@@ -1,0 +1,90 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+
+	"tnsr/internal/profsrv"
+)
+
+// NewInProcClient returns a profsrv client whose requests are served by
+// srv directly — no socket, no listener — while still traversing the
+// daemon's complete HTTP surface: routing, auth, body limits, and
+// per-client rate limiting. Each machine's client stamps a distinct
+// synthetic remote address derived from id, so the server sees the same
+// client population a fleet of real hosts would present (and one abusive
+// machine draining its bucket cannot 429 its neighbours). id < 0 is the
+// host itself.
+func NewInProcClient(srv *profsrv.Server, token string, id int) *profsrv.Client {
+	return &profsrv.Client{
+		BaseURL: "http://tnsfleet.inproc",
+		Token:   token,
+		HTTPClient: &http.Client{
+			Transport: &inprocTransport{srv: srv, remoteAddr: machineAddr(id)},
+		},
+	}
+}
+
+// machineAddr synthesizes a per-machine remote address in a reserved
+// range: 10.77.hi.lo, the host at 10.77.255.254.
+func machineAddr(id int) string {
+	if id < 0 {
+		return "10.77.255.254:0"
+	}
+	return fmt.Sprintf("10.77.%d.%d:%d", (id>>8)&0xFF, id&0xFF, 40000+id%20000)
+}
+
+// inprocTransport adapts profsrv.Server.ServeHTTP into an
+// http.RoundTripper.
+type inprocTransport struct {
+	srv        *profsrv.Server
+	remoteAddr string
+}
+
+func (t *inprocTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	// Server handlers are free to mutate their request; hand them a
+	// shallow clone with the synthetic origin stamped on.
+	r := req.Clone(req.Context())
+	r.RemoteAddr = t.remoteAddr
+	if r.Body == nil {
+		r.Body = http.NoBody
+	}
+
+	rw := &inprocResponse{header: http.Header{}, code: http.StatusOK}
+	t.srv.ServeHTTP(rw, r)
+	return &http.Response{
+		Status:        http.StatusText(rw.code),
+		StatusCode:    rw.code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        rw.header,
+		Body:          io.NopCloser(bytes.NewReader(rw.body.Bytes())),
+		ContentLength: int64(rw.body.Len()),
+		Request:       req,
+	}, nil
+}
+
+// inprocResponse is the minimal http.ResponseWriter the server writes into.
+type inprocResponse struct {
+	header http.Header
+	body   bytes.Buffer
+	code   int
+	wrote  bool
+}
+
+func (w *inprocResponse) Header() http.Header { return w.header }
+
+func (w *inprocResponse) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+}
+
+func (w *inprocResponse) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.body.Write(b)
+}

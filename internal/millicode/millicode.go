@@ -32,7 +32,11 @@
 // and results use $t0..$t2 (see each routine).
 package millicode
 
-import "tnsr/internal/risc"
+import (
+	"sync"
+
+	"tnsr/internal/risc"
+)
 
 // Data-space layout.
 const (
@@ -351,14 +355,33 @@ scnb_miss:
 `
 
 // Build assembles the millicode and returns its code words plus the label
-// map (word indexes relative to MilliBase, which is 0).
+// map (word indexes relative to MilliBase, which is 0). The assembly is
+// memoized behind a sync.Once — the source is a compile-time constant, so
+// every build is identical — and each call returns private copies, so
+// callers may mutate their result freely. This keeps runner construction
+// cheap and concurrency-safe when a fleet host spins up thousands of
+// machines.
 func Build() ([]uint32, map[string]uint32) {
-	return risc.MustAssemble(Source, map[string]uint32{
-		"PTRO_UPMAP_BASE": PtrUserPMapBase - PtrArea,
-		"PTRO_UPMAP_OFF":  PtrUserPMapOff - PtrArea,
-		"PTRO_LPMAP_BASE": PtrLibPMapBase - PtrArea,
-		"PTRO_LPMAP_OFF":  PtrLibPMapOff - PtrArea,
-		"PTRO_UEMAP":      PtrUserEMap - PtrArea,
-		"PTRO_LEMAP":      PtrLibEMap - PtrArea,
+	buildOnce.Do(func() {
+		builtCode, builtLabels = risc.MustAssemble(Source, map[string]uint32{
+			"PTRO_UPMAP_BASE": PtrUserPMapBase - PtrArea,
+			"PTRO_UPMAP_OFF":  PtrUserPMapOff - PtrArea,
+			"PTRO_LPMAP_BASE": PtrLibPMapBase - PtrArea,
+			"PTRO_LPMAP_OFF":  PtrLibPMapOff - PtrArea,
+			"PTRO_UEMAP":      PtrUserEMap - PtrArea,
+			"PTRO_LEMAP":      PtrLibEMap - PtrArea,
+		})
 	})
+	code := append([]uint32(nil), builtCode...)
+	labels := make(map[string]uint32, len(builtLabels))
+	for k, v := range builtLabels {
+		labels[k] = v
+	}
+	return code, labels
 }
+
+var (
+	buildOnce   sync.Once
+	builtCode   []uint32
+	builtLabels map[string]uint32
+)

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"testing"
+)
+
+// mergeRep builds a small valid single-machine report for merge tests.
+func mergeRep(workload, level string, risc, interp int64) *Report {
+	rep := &Report{
+		Schema:   Schema,
+		Workload: workload,
+		Level:    level,
+		Modes: ModeResidency{
+			RISCInstrs: risc, InterpInstrs: interp,
+			RISCCycles: float64(risc), InterpCycles: 2 * float64(interp),
+			TotalCycles: float64(risc) + 2*float64(interp),
+		},
+	}
+	if rep.Modes.TotalCycles > 0 {
+		rep.Modes.InterpFraction = rep.Modes.InterpCycles / rep.Modes.TotalCycles
+	}
+	return rep
+}
+
+func TestMergeSumsAndValidates(t *testing.T) {
+	a := mergeRep("et1", "Default", 1000, 10)
+	a.Escapes = []EscapeCount{{Reason: EscapeComputedJump.String(), Count: 3}}
+	a.Sites = []EscapeSite{{Space: "user", Addr: 5, Reason: EscapeComputedJump.String(), Count: 3}}
+	a.PMap = PMapStats{Lookups: 10, Hits: 8, HitRate: 0.8}
+	a.Procs = []ProcResidency{{Name: "main", Space: "user", RISCInstrs: 1000, InterpInstrs: 10}}
+	a.Phases = []PhaseTiming{{Phase: "translate", Seconds: 0.5}}
+
+	b := mergeRep("et1", "Default", 500, 0)
+	b.Escapes = []EscapeCount{
+		{Reason: EscapeComputedJump.String(), Count: 1},
+		{Reason: EscapeTrap.String(), Count: 2},
+	}
+	b.Sites = []EscapeSite{
+		{Space: "user", Addr: 5, Reason: EscapeComputedJump.String(), Count: 1},
+		{Space: "lib", Addr: 9, Reason: EscapeTrap.String(), Count: 2},
+	}
+	b.PMap = PMapStats{Lookups: 5, Hits: 5, HitRate: 1}
+	b.Procs = []ProcResidency{
+		{Name: "main", Space: "user", RISCInstrs: 300},
+		{Name: "aux", Space: "user", RISCInstrs: 200},
+	}
+	b.Phases = []PhaseTiming{{Phase: "translate", Seconds: 0.25}, {Phase: "merge", Seconds: 0.1}}
+
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(a); err != nil {
+		t.Fatalf("merged report fails its own invariants: %v", err)
+	}
+	if a.Workload != "et1" || a.Level != "Default" {
+		t.Fatalf("agreeing labels rewritten: %q %q", a.Workload, a.Level)
+	}
+	if a.Modes.RISCInstrs != 1500 || a.Modes.InterpInstrs != 10 {
+		t.Fatalf("modes %+v", a.Modes)
+	}
+	wantFrac := a.Modes.InterpCycles / a.Modes.TotalCycles
+	if a.Modes.InterpFraction != wantFrac {
+		t.Fatalf("interp fraction %g, want %g", a.Modes.InterpFraction, wantFrac)
+	}
+	// Escapes in enum order, summed.
+	if len(a.Escapes) != 2 || a.Escapes[0].Reason != EscapeComputedJump.String() ||
+		a.Escapes[0].Count != 4 || a.Escapes[1].Count != 2 {
+		t.Fatalf("escapes %+v", a.Escapes)
+	}
+	// Sites merged by key, hottest first.
+	if len(a.Sites) != 2 || a.Sites[0].Count != 4 || a.Sites[0].Addr != 5 {
+		t.Fatalf("sites %+v", a.Sites)
+	}
+	if a.PMap.Lookups != 15 || a.PMap.Hits != 13 {
+		t.Fatalf("pmap %+v", a.PMap)
+	}
+	// Procs merged by (name, space), busiest first.
+	if len(a.Procs) != 2 || a.Procs[0].Name != "main" ||
+		a.Procs[0].RISCInstrs != 1300 || a.Procs[1].RISCInstrs != 200 {
+		t.Fatalf("procs %+v", a.Procs)
+	}
+	if len(a.Phases) != 2 || a.Phases[0].Seconds != 0.75 {
+		t.Fatalf("phases %+v", a.Phases)
+	}
+}
+
+func TestMergeLabelDisagreement(t *testing.T) {
+	a := mergeRep("et1", "Default", 10, 0)
+	b := mergeRep("tal", "Fast", 10, 0)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Workload != MixedLabel || a.Level != MixedLabel {
+		t.Fatalf("labels %q %q, want %q", a.Workload, a.Level, MixedLabel)
+	}
+}
+
+func TestMergeSchemaGate(t *testing.T) {
+	a := mergeRep("et1", "Default", 1, 0)
+	b := mergeRep("et1", "Default", 1, 0)
+	b.Schema = "tnsr/obs-report/v0"
+	if err := a.Merge(b); err == nil {
+		t.Fatal("foreign schema merged silently")
+	}
+	a.Schema = "bogus"
+	if err := a.Merge(mergeRep("et1", "Default", 1, 0)); err == nil {
+		t.Fatal("merge into foreign schema accepted")
+	}
+}
+
+// TestMergeProcAttributionDropped: merging an attributed report with one
+// that executed instructions without attribution must drop Procs entirely
+// — partial attribution would break Validate's per-proc sum invariant.
+func TestMergeProcAttributionDropped(t *testing.T) {
+	a := mergeRep("et1", "Default", 100, 0)
+	a.Procs = []ProcResidency{{Name: "main", Space: "user", RISCInstrs: 100}}
+	b := mergeRep("et1", "Default", 50, 0) // executed, but no Procs
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Procs) != 0 {
+		t.Fatalf("procs kept after unattributed merge: %+v", a.Procs)
+	}
+	if err := Validate(a); err != nil {
+		t.Fatal(err)
+	}
+
+	// But merging with an idle report (no instructions at all) keeps them.
+	c := mergeRep("et1", "Default", 100, 0)
+	c.Procs = []ProcResidency{{Name: "main", Space: "user", RISCInstrs: 100}}
+	idle := mergeRep("et1", "Default", 0, 0)
+	if err := c.Merge(idle); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Procs) != 1 {
+		t.Fatalf("procs dropped on idle merge: %+v", c.Procs)
+	}
+	if err := Validate(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeDegradedAndQuarantined(t *testing.T) {
+	a := mergeRep("et1", "Default", 10, 5)
+	b := mergeRep("et1", "Default", 0, 20)
+	b.Degraded = true
+	b.DegradedReason = "user: checksum"
+	b.Quarantined = []QuarantinedProc{{Name: "p", Space: "user", Traps: 3}}
+
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Degraded || a.DegradedReason != "user: checksum" {
+		t.Fatalf("degraded %v %q", a.Degraded, a.DegradedReason)
+	}
+	c := mergeRep("et1", "Default", 0, 1)
+	c.Degraded = true
+	c.DegradedReason = "lib: emap"
+	c.Quarantined = []QuarantinedProc{
+		{Name: "p", Space: "user", Traps: 2},
+		{Name: "a", Space: "lib", Traps: 1},
+	}
+	if err := a.Merge(c); err != nil {
+		t.Fatal(err)
+	}
+	if a.DegradedReason != "user: checksum; lib: emap" {
+		t.Fatalf("reason %q", a.DegradedReason)
+	}
+	// Quarantined merged by (name, space), sorted by space then name.
+	if len(a.Quarantined) != 2 || a.Quarantined[0].Space != "lib" ||
+		a.Quarantined[1].Traps != 5 {
+		t.Fatalf("quarantined %+v", a.Quarantined)
+	}
+	if err := Validate(a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeUnknownReasonPreserved: a reason name outside the enum must
+// survive the merge (and keep failing Validate) rather than being
+// silently renamed or dropped.
+func TestMergeUnknownReasonPreserved(t *testing.T) {
+	a := mergeRep("et1", "Default", 10, 0)
+	a.Escapes = []EscapeCount{{Reason: "zz-not-a-reason", Count: 1}}
+	b := mergeRep("et1", "Default", 10, 0)
+	b.Escapes = []EscapeCount{{Reason: "aa-not-a-reason", Count: 2}}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Escapes) != 2 || a.Escapes[0].Reason != "aa-not-a-reason" ||
+		a.Escapes[1].Reason != "zz-not-a-reason" {
+		t.Fatalf("escapes %+v", a.Escapes)
+	}
+	if err := Validate(a); err == nil {
+		t.Fatal("unknown reason passed Validate after merge")
+	}
+}
+
+// TestMergeAssociativeOnCounters: ((a+b)+c) equals (a+(b+c)) for the
+// counter fields the fleet aggregates — the property that lets the host
+// fold machines in any grouping.
+func TestMergeAssociativeOnCounters(t *testing.T) {
+	build := func() []*Report {
+		a := mergeRep("et1", "Default", 100, 10)
+		a.Escapes = []EscapeCount{{Reason: EscapeTrap.String(), Count: 1}}
+		b := mergeRep("et1", "Default", 200, 0)
+		b.Escapes = []EscapeCount{{Reason: EscapeComputedJump.String(), Count: 5}}
+		c := mergeRep("et1", "Default", 50, 50)
+		c.Escapes = []EscapeCount{{Reason: EscapeTrap.String(), Count: 4}}
+		return []*Report{a, b, c}
+	}
+	l := build()
+	if err := l[0].Merge(l[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l[0].Merge(l[2]); err != nil {
+		t.Fatal(err)
+	}
+	r := build()
+	if err := r[1].Merge(r[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := r[0].Merge(r[1]); err != nil {
+		t.Fatal(err)
+	}
+	lj, err := l[0].JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj, err := r[0].JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(lj) != string(rj) {
+		t.Fatalf("merge not associative:\n%s\n----\n%s", lj, rj)
+	}
+}

@@ -240,3 +240,201 @@ func pct(part, whole float64) float64 {
 	}
 	return part / whole * 100
 }
+
+// MixedLabel is the workload/level name a merged report carries when its
+// inputs disagree.
+const MixedLabel = "(mixed)"
+
+// Merge folds other into rep: counter fields sum, histograms merge by key,
+// derived ratios (interp_fraction, pmap hit_rate) are recomputed from the
+// merged counters, and the listings come out in the same canonical order
+// Report() emits, so merging is order-independent up to float summation.
+// It is the fleet host's cross-machine aggregation primitive: one machine's
+// report merged per machine yields the fleet-wide view, and the result
+// still satisfies Validate whenever the inputs do.
+//
+// Workload and Level keep their value when both sides agree and become
+// MixedLabel otherwise. Degraded is an OR (the merged report covers at
+// least one fully-degraded run) with the reasons joined. Per-procedure
+// residency is kept only when every input carries it (or the side lacking
+// it executed nothing): partial attribution cannot reconcile with the
+// summed mode totals, so it is dropped rather than emitted inconsistent.
+func (rep *Report) Merge(other *Report) error {
+	if rep.Schema != Schema {
+		return fmt.Errorf("obs: merge into schema %q, want %q", rep.Schema, Schema)
+	}
+	if other.Schema != Schema {
+		return fmt.Errorf("obs: merge from schema %q, want %q", other.Schema, Schema)
+	}
+	if rep.Workload != other.Workload {
+		rep.Workload = MixedLabel
+	}
+	if rep.Level != other.Level {
+		rep.Level = MixedLabel
+	}
+
+	repPreInstrs := rep.Modes.RISCInstrs + rep.Modes.InterpInstrs
+	otherInstrs := other.Modes.RISCInstrs + other.Modes.InterpInstrs
+
+	rep.Modes.RISCInstrs += other.Modes.RISCInstrs
+	rep.Modes.InterpInstrs += other.Modes.InterpInstrs
+	rep.Modes.RISCCycles += other.Modes.RISCCycles
+	rep.Modes.InterpCycles += other.Modes.InterpCycles
+	rep.Modes.TotalCycles += other.Modes.TotalCycles
+	rep.Modes.Interludes += other.Modes.Interludes
+	rep.Modes.RISCEntries += other.Modes.RISCEntries
+	rep.Modes.Switches += other.Modes.Switches
+	rep.Modes.InterpFraction = 0
+	if rep.Modes.TotalCycles > 0 {
+		rep.Modes.InterpFraction = rep.Modes.InterpCycles / rep.Modes.TotalCycles
+	}
+
+	byReason := map[string]int64{}
+	for _, e := range rep.Escapes {
+		byReason[e.Reason] += e.Count
+	}
+	for _, e := range other.Escapes {
+		byReason[e.Reason] += e.Count
+	}
+	rep.Escapes = rep.Escapes[:0]
+	for r := EscapeReason(0); r < NumEscapeReasons; r++ {
+		if n := byReason[r.String()]; n > 0 {
+			rep.Escapes = append(rep.Escapes, EscapeCount{Reason: r.String(), Count: n})
+			delete(byReason, r.String())
+		}
+	}
+	// Unknown-name reasons: preserved (they must keep failing Validate),
+	// in sorted order so merging stays deterministic.
+	leftover := make([]string, 0, len(byReason))
+	for reason := range byReason {
+		leftover = append(leftover, reason)
+	}
+	sort.Strings(leftover)
+	for _, reason := range leftover {
+		rep.Escapes = append(rep.Escapes, EscapeCount{Reason: reason, Count: byReason[reason]})
+	}
+
+	type siteKey struct {
+		space, reason string
+		addr          uint16
+	}
+	bySite := map[siteKey]int64{}
+	for _, s := range rep.Sites {
+		bySite[siteKey{s.Space, s.Reason, s.Addr}] += s.Count
+	}
+	for _, s := range other.Sites {
+		bySite[siteKey{s.Space, s.Reason, s.Addr}] += s.Count
+	}
+	rep.Sites = rep.Sites[:0]
+	for k, n := range bySite {
+		rep.Sites = append(rep.Sites, EscapeSite{Space: k.space, Addr: k.addr, Reason: k.reason, Count: n})
+	}
+	sort.Slice(rep.Sites, func(i, j int) bool {
+		if rep.Sites[i].Count != rep.Sites[j].Count {
+			return rep.Sites[i].Count > rep.Sites[j].Count
+		}
+		if rep.Sites[i].Space != rep.Sites[j].Space {
+			return rep.Sites[i].Space < rep.Sites[j].Space
+		}
+		if rep.Sites[i].Addr != rep.Sites[j].Addr {
+			return rep.Sites[i].Addr < rep.Sites[j].Addr
+		}
+		return rep.Sites[i].Reason < rep.Sites[j].Reason
+	})
+
+	rep.PMap.Lookups += other.PMap.Lookups
+	rep.PMap.Hits += other.PMap.Hits
+	rep.PMap.HitRate = 0
+	if rep.PMap.Lookups > 0 {
+		rep.PMap.HitRate = float64(rep.PMap.Hits) / float64(rep.PMap.Lookups)
+	}
+
+	repHasProcs := len(rep.Procs) > 0
+	otherHasProcs := len(other.Procs) > 0
+	proclessExecuted := (!repHasProcs && repPreInstrs > 0) ||
+		(!otherHasProcs && otherInstrs > 0)
+	switch {
+	case !repHasProcs && !otherHasProcs:
+		// nothing to do
+	case repHasProcs != otherHasProcs && proclessExecuted:
+		// One side has attribution, the other executed instructions without
+		// it: per-proc sums can no longer reconcile with the merged totals.
+		rep.Procs = nil
+	default:
+		type procKey struct{ name, space string }
+		idx := map[procKey]int{}
+		merged := make([]ProcResidency, 0, len(rep.Procs)+len(other.Procs))
+		addAll := func(ps []ProcResidency) {
+			for _, p := range ps {
+				k := procKey{p.Name, p.Space}
+				if i, ok := idx[k]; ok {
+					merged[i].RISCInstrs += p.RISCInstrs
+					merged[i].InterpInstrs += p.InterpInstrs
+				} else {
+					idx[k] = len(merged)
+					merged = append(merged, p)
+				}
+			}
+		}
+		addAll(rep.Procs)
+		addAll(other.Procs)
+		sort.Slice(merged, func(i, j int) bool {
+			ti := merged[i].RISCInstrs + merged[i].InterpInstrs
+			tj := merged[j].RISCInstrs + merged[j].InterpInstrs
+			if ti != tj {
+				return ti > tj
+			}
+			if merged[i].Name != merged[j].Name {
+				return merged[i].Name < merged[j].Name
+			}
+			return merged[i].Space < merged[j].Space
+		})
+		rep.Procs = merged
+	}
+
+	for _, p := range other.Phases {
+		found := false
+		for i := range rep.Phases {
+			if rep.Phases[i].Phase == p.Phase {
+				rep.Phases[i].Seconds += p.Seconds
+				found = true
+				break
+			}
+		}
+		if !found {
+			rep.Phases = append(rep.Phases, p)
+		}
+	}
+
+	if other.Degraded {
+		rep.Degraded = true
+		switch {
+		case rep.DegradedReason == "":
+			rep.DegradedReason = other.DegradedReason
+		case other.DegradedReason != "" && other.DegradedReason != rep.DegradedReason:
+			rep.DegradedReason += "; " + other.DegradedReason
+		}
+	}
+
+	type quarKey struct{ name, space string }
+	qidx := map[quarKey]int{}
+	for i, q := range rep.Quarantined {
+		qidx[quarKey{q.Name, q.Space}] = i
+	}
+	for _, q := range other.Quarantined {
+		k := quarKey{q.Name, q.Space}
+		if i, ok := qidx[k]; ok {
+			rep.Quarantined[i].Traps += q.Traps
+		} else {
+			qidx[k] = len(rep.Quarantined)
+			rep.Quarantined = append(rep.Quarantined, q)
+		}
+	}
+	sort.Slice(rep.Quarantined, func(i, j int) bool {
+		if rep.Quarantined[i].Space != rep.Quarantined[j].Space {
+			return rep.Quarantined[i].Space < rep.Quarantined[j].Space
+		}
+		return rep.Quarantined[i].Name < rep.Quarantined[j].Name
+	})
+	return nil
+}

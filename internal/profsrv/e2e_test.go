@@ -265,3 +265,68 @@ func TestFleetSecondMachineBenefit(t *testing.T) {
 		t.Error("machine 2 never hit the shared retranslation cache")
 	}
 }
+
+// TestFleetScaleConcurrentPushes is the order-independence oracle at fleet
+// scale: 9 machines — three identical cohorts of the three distinct
+// level-captures, the shape a homogeneous fleet actually produces — push
+// concurrently to one fingerprint, and the server must end up holding
+// byte-for-byte the aggregate a sequential local pgo.Merge of the same
+// nine captures produces. Run under -race, this also pins the store's
+// per-fingerprint update locking.
+func TestFleetScaleConcurrentPushes(t *testing.T) {
+	base := captureRunnerProfiles(t)
+	fp, err := profsrv.UserFingerprint(base[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const cohorts = 3 // 3 cohorts x 3 captures = 9 concurrent machines
+	var machines []*pgo.Profile
+	for i := 0; i < cohorts; i++ {
+		machines = append(machines, base...)
+	}
+	if len(machines) < 8 {
+		t.Fatalf("only %d machines; the fleet oracle needs at least 8", len(machines))
+	}
+
+	localMerge, err := pgo.Merge(machines...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := localMerge.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if localMerge.Runs != int64(len(machines)) {
+		t.Fatalf("local merge runs %d, want %d", localMerge.Runs, len(machines))
+	}
+
+	_, cl := newFleet(t, nil)
+	var wg sync.WaitGroup
+	for i, p := range machines {
+		wg.Add(1)
+		go func(i int, p *pgo.Profile) {
+			defer wg.Done()
+			if _, err := cl.Push(p); err != nil {
+				t.Errorf("machine %d push: %v", i, err)
+			}
+		}(i, p)
+	}
+	wg.Wait()
+
+	agg, err := cl.Fetch(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg == nil {
+		t.Fatal("no aggregate after fleet pushes")
+	}
+	got, err := agg.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("fleet aggregate differs from sequential local merge:\nserver: %s\nlocal:  %s",
+			got, want)
+	}
+}

@@ -49,9 +49,11 @@ type Config struct {
 	// (<= 0 means DefaultAgeFloor).
 	AgeFloor int64
 
-	// RatePerSec, when > 0, applies a token-bucket rate limit across all
-	// /v1 requests (a single shared bucket: tnsprofd fronts one fleet, not
-	// the internet). RateBurst is the bucket depth (<= 0 means 1).
+	// RatePerSec, when > 0, applies a token-bucket rate limit to /v1
+	// requests. The bucket is per client — keyed by remote host plus the
+	// presented bearer token — so one abusive or runaway fleet machine
+	// exhausts only its own budget and cannot starve its neighbours into
+	// 429s. RateBurst is each bucket's depth (<= 0 means 1).
 	RatePerSec float64
 	RateBurst  int
 }
@@ -64,9 +66,20 @@ type Server struct {
 	m   *metrics
 
 	bucketMu sync.Mutex
+	buckets  map[string]*bucket
+}
+
+// bucket is one client's token bucket.
+type bucket struct {
 	tokens   float64
 	lastFill time.Time
 }
+
+// maxBuckets bounds the per-client table so a client cycling spoofed
+// addresses cannot grow it without limit; on overflow the stalest (and
+// therefore fullest) buckets are evicted, which can only give clients a
+// fresh full budget, never starve a legitimate one.
+const maxBuckets = 4096
 
 // New builds a Server. The store is required.
 func New(cfg Config) *Server {
@@ -82,27 +95,69 @@ func New(cfg Config) *Server {
 	if cfg.RateBurst <= 0 {
 		cfg.RateBurst = 1
 	}
-	return &Server{cfg: cfg, m: newMetrics(), tokens: float64(cfg.RateBurst), lastFill: time.Now()}
+	return &Server{cfg: cfg, m: newMetrics(), buckets: map[string]*bucket{}}
 }
 
-// allow is the shared token bucket.
-func (s *Server) allow() bool {
+// clientKey identifies the bucket a request draws from: the remote host
+// joined with the bearer token it presented. Either alone is spoofable in
+// some deployment (shared NAT vs. shared fleet token); together they
+// isolate the common failure mode — one runaway machine hammering the
+// daemon — without any per-request allocation beyond the key itself.
+func clientKey(r *http.Request) string {
+	host := r.RemoteAddr
+	if i := strings.LastIndexByte(host, ':'); i >= 0 {
+		host = host[:i]
+	}
+	tok, _ := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	return host + "|" + tok
+}
+
+// allow draws one token from the request's client bucket.
+func (s *Server) allow(r *http.Request) bool {
 	if s.cfg.RatePerSec <= 0 {
 		return true
 	}
+	key := clientKey(r)
+	now := time.Now()
 	s.bucketMu.Lock()
 	defer s.bucketMu.Unlock()
-	now := time.Now()
-	s.tokens += now.Sub(s.lastFill).Seconds() * s.cfg.RatePerSec
-	if max := float64(s.cfg.RateBurst); s.tokens > max {
-		s.tokens = max
+	b := s.buckets[key]
+	if b == nil {
+		if len(s.buckets) >= maxBuckets {
+			s.evictStale(now)
+		}
+		b = &bucket{tokens: float64(s.cfg.RateBurst), lastFill: now}
+		s.buckets[key] = b
 	}
-	s.lastFill = now
-	if s.tokens < 1 {
+	b.tokens += now.Sub(b.lastFill).Seconds() * s.cfg.RatePerSec
+	if max := float64(s.cfg.RateBurst); b.tokens > max {
+		b.tokens = max
+	}
+	b.lastFill = now
+	if b.tokens < 1 {
 		return false
 	}
-	s.tokens--
+	b.tokens--
 	return true
+}
+
+// evictStale drops buckets idle long enough to have refilled completely —
+// their state is indistinguishable from a fresh bucket, so dropping them
+// changes no admission decision. If none qualify (burst of distinct keys
+// inside one refill window), the whole table resets; that errs toward
+// admitting, never toward starving.
+func (s *Server) evictStale(now time.Time) {
+	full := time.Duration(float64(s.cfg.RateBurst) / s.cfg.RatePerSec * float64(time.Second))
+	dropped := 0
+	for k, b := range s.buckets {
+		if now.Sub(b.lastFill) >= full {
+			delete(s.buckets, k)
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		s.buckets = map[string]*bucket{}
+	}
 }
 
 // authed checks the bearer token in constant time.
@@ -155,7 +210,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, http.StatusUnauthorized, "auth", "missing or wrong bearer token")
 		return
 	}
-	if !s.allow() {
+	if !s.allow(r) {
 		s.fail(w, r, http.StatusTooManyRequests, "rate", "rate limit exceeded")
 		return
 	}

@@ -335,3 +335,85 @@ func TestMetricsExposition(t *testing.T) {
 		}
 	}
 }
+
+// doFrom is do with an explicit client address — the handler is driven
+// directly, so the test controls exactly what client population the
+// per-client rate limiter sees.
+func doFrom(s *Server, remoteAddr, method, path, token string, body []byte) *httptest.ResponseRecorder {
+	var r *http.Request
+	if body != nil {
+		r = httptest.NewRequest(method, path, bytes.NewReader(body))
+	} else {
+		r = httptest.NewRequest(method, path, nil)
+	}
+	r.RemoteAddr = remoteAddr
+	if token != "" {
+		r.Header.Set("Authorization", "Bearer "+token)
+	}
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+	return w
+}
+
+// TestRateLimitPerClientIsolation is the fleet-fairness property: one
+// abusive machine draining its own bucket must never cause a 429 for a
+// well-behaved neighbour — whether the neighbour differs by address or
+// (behind one NAT) by token.
+func TestRateLimitPerClientIsolation(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.RatePerSec = 0.0001; c.RateBurst = 2 })
+	path := profilesPrefix + testFP
+
+	// The abuser hammers until well past its burst: everything after the
+	// first two must be 429.
+	abuse := []int{}
+	for i := 0; i < 10; i++ {
+		abuse = append(abuse, doFrom(s, "10.77.0.1:40000", http.MethodGet, path, "", nil).Code)
+	}
+	for i, code := range abuse {
+		want := 404
+		if i >= 2 {
+			want = 429
+		}
+		if code != want {
+			t.Fatalf("abuser request %d: code %d, want %d (all: %v)", i, code, want, abuse)
+		}
+	}
+
+	// A different machine arrives mid-storm with a full bucket.
+	for i := 0; i < 2; i++ {
+		if w := doFrom(s, "10.77.0.2:40001", http.MethodGet, path, "", nil); w.Code != 404 {
+			t.Fatalf("victim request %d caught the abuser's 429: code %d", i, w.Code)
+		}
+	}
+
+	// Same address, different token — distinct principals behind one NAT
+	// are distinct clients too.
+	if w := doFrom(s, "10.77.0.1:40002", http.MethodGet, path, "other-token", nil); w.Code != 404 {
+		t.Fatalf("distinct token shared the abuser's bucket: code %d", w.Code)
+	}
+
+	// And the abuser is still dry: the victims' admissions did not refill it.
+	if w := doFrom(s, "10.77.0.1:40003", http.MethodGet, path, "", nil); w.Code != 429 {
+		t.Fatalf("abuser escaped its own limit: code %d", w.Code)
+	}
+}
+
+// TestRateLimitBucketTableBounded: an address-spoofing client cycling
+// through arbitrarily many identities cannot grow the bucket table without
+// limit, and legitimate clients keep being admitted throughout.
+func TestRateLimitBucketTableBounded(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.RatePerSec = 0.0001; c.RateBurst = 1 })
+	path := profilesPrefix + testFP
+	for i := 0; i < maxBuckets+100; i++ {
+		addr := fmt.Sprintf("10.%d.%d.%d:1", i>>16&0xFF, i>>8&0xFF, i&0xFF)
+		if w := doFrom(s, addr, http.MethodGet, path, "", nil); w.Code != 404 {
+			t.Fatalf("fresh client %d: code %d, want 404", i, w.Code)
+		}
+	}
+	s.bucketMu.Lock()
+	n := len(s.buckets)
+	s.bucketMu.Unlock()
+	if n > maxBuckets {
+		t.Fatalf("bucket table grew to %d entries (cap %d)", n, maxBuckets)
+	}
+}

@@ -126,8 +126,16 @@ func (in Instr) RPDelta() int {
 			return -2
 		case SubStack:
 			return stackOpDelta(in.Operand)
+		case SubSVC:
+			switch in.Operand {
+			case SvcHalt, SvcPutchar, SvcPutnum:
+				return -1
+			case SvcPuts:
+				return -2
+			}
+			return 0 // unknown SVC: traps, never falls through
 		}
-		return 0 // LDHI, ADDI, CMPI, shifts, ANDI, ORI, ADDS, SETT, SVC*
+		return 0 // LDHI, ADDI, CMPI, shifts, ANDI, ORI, ADDS, SETT
 	}
 	return 0
 }
