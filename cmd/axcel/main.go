@@ -19,7 +19,7 @@
 //	                                codefile from a tnsprofd daemon and apply
 //	                                it (same advisory semantics; a missing or
 //	                                stale aggregate degrades to no profile)
-//	-token t                        bearer token for -profile-url
+//	-token t                        bearer token for -profile-url and -remote
 //	-profile-cover f                with -profile, translate only the hottest
 //	                                procedures covering fraction f of the
 //	                                observed residency weight
@@ -27,6 +27,12 @@
 //	                                translation from dir when an entry with
 //	                                this exact (codefile, options, profile)
 //	                                key exists, populate it otherwise
+//	-remote http://host:9912        translate through a tnsxlated service:
+//	                                submit the codefile, poll its content-
+//	                                addressed key, fetch and locally re-verify
+//	                                the accelerated result (byte-identical to
+//	                                a local translation); any remote failure
+//	                                degrades to translating locally
 //	-report                         print the analysis report and exit
 //	-stats                          print translation statistics
 package main
@@ -44,6 +50,7 @@ import (
 	"tnsr/internal/pgo"
 	"tnsr/internal/profsrv"
 	"tnsr/internal/tcache"
+	"tnsr/internal/xlate"
 )
 
 type hintList []string
@@ -63,10 +70,12 @@ func main() {
 	profilePath := flag.String("profile", "", "PGO profile to apply (see tnsprof -emit-profile)")
 	profileURL := flag.String("profile-url", "",
 		"tnsprofd base URL: fetch and apply the fleet aggregate for this codefile")
-	token := flag.String("token", "", "bearer token for -profile-url")
+	token := flag.String("token", "", "bearer token for -profile-url and -remote")
 	profileCover := flag.Float64("profile-cover", 0,
 		"with -profile, translate only the hottest procedures covering this weight fraction")
 	cacheDir := flag.String("cache", "", "persistent retranslation cache directory")
+	remoteURL := flag.String("remote", "",
+		"tnsxlated base URL: translate remotely, degrade to local on any failure")
 	var hints hintList
 	flag.Var(&hints, "hint", "ReturnValSize hint, name=words")
 	flag.Parse()
@@ -168,7 +177,25 @@ func main() {
 		return
 	}
 
-	if *cacheDir != "" {
+	translated := false
+	if *remoteURL != "" {
+		// Remote-first: the service's output is byte-identical to a local
+		// translation of the same key, so any failure — network, auth, a
+		// failed remote translation — costs availability only; translate
+		// locally and move on.
+		cl := xlate.NewClient(*remoteURL, *token)
+		if err := cl.Accelerate(f, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "axcel: remote translation failed (%v); translating locally\n", err)
+		} else {
+			translated = true
+			if *stats {
+				fmt.Printf("remote:           %s\n", *remoteURL)
+			}
+		}
+	}
+	switch {
+	case translated: // served remotely, locally re-verified
+	case *cacheDir != "":
 		c, err := tcache.Open(*cacheDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "axcel:", err)
@@ -182,9 +209,11 @@ func main() {
 		if *stats {
 			fmt.Printf("cache:            %s\n", map[bool]string{true: "hit", false: "miss"}[hit])
 		}
-	} else if err := core.Accelerate(f, opts); err != nil {
-		fmt.Fprintln(os.Stderr, "axcel:", err)
-		os.Exit(1)
+	default:
+		if err := core.Accelerate(f, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "axcel:", err)
+			os.Exit(1)
+		}
 	}
 	if *stats {
 		s := f.Accel.Stats

@@ -10,6 +10,10 @@
 //	benchtab -fleet N      run an N-machine ET1 fleet and print (and, with
 //	                       -jsondir, export as BENCH_fleet.json) aggregate
 //	                       throughput and latency percentiles
+//	benchtab -xlate N      submit N codefiles to an in-process tnsxlated,
+//	                       cold then cached, and print (and, with -jsondir,
+//	                       export as BENCH_xlate.json) submit→accelerated
+//	                       latency plus queue depth and steal counts
 package main
 
 import (
@@ -34,6 +38,7 @@ func main() {
 	fleetN := flag.Int("fleet", 0, "run an N-machine ET1 fleet benchmark")
 	fleetChaos := flag.Int("fleet-chaos", 0, "chaos machines within the -fleet run")
 	fleetSeed := flag.Int64("fleet-seed", 1, "seed for the -fleet run")
+	xlateN := flag.Int("xlate", 0, "benchmark the translation service with N concurrent codefiles")
 	flag.Parse()
 
 	if *iters != "" {
@@ -50,6 +55,22 @@ func main() {
 			}
 			bench.Iterations[parts[0]] = n
 		}
+	}
+
+	if *xlateN > 0 {
+		recs, err := bench.MeasureXlate(*xlateN)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: xlate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.XlateTable(recs))
+		if *jsondir != "" {
+			if err := bench.WriteXlateJSON(*jsondir, recs); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 
 	if *fleetN > 0 {

@@ -23,6 +23,14 @@
 //	-rate r            sustained requests/second across all clients
 //	                   (default 50; 0 disables limiting)
 //	-burst b           rate-limiter burst size (default 100)
+//	-shards n          spread the store across n subdirectories keyed by
+//	                   fingerprint prefix (0 = single directory)
+//	-peers list        comma-separated sibling tnsprofd base URLs; a GET
+//	                   serves the merge of the local aggregate with every
+//	                   reachable peer's local aggregate (an unreachable
+//	                   peer degrades out and is counted in /metrics)
+//	-peer-timeout d    per-peer fetch timeout (default 2s)
+//	-peer-token t      bearer token presented to peers (default: -token)
 //
 // Endpoints:
 //
@@ -39,9 +47,11 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"tnsr/internal/profsrv"
+	"tnsr/internal/store"
 )
 
 func main() {
@@ -53,24 +63,52 @@ func main() {
 	ageFloor := flag.Int64("age-floor", profsrv.DefaultAgeFloor, "drop aged rows below this count")
 	rate := flag.Float64("rate", 50, "sustained requests/second (0 = unlimited)")
 	burst := flag.Int("burst", 100, "rate-limiter burst")
+	shards := flag.Int("shards", 0, "spread the store across N subdirectories (0 = single dir)")
+	peers := flag.String("peers", "", "comma-separated sibling tnsprofd base URLs")
+	peerTimeout := flag.Duration("peer-timeout", profsrv.DefaultPeerTimeout, "per-peer fetch timeout")
+	peerToken := flag.String("peer-token", "", "bearer token presented to peers (default: -token)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: tnsprofd [flags]")
 		os.Exit(2)
 	}
 
-	store, err := profsrv.OpenStore(*dir)
-	if err != nil {
-		log.Fatalf("tnsprofd: %v", err)
+	var st *profsrv.Store
+	if *shards > 0 {
+		backing, err := store.OpenSharded(*dir, *shards)
+		if err != nil {
+			log.Fatalf("tnsprofd: %v", err)
+		}
+		st = profsrv.NewStore(backing)
+	} else {
+		var err error
+		st, err = profsrv.OpenStore(*dir)
+		if err != nil {
+			log.Fatalf("tnsprofd: %v", err)
+		}
 	}
+
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	if *peerToken == "" {
+		*peerToken = *token
+	}
+
 	srv := profsrv.New(profsrv.Config{
-		Store:      store,
-		Token:      *token,
-		MaxBody:    *maxBody,
-		AgeEvery:   *ageEvery,
-		AgeFloor:   *ageFloor,
-		RatePerSec: *rate,
-		RateBurst:  *burst,
+		Store:       st,
+		Token:       *token,
+		MaxBody:     *maxBody,
+		AgeEvery:    *ageEvery,
+		AgeFloor:    *ageFloor,
+		RatePerSec:  *rate,
+		RateBurst:   *burst,
+		Peers:       peerList,
+		PeerTimeout: *peerTimeout,
+		PeerToken:   *peerToken,
 	})
 
 	hs := &http.Server{
@@ -78,8 +116,8 @@ func main() {
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("tnsprofd: serving profiles from %s on %s (auth %s, age every %d runs)",
-		*dir, *addr, map[bool]string{true: "on", false: "off"}[*token != ""], *ageEvery)
+	log.Printf("tnsprofd: serving profiles from %s on %s (auth %s, age every %d runs, %d peers)",
+		*dir, *addr, map[bool]string{true: "on", false: "off"}[*token != ""], *ageEvery, len(peerList))
 	if err := hs.ListenAndServe(); err != http.ErrServerClosed {
 		log.Fatalf("tnsprofd: %v", err)
 	}

@@ -1,0 +1,108 @@
+// Command tnsxlated is the translation service daemon: accept TNS
+// codefiles over HTTP, translate them through the same deterministic
+// Accelerator every local tool uses, keep the accelerated codefiles in a
+// content-addressed store keyed by core.Options.TransKey, and serve them
+// back. Fragment translation for every concurrent submission shares one
+// work-stealing pool, so a large codefile cannot starve a small one
+// submitted after it.
+//
+// Usage:
+//
+//	tnsxlated -addr :9912 -dir /var/lib/tnsxlated [flags]
+//
+//	-addr host:port      listen address (default "127.0.0.1:9912")
+//	-dir path            codefile store directory (default "./xlatestore")
+//	-shards n            spread the store across n subdirectories keyed by
+//	                     TransKey prefix (0 = single directory)
+//	-cache-max-bytes n   evict least-recently-used store entries past this
+//	                     total size (0 = unbounded)
+//	-token t             require "Authorization: Bearer t" on /v1 (metrics
+//	                     and health stay open); empty disables auth
+//	-max-body n          reject submissions larger than n bytes
+//	                     (default 64 MiB)
+//	-rate r              sustained requests/second per client (default 50;
+//	                     0 disables limiting)
+//	-burst b             rate-limiter burst size (default 100)
+//	-workers n           fragment translation workers (0 = all CPUs)
+//	-fifo                strict submission-order scheduling (benchmark
+//	                     baseline; production wants the default stealing)
+//
+// Endpoints:
+//
+//	POST /v1/xlate        submit a codefile + translation knobs
+//	GET  /v1/xlate/{key}  fetch the accelerated codefile (re-verified)
+//	GET  /metrics         Prometheus text exposition
+//	GET  /healthz         liveness probe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"tnsr/internal/store"
+	"tnsr/internal/tcache"
+	"tnsr/internal/xlate"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9912", "listen address")
+	dir := flag.String("dir", "xlatestore", "codefile store directory")
+	shards := flag.Int("shards", 0, "spread the store across N subdirectories (0 = single dir)")
+	maxBytes := flag.Int64("cache-max-bytes", 0, "evict LRU store entries past this total size (0 = unbounded)")
+	token := flag.String("token", "", "bearer token (empty disables auth)")
+	maxBody := flag.Int64("max-body", xlate.DefaultMaxBody, "maximum submission size in bytes")
+	rate := flag.Float64("rate", 50, "sustained requests/second per client (0 = unlimited)")
+	burst := flag.Int("burst", 100, "rate-limiter burst")
+	workers := flag.Int("workers", 0, "fragment translation workers (0 = all CPUs)")
+	fifo := flag.Bool("fifo", false, "strict submission-order scheduling (benchmark baseline)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: tnsxlated [flags]")
+		os.Exit(2)
+	}
+
+	var cache *tcache.Cache
+	if *shards > 0 {
+		backing, err := store.OpenSharded(*dir, *shards)
+		if err != nil {
+			log.Fatalf("tnsxlated: %v", err)
+		}
+		cache = tcache.New(backing)
+	} else {
+		var err error
+		cache, err = tcache.Open(*dir)
+		if err != nil {
+			log.Fatalf("tnsxlated: %v", err)
+		}
+	}
+	if *maxBytes > 0 {
+		cache.SetMaxBytes(*maxBytes)
+	}
+
+	srv := xlate.New(xlate.Config{
+		Cache:      cache,
+		Token:      *token,
+		MaxBody:    *maxBody,
+		RatePerSec: *rate,
+		RateBurst:  *burst,
+		Workers:    *workers,
+		FIFO:       *fifo,
+	})
+	defer srv.Close()
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("tnsxlated: serving translations from %s on %s (auth %s, %s scheduling)",
+		*dir, *addr, map[bool]string{true: "on", false: "off"}[*token != ""],
+		map[bool]string{true: "fifo", false: "work-stealing"}[*fifo])
+	if err := hs.ListenAndServe(); err != http.ErrServerClosed {
+		log.Fatalf("tnsxlated: %v", err)
+	}
+}

@@ -1,0 +1,259 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"tnsr/internal/codefile"
+	"tnsr/internal/core"
+	"tnsr/internal/tcache"
+	"tnsr/internal/tnsasm"
+	"tnsr/internal/tnsgen"
+	"tnsr/internal/xlate"
+)
+
+// XlateRecord is one (codefile, temperature) measurement against a live
+// translation service: the submit→accelerated wall latency for that
+// codefile, plus the service queue's counters for the pass the measurement
+// belongs to (the queue is shared, so Steals/FragsExecuted/PeakQueueTasks
+// are per-pass deltas repeated on every record of the pass).
+type XlateRecord struct {
+	Schema         string  `json:"schema"`
+	Workload       string  `json:"workload"`
+	Mode           string  `json:"mode"` // "xlate-cold" or "xlate-cached"
+	LatencyMs      float64 `json:"latency_ms"`
+	Cached         bool    `json:"cached"`
+	PeakQueueTasks int     `json:"peak_queue_tasks"`
+	Steals         int64   `json:"steals"`
+	FragsExecuted  int64   `json:"frags_executed"`
+}
+
+// Xlate temperature modes.
+const (
+	XlateModeCold   = "xlate-cold"
+	XlateModeCached = "xlate-cached"
+)
+
+// MeasureXlate stands up an in-process tnsxlated over a temporary store,
+// submits n distinct generated codefiles CONCURRENTLY (cold — every
+// fragment goes through the shared work-stealing queue), then resubmits
+// the same codefiles (cached — every submission must answer entirely from
+// the content-addressed store), and reports the submit→accelerated latency
+// of each codefile in each pass. The cold records carry the queue's
+// per-pass steal and fragment counts; a correct cached pass executes zero
+// fragments.
+func MeasureXlate(n int) ([]XlateRecord, error) {
+	if n < 2 {
+		n = 2 // one submission cannot exercise cross-codefile scheduling
+	}
+	dir, err := os.MkdirTemp("", "tnsxlated-bench-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	cache, err := tcache.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := xlate.New(xlate.Config{Cache: cache})
+	defer s.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: s}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	build := func(i int) (*codefile.File, error) {
+		p := tnsgen.Generate(fmt.Sprintf("xb%d", i), int64(100+i), tnsgen.LegacyConfig())
+		return tnsasm.Assemble(p.Name, p.UserSource())
+	}
+	opts := core.Options{Level: codefile.LevelDefault}
+
+	pass := func(mode string) ([]XlateRecord, error) {
+		before := s.Queue().Stats()
+		stopPeak := watchQueueDepth(s)
+
+		recs := make([]XlateRecord, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				f, err := build(i)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				cl := xlate.NewClient(base, "")
+				cl.PollInterval = 2 * time.Millisecond
+				start := time.Now()
+				st, err := cl.Submit(f, opts)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if err := cl.Accelerate(f, opts); err != nil {
+					errs[i] = err
+					return
+				}
+				recs[i] = XlateRecord{
+					Schema:    BenchSchema,
+					Workload:  f.Name,
+					Mode:      mode,
+					LatencyMs: float64(time.Since(start)) / float64(time.Millisecond),
+					Cached:    st.Cached,
+				}
+			}(i)
+		}
+		wg.Wait()
+		depth := stopPeak()
+		after := s.Queue().Stats()
+		for i := range recs {
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+			recs[i].PeakQueueTasks = depth
+			recs[i].Steals = after.Steals - before.Steals
+			recs[i].FragsExecuted = after.Executed - before.Executed
+		}
+		return recs, nil
+	}
+
+	cold, err := pass(XlateModeCold)
+	if err != nil {
+		return nil, err
+	}
+	cached, err := pass(XlateModeCached)
+	if err != nil {
+		return nil, err
+	}
+	return append(cold, cached...), nil
+}
+
+// watchQueueDepth samples the service queue until the returned stop
+// function is called, which reports the peak number of concurrently
+// queued-or-running translations it observed. A sampled peak can
+// undercount on a fast pass; it never overcounts.
+func watchQueueDepth(s *xlate.Server) (stop func() int) {
+	var (
+		max  int
+		done = make(chan struct{})
+		wg   sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if t := s.Queue().Stats().Tasks; t > max {
+				max = t
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	return func() int {
+		close(done)
+		wg.Wait()
+		return max
+	}
+}
+
+// WriteXlateJSON validates recs and writes BENCH_xlate.json into dir.
+func WriteXlateJSON(dir string, recs []XlateRecord) error {
+	if err := ValidateXlateRecords(recs); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_xlate.json"), append(data, '\n'), 0o644)
+}
+
+// ValidateXlateRecords checks a BENCH_xlate.json payload: schema tag, a
+// cold and a cached record per codefile, and the temperature invariants —
+// cold submissions translate (fragments executed, nothing answered from
+// the store), cached submissions answer entirely from the store (zero
+// fragments executed).
+func ValidateXlateRecords(recs []XlateRecord) error {
+	if len(recs) == 0 {
+		return fmt.Errorf("no xlate records")
+	}
+	modes := map[string]int{}
+	for _, r := range recs {
+		if r.Schema != BenchSchema {
+			return fmt.Errorf("schema %q != %q", r.Schema, BenchSchema)
+		}
+		if r.Workload == "" {
+			return fmt.Errorf("record missing workload: %+v", r)
+		}
+		if r.LatencyMs < 0 {
+			return fmt.Errorf("%s/%s: negative latency", r.Workload, r.Mode)
+		}
+		if r.PeakQueueTasks < 0 || r.Steals < 0 || r.FragsExecuted < 0 {
+			return fmt.Errorf("%s/%s: negative queue counter", r.Workload, r.Mode)
+		}
+		modes[r.Mode]++
+		switch r.Mode {
+		case XlateModeCold:
+			if r.Cached {
+				return fmt.Errorf("%s: cold record marked cached", r.Workload)
+			}
+			if r.FragsExecuted == 0 {
+				return fmt.Errorf("%s: cold record executed no fragments", r.Workload)
+			}
+		case XlateModeCached:
+			if !r.Cached {
+				return fmt.Errorf("%s: cached record not answered from the store", r.Workload)
+			}
+			if r.FragsExecuted != 0 {
+				return fmt.Errorf("%s: cached record executed %d fragments", r.Workload, r.FragsExecuted)
+			}
+		default:
+			return fmt.Errorf("%s: unknown mode %q", r.Workload, r.Mode)
+		}
+	}
+	if modes[XlateModeCold] != modes[XlateModeCached] {
+		return fmt.Errorf("unbalanced passes: %d cold, %d cached records",
+			modes[XlateModeCold], modes[XlateModeCached])
+	}
+	return nil
+}
+
+// XlateTable renders the records as the benchtab text table.
+func XlateTable(recs []XlateRecord) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Translation service: submit→accelerated latency (cold vs cached)\n\n")
+	fmt.Fprintf(&b, "  %-10s %-13s %12s %7s\n", "workload", "mode", "latency_ms", "cached")
+	for _, r := range recs {
+		fmt.Fprintf(&b, "  %-10s %-13s %12.3f %7v\n", r.Workload, r.Mode, r.LatencyMs, r.Cached)
+	}
+	for _, mode := range []string{XlateModeCold, XlateModeCached} {
+		for _, r := range recs {
+			if r.Mode == mode {
+				fmt.Fprintf(&b, "\n%s pass: peak queue %d task(s), %d fragment(s) executed, %d steal(s)\n",
+					strings.TrimPrefix(mode, "xlate-"), r.PeakQueueTasks, r.FragsExecuted, r.Steals)
+				break
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMeasureXlateRoundTrip runs the full service benchmark small: two
+// codefiles cold then cached, records validating, JSON export parsing
+// back and validating again. The cold/cached invariants are the point —
+// the cold pass must actually translate, the cached pass must answer
+// entirely from the content-addressed store.
+func TestMeasureXlateRoundTrip(t *testing.T) {
+	recs, err := MeasureXlate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateXlateRecords(recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4 (2 codefiles × cold+cached)", len(recs))
+	}
+
+	dir := t.TempDir()
+	if err := WriteXlateJSON(dir, recs); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_xlate.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed []XlateRecord
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateXlateRecords(parsed); err != nil {
+		t.Fatalf("exported records do not re-validate: %v", err)
+	}
+	if XlateTable(recs) == "" {
+		t.Error("empty text table")
+	}
+}
+
+// TestValidateXlateRejects pins the validator's teeth on hostile payloads.
+func TestValidateXlateRejects(t *testing.T) {
+	good := func() []XlateRecord {
+		return []XlateRecord{
+			{Schema: BenchSchema, Workload: "w", Mode: XlateModeCold, LatencyMs: 1, FragsExecuted: 5},
+			{Schema: BenchSchema, Workload: "w", Mode: XlateModeCached, LatencyMs: 1, Cached: true},
+		}
+	}
+	if err := ValidateXlateRecords(good()); err != nil {
+		t.Fatalf("good records rejected: %v", err)
+	}
+	cases := map[string]func([]XlateRecord) []XlateRecord{
+		"empty":              func(r []XlateRecord) []XlateRecord { return nil },
+		"bad schema":         func(r []XlateRecord) []XlateRecord { r[0].Schema = "nope/v9"; return r },
+		"no workload":        func(r []XlateRecord) []XlateRecord { r[0].Workload = ""; return r },
+		"negative latency":   func(r []XlateRecord) []XlateRecord { r[1].LatencyMs = -1; return r },
+		"bad mode":           func(r []XlateRecord) []XlateRecord { r[0].Mode = "xlate-warm"; return r },
+		"cold marked cached": func(r []XlateRecord) []XlateRecord { r[0].Cached = true; return r },
+		"cold zero frags":    func(r []XlateRecord) []XlateRecord { r[0].FragsExecuted = 0; return r },
+		"cached not cached":  func(r []XlateRecord) []XlateRecord { r[1].Cached = false; return r },
+		"cached with frags":  func(r []XlateRecord) []XlateRecord { r[1].FragsExecuted = 3; return r },
+		"unbalanced":         func(r []XlateRecord) []XlateRecord { return r[:1] },
+	}
+	for name, mutate := range cases {
+		if err := ValidateXlateRecords(mutate(good())); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

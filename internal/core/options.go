@@ -73,6 +73,16 @@ type Options struct {
 	DisableCSE         bool // no reuse of fetches and address computations
 	DisableSchedule    bool // no delay-slot filling or stall avoidance
 
+	// Sched, when non-nil, replaces the private per-translation worker
+	// pool: fragment translation jobs are handed to it instead of to
+	// Workers goroutines, so an external scheduler (the tnsxlated
+	// work-stealing queue) can interleave fragments from concurrently
+	// submitted codefiles. Like Workers, Sched changes wall-clock only —
+	// fragments are independent and the merge is positional, so the
+	// emitted section is byte-identical under any scheduler — and it is
+	// excluded from TransKey for the same reason.
+	Sched FragSched
+
 	// Obs, when non-nil, receives per-phase translation timings
 	// (analyze/rp/liveness/translate/merge/schedule/finalize). Nil costs
 	// nothing beyond one comparison per phase.
@@ -96,6 +106,15 @@ type Options struct {
 	// everything, keeping profiled output observationally identical to
 	// unprofiled.
 	ProfileCover float64
+}
+
+// FragSched executes the independent fragment jobs of one translation. Run
+// must call job(k) exactly once for every k in [0, n), possibly concurrently
+// and in any order, and return only after every call has finished. The
+// default implementation is the private worker pool in parallel.go; the
+// tnsxlated service substitutes a queue shared across translations.
+type FragSched interface {
+	Run(n int, job func(k int))
 }
 
 // Hints is the optional per-procedure advice file.

@@ -43,12 +43,13 @@ type fragResult struct {
 }
 
 // translate runs the translation phase of Accelerate: serially for
-// Workers=1 (or a single procedure), through the worker pool otherwise.
-// Either way it returns the same emission buffer and statistics.
+// Workers=1 (or a single procedure), through a fragment scheduler otherwise
+// — the private worker pool by default, opts.Sched when attached. Every
+// path returns the same emission buffer and statistics.
 func translate(p *program, opts *Options) (*fn, codefile.AccelStats, error) {
 	ctx := newTransCtx(p, opts)
 	frags := ctx.fragments()
-	if opts.Workers <= 1 || len(frags) <= 1 {
+	if opts.Sched == nil && (opts.Workers <= 1 || len(frags) <= 1) {
 		var t0 time.Time
 		if opts.Obs != nil {
 			t0 = time.Now()
@@ -59,7 +60,15 @@ func translate(p *program, opts *Options) (*fn, codefile.AccelStats, error) {
 		}
 		return f, stats, err
 	}
-	return translateParallel(ctx, frags, opts.Workers)
+	sched := opts.Sched
+	if sched == nil {
+		workers := opts.Workers
+		if workers > len(frags) {
+			workers = len(frags)
+		}
+		sched = poolSched{workers: workers}
+	}
+	return translateSched(ctx, frags, sched)
 }
 
 // translateSerial walks the fragments in order with one translator sharing
@@ -74,19 +83,19 @@ func translateSerial(ctx *transCtx, frags []fragment) (*fn, codefile.AccelStats,
 	return t.f, t.stats, nil
 }
 
-// translateParallel fans the fragments out to min(workers, len(frags))
-// goroutines and merges the results in fragment order.
-func translateParallel(ctx *transCtx, frags []fragment, workers int) (*fn, codefile.AccelStats, error) {
-	if workers > len(frags) {
-		workers = len(frags)
+// poolSched is the default FragSched: a private pool of workers goroutines
+// claiming jobs off a shared atomic counter, exactly the shape the pipeline
+// had before the scheduler was factored out.
+type poolSched struct {
+	workers int
+}
+
+func (p poolSched) Run(n int, job func(k int)) {
+	workers := p.workers
+	if workers > n {
+		workers = n
 	}
-	results := make([]*fragResult, len(frags))
-	errs := make([]error, len(frags))
 	var next int64 = -1
-	var t0 time.Time
-	if ctx.opts.Obs != nil {
-		t0 = time.Now()
-	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -94,24 +103,40 @@ func translateParallel(ctx *transCtx, frags []fragment, workers int) (*fn, codef
 			defer wg.Done()
 			for {
 				k := int(atomic.AddInt64(&next, 1))
-				if k >= len(frags) {
+				if k >= n {
 					return
 				}
-				tr := newTranslator(ctx)
-				if err := tr.translateRange(frags[k]); err != nil {
-					errs[k] = err
-					continue
-				}
-				results[k] = &fragResult{
-					f:            tr.f,
-					blockLbl:     tr.blockLbl,
-					stats:        tr.stats,
-					pendingExact: tr.f.pendingExact,
-				}
+				job(k)
 			}
 		}()
 	}
 	wg.Wait()
+}
+
+// translateSched fans the fragments out through sched and merges the results
+// in fragment order. Which worker (or whose queue) ran each job is invisible
+// here: results are indexed by fragment, so the merge — and therefore the
+// emitted section — is byte-identical under any scheduler.
+func translateSched(ctx *transCtx, frags []fragment, sched FragSched) (*fn, codefile.AccelStats, error) {
+	results := make([]*fragResult, len(frags))
+	errs := make([]error, len(frags))
+	var t0 time.Time
+	if ctx.opts.Obs != nil {
+		t0 = time.Now()
+	}
+	sched.Run(len(frags), func(k int) {
+		tr := newTranslator(ctx)
+		if err := tr.translateRange(frags[k]); err != nil {
+			errs[k] = err
+			return
+		}
+		results[k] = &fragResult{
+			f:            tr.f,
+			blockLbl:     tr.blockLbl,
+			stats:        tr.stats,
+			pendingExact: tr.f.pendingExact,
+		}
+	})
 	if ctx.opts.Obs != nil {
 		now := time.Now()
 		ctx.opts.Obs.Phase("translate", now.Sub(t0))

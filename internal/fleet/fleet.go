@@ -17,6 +17,7 @@ import (
 	"tnsr/internal/risc"
 	"tnsr/internal/tcache"
 	"tnsr/internal/workloads"
+	"tnsr/internal/xlate"
 	"tnsr/internal/xrun"
 )
 
@@ -104,6 +105,13 @@ type Config struct {
 	// Cache, when non-nil, serves the host's translations through the
 	// persistent retranslation cache.
 	Cache *tcache.Cache
+
+	// Xlate, when non-nil, sends the host's translations to a tnsxlated
+	// service first (the shared image and every per-round profiled
+	// retranslation). Any remote failure degrades to a local translation
+	// — the service's determinism contract makes the two byte-identical,
+	// so degrading changes availability, never the image.
+	Xlate *xlate.Client
 
 	// Config is the simulator timing model (zero value means the
 	// Cyclone/R defaults).
@@ -259,6 +267,13 @@ func buildShared(cfg *Config, prof *pgo.Profile) (*codefile.File, *codefile.File
 		return nil, nil, fmt.Errorf("fleet: %w", err)
 	}
 	accelerate := func(f *codefile.File, opts core.Options) error {
+		if cfg.Xlate != nil {
+			if err := cfg.Xlate.Accelerate(f, opts); err == nil {
+				return nil
+			}
+			// Remote failure: degrade to a local translation of the same
+			// key — byte-identical by the determinism contract.
+		}
 		if cfg.Cache != nil {
 			_, err := cfg.Cache.Accelerate(f, opts)
 			return err

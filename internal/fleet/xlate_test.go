@@ -1,0 +1,102 @@
+package fleet
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tnsr/internal/profsrv"
+	"tnsr/internal/tcache"
+	"tnsr/internal/xlate"
+)
+
+// newXlateServer mounts a real tnsxlated on a socket over a fresh store.
+func newXlateServer(t testing.TB) (*xlate.Server, *httptest.Server) {
+	t.Helper()
+	c, err := tcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := xlate.New(xlate.Config{Cache: c, Workers: 2})
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	return s, srv
+}
+
+func newProfServer(t testing.TB) *profsrv.Server {
+	t.Helper()
+	store, err := profsrv.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return profsrv.New(profsrv.Config{Store: store})
+}
+
+// TestFleetXlateRemoteIdentical: a fleet whose host translates through a
+// tnsxlated service produces a report byte-identical to the same fleet
+// translating locally — including the round-2 profiled retranslation
+// through the PGO loop, so the remote path is exercised with a profile
+// attached, not just cold.
+func TestFleetXlateRemoteIdentical(t *testing.T) {
+	run := func(cl *xlate.Client) []byte {
+		fr, err := Run(Config{
+			Machines: 6, Seed: 9, Rounds: 2,
+			InProc: newProfServer(t),
+			Xlate:  cl,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := fr.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	local := run(nil)
+
+	s, srv := newXlateServer(t)
+	cl := xlate.NewClient(srv.URL, "")
+	cl.PollInterval = 5 * time.Millisecond
+	remote := run(cl)
+
+	if !bytes.Equal(local, remote) {
+		t.Fatalf("remote-translated fleet report differs from local:\n%s\n----\n%s", local, remote)
+	}
+	// The translations really went through the service's queue.
+	if st := s.Queue().Stats(); st.Executed == 0 {
+		t.Errorf("service queue executed no fragments: %+v", st)
+	}
+}
+
+// TestFleetXlateDegradesToLocal: an unreachable translation service costs
+// the fleet nothing but the failed connection — the host translates
+// locally and the report is identical to a run with no service at all.
+func TestFleetXlateDegradesToLocal(t *testing.T) {
+	dead := httptest.NewServer(nil)
+	deadURL := dead.URL
+	dead.Close()
+
+	run := func(cl *xlate.Client) []byte {
+		fr, err := Run(Config{Machines: 4, Seed: 13, Xlate: cl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := fr.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	local := run(nil)
+	degraded := run(xlate.NewClient(deadURL, ""))
+	if !bytes.Equal(local, degraded) {
+		t.Fatalf("degraded fleet report differs from local:\n%s\n----\n%s", local, degraded)
+	}
+}

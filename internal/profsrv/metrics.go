@@ -26,13 +26,23 @@ type metrics struct {
 	uploads  int64            // accepted merges
 	served   int64            // aggregates served
 	ages     int64            // aging events applied
+
+	peerMerges int64            // multi-node merges served
+	peerErrs   map[string]int64 // peer URL -> degraded fetches
 }
 
 func newMetrics() *metrics {
 	return &metrics{
 		requests: map[reqKey]int64{},
 		rejects:  map[string]int64{},
+		peerErrs: map[string]int64{},
 	}
+}
+
+func (m *metrics) peerError(peer string) {
+	m.mu.Lock()
+	m.peerErrs[peer]++
+	m.mu.Unlock()
 }
 
 func (m *metrics) request(method string, code int) {
@@ -99,6 +109,22 @@ func (m *metrics) write(w io.Writer, stored int) {
 	obs.PromHeader(w, "tnsr_profsrv_age_events_total", "counter",
 		"Cross-run aging passes applied to an aggregate.")
 	fmt.Fprintf(w, "tnsr_profsrv_age_events_total %d\n", m.ages)
+
+	obs.PromHeader(w, "tnsr_profsrv_peer_merges_total", "counter",
+		"Multi-node aggregates served (local + peer merge).")
+	fmt.Fprintf(w, "tnsr_profsrv_peer_merges_total %d\n", m.peerMerges)
+
+	obs.PromHeader(w, "tnsr_profsrv_peer_errors_total", "counter",
+		"Peer aggregate fetches that failed and were degraded out of the answer, by peer.")
+	pkeys := make([]string, 0, len(m.peerErrs))
+	for k := range m.peerErrs {
+		pkeys = append(pkeys, k)
+	}
+	sort.Strings(pkeys)
+	for _, k := range pkeys {
+		fmt.Fprintf(w, "tnsr_profsrv_peer_errors_total{peer=%q} %d\n",
+			obs.PromEscape(k), m.peerErrs[k])
+	}
 
 	obs.PromHeader(w, "tnsr_profsrv_stored_profiles", "gauge",
 		"Aggregates currently stored, one per codefile fingerprint.")

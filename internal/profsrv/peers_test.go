@@ -1,0 +1,222 @@
+package profsrv
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tnsr/internal/pgo"
+)
+
+// peerNode is one tnsprofd node in a simulated multi-node fleet: a Server
+// over its own store, listening on a real socket so sibling nodes can fetch
+// from it exactly the way production peers do.
+type peerNode struct {
+	s   *Server
+	srv *httptest.Server
+}
+
+func newPeerNode(t testing.TB, mutate func(*Config)) *peerNode {
+	t.Helper()
+	s := newTestServer(t, mutate)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	return &peerNode{s: s, srv: srv}
+}
+
+// push uploads one capture to a node and fails the test on rejection.
+func (n *peerNode) push(t testing.TB, fp string, p *pgo.Profile) {
+	t.Helper()
+	w := do(n.s, http.MethodPost, profilesPrefix+fp, "", mustJSON(t, p))
+	if w.Code != http.StatusOK {
+		t.Fatalf("push: status %d: %s", w.Code, w.Body.String())
+	}
+}
+
+// TestPeersAggregateByteIdentical is the multi-node acceptance pin: captures
+// scattered across two peer nodes plus the queried node itself must GET back
+// as one aggregate byte-identical to a single-node pgo.Merge of the same
+// captures — in every assignment of capture to node and every upload order.
+func TestPeersAggregateByteIdentical(t *testing.T) {
+	captures := []*pgo.Profile{
+		testProfile(testFP, 1),
+		testProfile(testFP, 10),
+		testProfile(testFP, 100),
+	}
+	want, err := pgo.Merge(captures...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := mustJSON(t, want)
+
+	// Every permutation of the three captures over the three nodes doubles
+	// as every upload order (one capture per node, pushed in slice order).
+	perms := [][3]int{
+		{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0},
+	}
+	for _, perm := range perms {
+		peerB := newPeerNode(t, nil)
+		peerC := newPeerNode(t, nil)
+		front := newPeerNode(t, func(c *Config) {
+			c.Peers = []string{peerB.srv.URL, peerC.srv.URL}
+		})
+		nodes := []*peerNode{front, peerB, peerC}
+		for slot, ci := range perm {
+			nodes[slot].push(t, testFP, captures[ci])
+		}
+
+		w := do(front.s, http.MethodGet, profilesPrefix+testFP, "", nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("perm %v: GET status %d: %s", perm, w.Code, w.Body.String())
+		}
+		if got := w.Body.String(); got != string(wantJSON) {
+			t.Errorf("perm %v: multi-node aggregate differs from single-node merge\ngot:  %s\nwant: %s",
+				perm, got, wantJSON)
+		}
+	}
+}
+
+// TestPeersLocalQueryBypassesPeers pins the recursion guard: ?local=1 must
+// answer from the local store alone, so two nodes naming each other as peers
+// terminate instead of fetching forever.
+func TestPeersLocalQueryBypassesPeers(t *testing.T) {
+	peer := newPeerNode(t, nil)
+	peer.push(t, testFP, testProfile(testFP, 100))
+
+	local := testProfile(testFP, 1)
+	front := newPeerNode(t, func(c *Config) {
+		c.Peers = []string{peer.srv.URL}
+	})
+	front.push(t, testFP, local)
+
+	w := do(front.s, http.MethodGet, profilesPrefix+testFP+"?local=1", "", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET ?local=1: status %d: %s", w.Code, w.Body.String())
+	}
+	wantLocal, err := pgo.Merge(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Body.String(); got != string(mustJSON(t, wantLocal)) {
+		t.Errorf("?local=1 answer includes peer data:\n%s", got)
+	}
+
+	// Mutual peering: each node names the other. The fetch fans out once
+	// (peers asked with ?local=1) and must terminate with the full merge.
+	a := newPeerNode(t, nil)
+	b := newPeerNode(t, nil)
+	a.s.cfg.Peers = []string{b.srv.URL}
+	b.s.cfg.Peers = []string{a.srv.URL}
+	pa, pb := testProfile(testFP, 3), testProfile(testFP, 7)
+	a.push(t, testFP, pa)
+	b.push(t, testFP, pb)
+	wantBoth, err := pgo.Merge(pa, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, n := range map[string]*peerNode{"a": a, "b": b} {
+		w := do(n.s, http.MethodGet, profilesPrefix+testFP, "", nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("mutual %s: status %d: %s", name, w.Code, w.Body.String())
+		}
+		if got := w.Body.String(); got != string(mustJSON(t, wantBoth)) {
+			t.Errorf("mutual %s: aggregate differs from full merge:\n%s", name, got)
+		}
+	}
+}
+
+// TestPeersDegradeOnFailure pins the degradation contract: an unreachable
+// peer and a peer with no aggregate both drop out of the answer — the local
+// aggregate is still served — and the unreachable peer's failures are
+// counted per peer in /metrics.
+func TestPeersDegradeOnFailure(t *testing.T) {
+	// A peer that is definitely down: reserve a port, then close it.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	// A live peer holding nothing for this fingerprint (404 → skipped).
+	empty := newPeerNode(t, nil)
+
+	local := testProfile(testFP, 5)
+	front := newPeerNode(t, func(c *Config) {
+		c.Peers = []string{deadURL, empty.srv.URL}
+	})
+	front.push(t, testFP, local)
+
+	w := do(front.s, http.MethodGet, profilesPrefix+testFP, "", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET with dead peer: status %d: %s", w.Code, w.Body.String())
+	}
+	wantLocal, err := pgo.Merge(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Body.String(); got != string(mustJSON(t, wantLocal)) {
+		t.Errorf("degraded answer differs from local aggregate:\n%s", got)
+	}
+
+	m := do(front.s, http.MethodGet, "/metrics", "", nil)
+	if m.Code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", m.Code)
+	}
+	body := m.Body.String()
+	wantLine := `tnsr_profsrv_peer_errors_total{peer="` + deadURL + `"} 1`
+	if !strings.Contains(body, wantLine) {
+		t.Errorf("/metrics missing %q in:\n%s", wantLine, body)
+	}
+	if strings.Contains(body, `peer_errors_total{peer="`+empty.srv.URL) {
+		t.Errorf("empty (404) peer wrongly counted as an error:\n%s", body)
+	}
+	if !strings.Contains(body, "tnsr_profsrv_peer_merges_total 1") {
+		t.Errorf("/metrics missing peer_merges_total 1:\n%s", body)
+	}
+}
+
+// TestPeersAuthForwarded pins that the configured PeerToken reaches peers:
+// a token-protected peer must accept the fetch, and without the token the
+// peer's captures silently degrade out (counted as a peer error).
+func TestPeersAuthForwarded(t *testing.T) {
+	const tok = "fleet-secret"
+	peer := newPeerNode(t, func(c *Config) { c.Token = tok })
+	peerCap := testProfile(testFP, 2)
+	{
+		w := do(peer.s, http.MethodPost, profilesPrefix+testFP, tok, mustJSON(t, peerCap))
+		if w.Code != http.StatusOK {
+			t.Fatalf("peer push: status %d: %s", w.Code, w.Body.String())
+		}
+	}
+
+	local := testProfile(testFP, 1)
+	withTok := newPeerNode(t, func(c *Config) {
+		c.Peers = []string{peer.srv.URL}
+		c.PeerToken = tok
+	})
+	withTok.push(t, testFP, local)
+
+	w := do(withTok.s, http.MethodGet, profilesPrefix+testFP, "", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET: status %d: %s", w.Code, w.Body.String())
+	}
+	wantBoth, err := pgo.Merge(local, peerCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Body.String(); got != string(mustJSON(t, wantBoth)) {
+		t.Errorf("token-bearing fetch missed peer captures:\n%s", got)
+	}
+
+	noTok := newPeerNode(t, func(c *Config) {
+		c.Peers = []string{peer.srv.URL} // no PeerToken: peer rejects 401
+	})
+	noTok.push(t, testFP, testProfile(testFP, 1))
+	w = do(noTok.s, http.MethodGet, profilesPrefix+testFP, "", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET without peer token: status %d: %s", w.Code, w.Body.String())
+	}
+	m := do(noTok.s, http.MethodGet, "/metrics", "", nil)
+	if !strings.Contains(m.Body.String(), `tnsr_profsrv_peer_errors_total{peer="`+peer.srv.URL+`"} 1`) {
+		t.Errorf("401 from peer not counted as peer error:\n%s", m.Body.String())
+	}
+}

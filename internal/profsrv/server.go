@@ -56,7 +56,31 @@ type Config struct {
 	// 429s. RateBurst is each bucket's depth (<= 0 means 1).
 	RatePerSec float64
 	RateBurst  int
+
+	// Peers lists sibling tnsprofd base URLs. A GET then serves the merge
+	// of the local aggregate with every peer's LOCAL aggregate (peers are
+	// asked with ?local=1, so two nodes naming each other cannot recurse).
+	// pgo.Merge is order-independent and canonical, so N nodes each
+	// holding a subset of the fleet's captures serve one byte-identical
+	// fleet-wide aggregate regardless of which node a capture landed on
+	// or which node is asked. A peer that cannot be reached within
+	// PeerTimeout degrades to "its captures are missing from this
+	// answer": the response is still served, the failure is counted per
+	// peer in /metrics, and a stale or partial aggregate costs interludes
+	// downstream, never correctness — the same advisory contract every
+	// profile consumer already honors.
+	Peers []string
+
+	// PeerTimeout bounds each peer fetch (<= 0 means DefaultPeerTimeout).
+	PeerTimeout time.Duration
+
+	// PeerToken is the bearer token presented to peers (they typically
+	// share the fleet's token; empty sends none).
+	PeerToken string
 }
+
+// DefaultPeerTimeout bounds a peer aggregate fetch.
+const DefaultPeerTimeout = 2 * time.Second
 
 // Server is the tnsprofd HTTP surface. It is an http.Handler; routing,
 // auth, limits and metrics all live here so the fuzz target can drive the
@@ -64,6 +88,8 @@ type Config struct {
 type Server struct {
 	cfg Config
 	m   *metrics
+
+	peerHTTP *http.Client // peer fetches, bounded by PeerTimeout
 
 	bucketMu sync.Mutex
 	buckets  map[string]*bucket
@@ -95,7 +121,15 @@ func New(cfg Config) *Server {
 	if cfg.RateBurst <= 0 {
 		cfg.RateBurst = 1
 	}
-	return &Server{cfg: cfg, m: newMetrics(), buckets: map[string]*bucket{}}
+	if cfg.PeerTimeout <= 0 {
+		cfg.PeerTimeout = DefaultPeerTimeout
+	}
+	return &Server{
+		cfg:      cfg,
+		m:        newMetrics(),
+		peerHTTP: &http.Client{Timeout: cfg.PeerTimeout},
+		buckets:  map[string]*bucket{},
+	}
 }
 
 // clientKey identifies the bucket a request draws from: the remote host
@@ -232,13 +266,25 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // serveAggregate is the GET side: the stored bytes are already canonical,
 // but they are re-parsed and re-validated on every load — a damaged file
-// must become a typed 500, never served advice.
+// must become a typed 500, never served advice. With peers configured (and
+// the request not marked ?local=1), the response is the order-independent
+// pgo.Merge of the local aggregate with every reachable peer's local
+// aggregate — the multi-node fleet view.
 func (s *Server) serveAggregate(w http.ResponseWriter, r *http.Request, fp string) {
 	p, err := s.cfg.Store.Load(fp)
 	if err != nil {
 		s.fail(w, r, http.StatusInternalServerError, "store",
 			"aggregate unreadable; refusing to serve it")
 		return
+	}
+	localOnly := r.URL.Query().Get("local") != ""
+	if !localOnly && len(s.cfg.Peers) > 0 {
+		merged, err := s.mergePeers(fp, p)
+		if err != nil {
+			s.fail(w, r, http.StatusInternalServerError, "peer-merge", err.Error())
+			return
+		}
+		p = merged
 	}
 	if p == nil {
 		s.fail(w, r, http.StatusNotFound, "absent", "no aggregate for this fingerprint")
@@ -251,6 +297,72 @@ func (s *Server) serveAggregate(w http.ResponseWriter, r *http.Request, fp strin
 	}
 	s.m.add(&s.m.served)
 	s.ok(w, r, http.StatusOK, data, "application/json")
+}
+
+// mergePeers fetches every peer's local aggregate for fp concurrently and
+// merges the reachable ones with the local aggregate (nil when this node
+// holds none). A peer failure — unreachable, slow past PeerTimeout, or a
+// damaged response the strict parser refuses — degrades that peer out of
+// the answer and counts in /metrics; it never fails the request. Merge
+// itself failing (cross-build fingerprints) is a hard error: refusing to
+// serve beats serving a mixed-build aggregate.
+func (s *Server) mergePeers(fp string, local *pgo.Profile) (*pgo.Profile, error) {
+	parts := make([]*pgo.Profile, len(s.cfg.Peers))
+	var wg sync.WaitGroup
+	for i, peer := range s.cfg.Peers {
+		wg.Add(1)
+		go func(i int, peer string) {
+			defer wg.Done()
+			p, err := s.fetchPeer(peer, fp)
+			if err != nil {
+				s.m.peerError(peer)
+				return
+			}
+			parts[i] = p // nil when the peer has no aggregate: skipped by Merge
+		}(i, peer)
+	}
+	wg.Wait()
+	any := local != nil
+	for _, p := range parts {
+		any = any || p != nil
+	}
+	if !any {
+		return nil, nil
+	}
+	merged, err := pgo.Merge(append([]*pgo.Profile{local}, parts...)...)
+	if err != nil {
+		return nil, fmt.Errorf("peer aggregates refuse to merge: %v", err)
+	}
+	s.m.add(&s.m.peerMerges)
+	return merged, nil
+}
+
+// fetchPeer GETs one peer's LOCAL aggregate ((nil, nil) when it has none).
+func (s *Server) fetchPeer(peer, fp string) (*pgo.Profile, error) {
+	url := strings.TrimSuffix(peer, "/") + profilesPrefix + fp + "?local=1"
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.PeerToken != "" {
+		req.Header.Set("Authorization", "Bearer "+s.cfg.PeerToken)
+	}
+	resp, err := s.peerHTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("peer %s: %s", peer, resp.Status)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, s.cfg.MaxBody))
+	if err != nil {
+		return nil, err
+	}
+	return pgo.ParseProfile(data)
 }
 
 // acceptUpload is the POST side: parse strictly, pin the upload to the

@@ -22,46 +22,48 @@ package profsrv
 import (
 	"errors"
 	"fmt"
-	"io/fs"
-	"os"
-	"path/filepath"
-	"sort"
 	"strings"
 	"sync"
 
 	"tnsr/internal/pgo"
+	"tnsr/internal/store"
 )
 
-// storeSuffix is the on-disk aggregate file suffix; tmpSuffix marks an
-// in-flight atomic write (a crashed writer may leave one behind — Load
-// never reads them, List never reports them).
+// storeSuffix is the aggregate key suffix in the backing storage; tmpSuffix
+// survives only as the legacy torn-write shape the storage layer must keep
+// invisible (the contract test in internal/store pins that).
 const (
 	storeSuffix = ".pgo.json"
 	tmpSuffix   = ".tmp"
 )
 
-// Store is fingerprint-keyed on-disk profile storage. Every aggregate
-// lives in one file, <dir>/<16-hex-fingerprint>.pgo.json, written via
-// write-to-temp + fsync + rename so a reader (or a crash) can never see a
-// torn aggregate, and re-validated through the strict parser on every load
-// so damage on disk surfaces as a typed error, not wrong advice.
+// Store is fingerprint-keyed profile storage over a pluggable
+// store.Storage: one aggregate per key <16-hex-fingerprint>.pgo.json,
+// written atomically by the storage (a reader or a crash can never see a
+// torn aggregate) and re-validated through the strict parser on every load
+// so damage on disk surfaces as a typed error, not wrong advice. The
+// default backing is a single directory; a sharded store spreads
+// aggregates across directories by fingerprint prefix (store.OpenSharded).
 type Store struct {
-	dir string
+	st store.Storage
 
 	mu    sync.Mutex
 	locks map[string]*sync.Mutex // per-fingerprint update locks
 }
 
-// OpenStore opens (creating if needed) a store rooted at dir.
+// OpenStore opens (creating if needed) a directory-backed store at dir.
 func OpenStore(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o777); err != nil {
+	st, err := store.OpenDir(dir)
+	if err != nil {
 		return nil, fmt.Errorf("profsrv: store: %w", err)
 	}
-	return &Store{dir: dir, locks: map[string]*sync.Mutex{}}, nil
+	return NewStore(st), nil
 }
 
-// Dir returns the store's root directory.
-func (s *Store) Dir() string { return s.dir }
+// NewStore builds a store over any Storage implementation.
+func NewStore(st store.Storage) *Store {
+	return &Store{st: st, locks: map[string]*sync.Mutex{}}
+}
 
 // ValidFingerprint reports whether fp is a well-formed store key: exactly
 // 16 lowercase hex digits, the form codefile.File.Fingerprint serializes
@@ -79,9 +81,14 @@ func ValidFingerprint(fp string) bool {
 	return true
 }
 
-// Path returns the aggregate file path for a fingerprint.
+// Path returns the aggregate file path for a fingerprint when the backing
+// storage is a plain directory (tests damage entries through it), and ""
+// for any other backing.
 func (s *Store) Path(fp string) string {
-	return filepath.Join(s.dir, fp+storeSuffix)
+	if d, ok := s.st.(*store.Dir); ok {
+		return d.Path(fp + storeSuffix)
+	}
+	return ""
 }
 
 // lock returns the per-fingerprint mutex, creating it on first use.
@@ -103,8 +110,8 @@ func (s *Store) Load(fp string) (*pgo.Profile, error) {
 	if !ValidFingerprint(fp) {
 		return nil, fmt.Errorf("profsrv: store: bad fingerprint %q", fp)
 	}
-	data, err := os.ReadFile(s.Path(fp))
-	if errors.Is(err, fs.ErrNotExist) {
+	data, err := s.st.Get(fp + storeSuffix)
+	if errors.Is(err, store.ErrNotExist) {
 		return nil, nil
 	}
 	if err != nil {
@@ -117,33 +124,15 @@ func (s *Store) Load(fp string) (*pgo.Profile, error) {
 	return p, nil
 }
 
-// save writes the aggregate atomically: canonical bytes to a temp file in
-// the same directory, fsync, then rename over the final name. The caller
-// must hold the fingerprint's update lock, which is what lets the temp
-// name be deterministic.
+// save writes the aggregate atomically through the storage layer (temp
+// file + fsync + rename in the filesystem implementations). The caller
+// must hold the fingerprint's update lock.
 func (s *Store) save(fp string, p *pgo.Profile) error {
 	data, err := p.JSON()
 	if err != nil {
 		return fmt.Errorf("profsrv: store: %w", err)
 	}
-	final := s.Path(fp)
-	tmp := final + tmpSuffix
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
-	if err != nil {
-		return fmt.Errorf("profsrv: store: %w", err)
-	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		return fmt.Errorf("profsrv: store: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("profsrv: store: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("profsrv: store: %w", err)
-	}
-	if err := os.Rename(tmp, final); err != nil {
+	if err := s.st.Put(fp+storeSuffix, data); err != nil {
 		return fmt.Errorf("profsrv: store: %w", err)
 	}
 	return nil
@@ -176,19 +165,17 @@ func (s *Store) Update(fp string, fn func(cur *pgo.Profile) (*pgo.Profile, error
 // List returns the fingerprints with a stored aggregate, sorted. Temp
 // files from interrupted writes are not aggregates and are not listed.
 func (s *Store) List() ([]string, error) {
-	ents, err := os.ReadDir(s.dir)
+	ents, err := s.st.List()
 	if err != nil {
 		return nil, fmt.Errorf("profsrv: store: %w", err)
 	}
 	var out []string
 	for _, e := range ents {
-		name := e.Name()
-		fp, ok := strings.CutSuffix(name, storeSuffix)
+		fp, ok := strings.CutSuffix(e.Key, storeSuffix)
 		if !ok || !ValidFingerprint(fp) {
 			continue
 		}
 		out = append(out, fp)
 	}
-	sort.Strings(out)
 	return out, nil
 }

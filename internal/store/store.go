@@ -1,0 +1,205 @@
+// Package store is the pluggable persistence layer under the fleet's
+// content-addressed artifact stores: the retranslation cache (internal/tcache,
+// whole accelerated codefiles keyed by core.Options.TransKey) and the profile
+// service (internal/profsrv, pgo aggregates keyed by codefile fingerprint).
+// Both stores used to own a directory directly; factoring the directory out
+// behind Storage lets cache entries and profile aggregates shard across
+// directories (or, later, an object-store backend) without either consumer
+// changing.
+//
+// The contract every implementation must honor (and the contract test in
+// store_test.go enforces against each one):
+//
+//   - Put is atomic: a concurrent Get never observes a torn or partial
+//     value — it sees some complete previously-Put value or ErrNotExist.
+//   - In-flight temporaries are invisible: List never reports them and no
+//     Get key ever resolves to one, even after a crash leaves one behind.
+//   - Get/Put/Delete/Touch/List are safe for arbitrary concurrent use.
+//
+// Durability beyond process crash (fsync) is implementation policy: the
+// filesystem implementations sync file contents before rename, matching what
+// profsrv's store always did.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ErrNotExist is returned by Get and Touch for an absent key.
+var ErrNotExist = errors.New("store: entry does not exist")
+
+// Entry describes one stored value. ModTime is the recency signal Touch
+// refreshes; tcache's LRU eviction orders on it.
+type Entry struct {
+	Key     string
+	Size    int64
+	ModTime time.Time
+}
+
+// Storage is a flat, atomic key→bytes store. Keys are restricted to
+// [a-z A-Z 0-9 . _ -] and must not start with a dot, so every key is a safe
+// single path component in the filesystem implementations.
+type Storage interface {
+	// Get returns the complete value for key, or ErrNotExist.
+	Get(key string) ([]byte, error)
+	// Put atomically replaces key's value. Readers see the old value or
+	// the new one, never a mixture.
+	Put(key string, data []byte) error
+	// Delete removes key. Deleting an absent key is not an error (evictors
+	// race benignly).
+	Delete(key string) error
+	// Touch refreshes key's recency (Entry.ModTime) without rewriting it.
+	Touch(key string) error
+	// List returns every stored entry with metadata, sorted by Key.
+	// In-flight temporaries never appear.
+	List() ([]Entry, error)
+}
+
+// ValidKey reports whether key is acceptable to every implementation: a
+// non-empty name of safe characters that cannot escape the store directory
+// or collide with a temporary.
+func ValidKey(key string) bool {
+	if key == "" || key[0] == '.' {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// tmpPrefix marks in-flight atomic writes. It starts with a dot, which
+// ValidKey rejects, so a temporary can never shadow a real key; List skips
+// dotfiles, so a crash-orphaned temporary is invisible forever.
+const tmpPrefix = ".tmp-"
+
+// Dir is the single-directory Storage: every key is one file, written via
+// temp file + fsync + rename, the same discipline profsrv's store and tcache
+// always used.
+type Dir struct {
+	dir string
+}
+
+// OpenDir opens (creating if needed) a directory-backed store.
+func OpenDir(dir string) (*Dir, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Dir{dir: dir}, nil
+}
+
+// Root returns the backing directory.
+func (d *Dir) Root() string { return d.dir }
+
+// Path returns the file a key resolves to. Exposed for tests and tooling
+// that damage entries on purpose; normal access goes through Get/Put.
+func (d *Dir) Path(key string) string { return filepath.Join(d.dir, key) }
+
+func (d *Dir) Get(key string) ([]byte, error) {
+	if !ValidKey(key) {
+		return nil, fmt.Errorf("store: bad key %q", key)
+	}
+	data, err := os.ReadFile(d.Path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, ErrNotExist
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return data, nil
+}
+
+func (d *Dir) Put(key string, data []byte) error {
+	if !ValidKey(key) {
+		return fmt.Errorf("store: bad key %q", key)
+	}
+	f, err := os.CreateTemp(d.dir, tmpPrefix+"*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, d.Path(key)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+func (d *Dir) Delete(key string) error {
+	if !ValidKey(key) {
+		return fmt.Errorf("store: bad key %q", key)
+	}
+	err := os.Remove(d.Path(key))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+func (d *Dir) Touch(key string) error {
+	if !ValidKey(key) {
+		return fmt.Errorf("store: bad key %q", key)
+	}
+	now := time.Now()
+	err := os.Chtimes(d.Path(key), now, now)
+	if errors.Is(err, fs.ErrNotExist) {
+		return ErrNotExist
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+func (d *Dir) List() ([]Entry, error) {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []Entry
+	for _, e := range ents {
+		name := e.Name()
+		// Dotfiles are in-flight temporaries (or foreign debris) and
+		// legacy "<name>.tmp" files are pre-refactor torn writes; neither
+		// is an entry.
+		if !ValidKey(name) || strings.HasSuffix(name, ".tmp") || e.IsDir() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			// Raced with a Delete; the entry is gone, not broken.
+			continue
+		}
+		out = append(out, Entry{Key: name, Size: info.Size(), ModTime: info.ModTime()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}

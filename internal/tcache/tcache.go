@@ -9,56 +9,94 @@
 // codefile.Read, AccelSection.Verify, and an input-fingerprint recheck),
 // so a damaged or mismatched cache entry degrades to a cold translation,
 // never to wrong code.
+//
+// The cache is also the tnsxlated service's content-addressed codefile
+// store: the service computes the same TransKey, looks entries up with
+// GetVerified (every served byte passes the full gate on the way out), and
+// populates them with Put after a queued translation completes.
 package tcache
 
 import (
 	"bytes"
 	"fmt"
-	"os"
-	"path/filepath"
+	"sort"
+	"sync"
 	"sync/atomic"
 
 	"tnsr/internal/codefile"
 	"tnsr/internal/core"
 	"tnsr/internal/millicode"
+	"tnsr/internal/store"
 )
 
-// Cache is a directory of accelerated codefiles keyed by
-// core.Options.TransKey. Safe for concurrent use: entries are written via
-// temp-file + rename, and a racing double-translation writes identical
-// bytes by determinism.
-type Cache struct {
-	dir string
+// entrySuffix names cache entries in the backing store.
+const entrySuffix = ".tns"
 
-	hits, misses, rejects atomic.Int64
+// Cache is a store of accelerated codefiles keyed by core.Options.TransKey.
+// Safe for concurrent use: entries are written atomically by the Storage,
+// and a racing double-translation writes identical bytes by determinism.
+type Cache struct {
+	st store.Storage
+
+	// maxBytes, when > 0, bounds the total size of stored entries;
+	// exceeding it evicts least-recently-used entries (hits Touch their
+	// entry, so recency tracks use, not write order). evictMu serializes
+	// the scan-and-evict pass; everything else is lock-free.
+	maxBytes int64
+	evictMu  sync.Mutex
+
+	hits, misses, rejects, evictions atomic.Int64
 }
 
 // Stats is a point-in-time view of cache effectiveness.
 type Stats struct {
 	// Hits served a translation from disk; Misses translated cold and
 	// populated the cache; Rejects found an entry that failed an
-	// integrity gate and retranslated (the entry is replaced).
-	Hits, Misses, Rejects int64
+	// integrity gate and retranslated (the entry is replaced); Evictions
+	// counts entries dropped by the size cap.
+	Hits, Misses, Rejects, Evictions int64
 }
 
-// Open opens (creating if needed) a cache rooted at dir.
+// Open opens (creating if needed) a cache rooted at a single directory.
 func Open(dir string) (*Cache, error) {
-	if err := os.MkdirAll(dir, 0o777); err != nil {
+	st, err := store.OpenDir(dir)
+	if err != nil {
 		return nil, fmt.Errorf("tcache: %w", err)
 	}
-	return &Cache{dir: dir}, nil
+	return New(st), nil
 }
 
-// Dir returns the cache root.
-func (c *Cache) Dir() string { return c.dir }
+// New builds a cache over any Storage (a sharded store spreads entries by
+// TransKey prefix across directories; see store.OpenSharded).
+func New(st store.Storage) *Cache {
+	return &Cache{st: st}
+}
+
+// SetMaxBytes bounds the cache's total on-disk size; <= 0 (the default)
+// means unbounded. When a Put pushes the total over the cap, least-
+// recently-used entries are evicted until it fits again. The entry just
+// written always survives, so the write that triggered eviction is never
+// its own victim.
+func (c *Cache) SetMaxBytes(n int64) { c.maxBytes = n }
 
 // Stats returns the counters accumulated since Open.
 func (c *Cache) Stats() Stats {
-	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Rejects: c.rejects.Load()}
+	return Stats{
+		Hits: c.hits.Load(), Misses: c.misses.Load(),
+		Rejects: c.rejects.Load(), Evictions: c.evictions.Load(),
+	}
 }
 
-func (c *Cache) path(key string) string {
-	return filepath.Join(c.dir, key+".tns")
+// SizeBytes returns the total stored size and entry count.
+func (c *Cache) SizeBytes() (bytes int64, entries int) {
+	ents, err := c.st.List()
+	if err != nil {
+		return 0, 0
+	}
+	for _, e := range ents {
+		bytes += e.Size
+	}
+	return bytes, len(ents)
 }
 
 // Accelerate is core.Accelerate behind the cache: on a hit the codefile
@@ -72,74 +110,126 @@ func (c *Cache) Accelerate(f *codefile.File, opts core.Options) (hit bool, err e
 	if err != nil {
 		return false, err
 	}
-	path := c.path(key)
+	base := opts.CodeBase
+	if base == 0 {
+		base = millicode.UserCodeBase
+	}
 
-	if data, err := os.ReadFile(path); err == nil {
-		if sec := c.verifyEntry(data, fp, opts); sec != nil {
-			f.Accel = sec
-			c.hits.Add(1)
-			return true, nil
-		}
-		// Damaged, truncated, or mismatched entry: drop it and retranslate.
-		c.rejects.Add(1)
-		os.Remove(path)
+	if cf := c.getVerified(key, fp, base); cf != nil {
+		f.Accel = cf.Accel
+		c.hits.Add(1)
+		c.st.Touch(key + entrySuffix) // best-effort recency bump
+		return true, nil
 	}
 
 	if err := core.Accelerate(f, opts); err != nil {
 		return false, err
 	}
 	c.misses.Add(1)
-	if err := c.write(path, f); err != nil {
+	if err := c.Put(key, f); err != nil {
 		return false, err
 	}
 	return false, nil
 }
 
-// verifyEntry runs a cached entry through every gate a fresh load gets:
-// the strict v5 parser, structural verification against the translated
-// region, and an input-fingerprint recheck (TransKey collisions are
-// astronomically unlikely but the recheck makes them harmless). Returns
-// nil when any gate fails.
-func (c *Cache) verifyEntry(data []byte, wantFP uint64, opts core.Options) *codefile.AccelSection {
+// GetVerified returns the stored accelerated codefile bytes for key after
+// re-running every gate a fresh load gets: the strict v5 parser, an
+// input-fingerprint recheck (when wantFP is nonzero), and structural
+// AccelSection.Verify at the given code base. A miss returns (nil, false);
+// an entry failing any gate is deleted, counted as a reject, and reported
+// as a miss — the caller retranslates, never serves it.
+func (c *Cache) GetVerified(key string, wantFP uint64, base uint32) ([]byte, bool) {
+	data, err := c.st.Get(key + entrySuffix)
+	if err != nil {
+		return nil, false
+	}
+	if c.verifyEntry(data, wantFP, base) == nil {
+		c.rejects.Add(1)
+		c.st.Delete(key + entrySuffix)
+		return nil, false
+	}
+	c.st.Touch(key + entrySuffix)
+	return data, true
+}
+
+// getVerified is GetVerified returning the parsed file (for grafting).
+func (c *Cache) getVerified(key string, wantFP uint64, base uint32) *codefile.File {
+	data, err := c.st.Get(key + entrySuffix)
+	if err != nil {
+		return nil
+	}
+	cf := c.verifyEntry(data, wantFP, base)
+	if cf == nil {
+		c.rejects.Add(1)
+		c.st.Delete(key + entrySuffix)
+	}
+	return cf
+}
+
+// verifyEntry runs a cached entry through the load gates. wantFP zero skips
+// the fingerprint recheck (key-only lookups, where the entry's own content
+// is the authority). Returns nil when any gate fails.
+func (c *Cache) verifyEntry(data []byte, wantFP uint64, base uint32) *codefile.File {
 	cf, err := codefile.Read(bytes.NewReader(data))
 	if err != nil || cf.Accel == nil {
 		return nil
 	}
-	if cf.Fingerprint() != wantFP {
+	if wantFP != 0 && cf.Fingerprint() != wantFP {
 		return nil
-	}
-	base := opts.CodeBase
-	if base == 0 {
-		base = millicode.UserCodeBase
 	}
 	if err := cf.Accel.Verify(cf, int(base)); err != nil {
 		return nil
 	}
-	return cf.Accel
+	return cf
 }
 
-// write persists the accelerated codefile atomically: a unique temp file
-// in the cache directory, then rename. Racing writers (goroutines or
-// processes sharing the directory) each rename their own temp file, and
-// the renames are benign because determinism makes the bytes identical.
-func (c *Cache) write(path string, f *codefile.File) error {
-	w, err := os.CreateTemp(c.dir, "tmp-*")
-	if err != nil {
+// Put persists an accelerated codefile under key and applies the size cap.
+func (c *Cache) Put(key string, f *codefile.File) error {
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
 		return fmt.Errorf("tcache: %w", err)
 	}
-	tmp := w.Name()
-	if _, err := f.WriteTo(w); err != nil {
-		w.Close()
-		os.Remove(tmp)
+	if err := c.st.Put(key+entrySuffix, buf.Bytes()); err != nil {
 		return fmt.Errorf("tcache: %w", err)
 	}
-	if err := w.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("tcache: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("tcache: %w", err)
-	}
+	c.maybeEvict(key + entrySuffix)
 	return nil
+}
+
+// maybeEvict enforces the size cap: while the stored total exceeds
+// maxBytes, the least-recently-used entry (oldest ModTime; hits Touch
+// theirs) other than the one just written is deleted. Eviction is pure
+// capacity management — a future request for an evicted key misses and
+// retranslates, it can never be served wrong code, and surviving entries
+// still pass the full verify gate on every subsequent hit.
+func (c *Cache) maybeEvict(keep string) {
+	if c.maxBytes <= 0 {
+		return
+	}
+	c.evictMu.Lock()
+	defer c.evictMu.Unlock()
+	ents, err := c.st.List()
+	if err != nil {
+		return
+	}
+	var total int64
+	for _, e := range ents {
+		total += e.Size
+	}
+	if total <= c.maxBytes {
+		return
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].ModTime.Before(ents[j].ModTime) })
+	for _, e := range ents {
+		if total <= c.maxBytes {
+			break
+		}
+		if e.Key == keep {
+			continue
+		}
+		if c.st.Delete(e.Key) == nil {
+			total -= e.Size
+			c.evictions.Add(1)
+		}
+	}
 }

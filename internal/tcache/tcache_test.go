@@ -8,6 +8,7 @@ import (
 	"tnsr/internal/codefile"
 	"tnsr/internal/core"
 	"tnsr/internal/pgo"
+	"tnsr/internal/store"
 	"tnsr/internal/workloads"
 )
 
@@ -140,7 +141,7 @@ func TestCacheCorruptEntryFallsBack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	path := c.path(key)
+	path := c.st.(*store.Dir).Path(key + entrySuffix)
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("cache entry not written: %v", err)
@@ -202,6 +203,75 @@ func TestCacheDistinguishesProfiles(t *testing.T) {
 	}
 	if s := c.Stats(); s.Misses != 2 || s.Hits != 1 {
 		t.Errorf("stats = %+v, want 2 misses / 1 hit", s)
+	}
+}
+
+// TestCacheLRUEviction: with a size cap, churning distinct keys through the
+// cache keeps the stored total bounded, evicts least-recently-used entries
+// first (a hit protects its entry), and entries surviving the churn still
+// pass the full verify gate — including one damaged on disk mid-churn,
+// which must reject and retranslate, never serve.
+func TestCacheLRUEviction(t *testing.T) {
+	c := mustCache(t)
+	base := buildUser(t)
+	if err := core.Accelerate(base, core.Options{Level: codefile.LevelDefault}); err != nil {
+		t.Fatal(err)
+	}
+	entry := serialize(t, base)
+	// Cap at ~3 entries so a 6-key churn must evict.
+	c.SetMaxBytes(3*int64(len(entry)) + int64(len(entry))/2)
+
+	// Distinct keys for one codefile: vary an output-affecting knob.
+	optsFor := func(i int) core.Options {
+		return core.Options{Level: codefile.LevelDefault,
+			Hints: core.Hints{ReturnValSize: map[string]int8{"nonexistent": int8(i)}}}
+	}
+	for i := 0; i < 6; i++ {
+		if hit, err := c.Accelerate(buildUser(t), optsFor(i)); err != nil || hit {
+			t.Fatalf("churn %d: hit=%v err=%v", i, hit, err)
+		}
+		// Re-hit key 0 early so recency, not insertion order, decides.
+		if i == 2 {
+			if hit, err := c.Accelerate(buildUser(t), optsFor(0)); err != nil || !hit {
+				t.Fatalf("protective re-hit: hit=%v err=%v", hit, err)
+			}
+		}
+	}
+	if size, n := c.SizeBytes(); size > c.maxBytes || n > 3 {
+		t.Fatalf("cap not enforced: %d bytes in %d entries (cap %d)", size, n, c.maxBytes)
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatal("no evictions recorded under churn")
+	}
+
+	// An entry that survived eviction churn still serves a verified hit…
+	if hit, err := c.Accelerate(buildUser(t), optsFor(5)); err != nil || !hit {
+		t.Fatalf("survivor should hit: hit=%v err=%v", hit, err)
+	}
+	// …and a survivor damaged on disk is still caught by the gate.
+	key, err := optsFor(5).TransKey(buildUser(t).Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := c.st.(*store.Dir).Path(key + entrySuffix)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/3] ^= 0x40
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	rejBefore := c.Stats().Rejects
+	if hit, err := c.Accelerate(buildUser(t), optsFor(5)); err != nil || hit {
+		t.Fatalf("damaged survivor must miss cleanly: hit=%v err=%v", hit, err)
+	}
+	if c.Stats().Rejects != rejBefore+1 {
+		t.Fatalf("damaged survivor not counted as reject")
+	}
+	// An evicted key simply misses and repopulates.
+	if hit, err := c.Accelerate(buildUser(t), optsFor(1)); err != nil || hit {
+		t.Fatalf("evicted key should miss: hit=%v err=%v", hit, err)
 	}
 }
 

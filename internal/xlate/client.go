@@ -1,0 +1,178 @@
+package xlate
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"tnsr/internal/codefile"
+	"tnsr/internal/core"
+	"tnsr/internal/millicode"
+)
+
+// Client talks to a tnsxlated daemon: submit a codefile with its
+// translation knobs, poll the content-addressed key, fetch the accelerated
+// codefile, and re-verify every gate locally before trusting a byte of it.
+// The service's determinism contract makes the result indistinguishable
+// from a local core.Accelerate with the same options — test-pinned
+// byte-identical — so callers can treat Accelerate here as a drop-in that
+// trades CPU for a network round trip.
+type Client struct {
+	base  string
+	token string
+	hc    *http.Client
+
+	// PollInterval paces result polling (default 50ms); Deadline bounds
+	// one Accelerate end to end (default 5m).
+	PollInterval time.Duration
+	Deadline     time.Duration
+}
+
+// NewClient builds a client for a tnsxlated base URL. An empty token sends
+// no Authorization header.
+func NewClient(base, token string) *Client {
+	return &Client{
+		base:         strings.TrimSuffix(base, "/"),
+		token:        token,
+		hc:           &http.Client{Timeout: 30 * time.Second},
+		PollInterval: 50 * time.Millisecond,
+		Deadline:     5 * time.Minute,
+	}
+}
+
+func (c *Client) do(req *http.Request) (*http.Response, error) {
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	return c.hc.Do(req)
+}
+
+// Submit sends one codefile + options and returns the service's status —
+// the content-addressed key plus where the translation stands.
+func (c *Client) Submit(f *codefile.File, opts core.Options) (*Status, error) {
+	req, err := EncodeRequest(f, opts)
+	if err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("xlate: encode submit: %w", err)
+	}
+	hr, err := http.NewRequest(http.MethodPost, c.base+strings.TrimSuffix(xlatePrefix, "/"), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	resp, err := c.do(hr)
+	if err != nil {
+		return nil, fmt.Errorf("xlate: submit: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, fmt.Errorf("xlate: submit: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return nil, fmt.Errorf("xlate: submit: %s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	var st Status
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("xlate: submit: bad status: %w", err)
+	}
+	if st.Schema != StatusSchema {
+		return nil, fmt.Errorf("xlate: submit: unexpected schema %q", st.Schema)
+	}
+	return &st, nil
+}
+
+// Fetch GETs the accelerated codefile under key. (nil, nil, nil) means the
+// translation is still queued or running; a failed translation or missing
+// key is an error.
+func (c *Client) Fetch(key string) (*codefile.File, []byte, error) {
+	hr, err := http.NewRequest(http.MethodGet, c.base+xlatePrefix+key, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := c.do(hr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("xlate: fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, DefaultMaxBody))
+	if err != nil {
+		return nil, nil, fmt.Errorf("xlate: fetch: %w", err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusAccepted:
+		return nil, nil, nil
+	case http.StatusUnprocessableEntity:
+		var st Status
+		if json.Unmarshal(data, &st) == nil && st.Error != "" {
+			return nil, nil, fmt.Errorf("xlate: remote translation failed: %s", st.Error)
+		}
+		return nil, nil, fmt.Errorf("xlate: remote translation failed")
+	default:
+		return nil, nil, fmt.Errorf("xlate: fetch: %s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	cf, err := codefile.Read(bytes.NewReader(data))
+	if err != nil {
+		return nil, nil, fmt.Errorf("xlate: fetch: served codefile: %w", err)
+	}
+	return cf, data, nil
+}
+
+// Accelerate is core.Accelerate through the service: submit, poll, fetch,
+// re-verify, graft. On success f carries the acceleration section and the
+// bytes f would serialize to are identical to a local translation's. The
+// client trusts nothing: the fetched codefile must parse (v5 checksums),
+// match f's fingerprint, and pass AccelSection.Verify locally before its
+// section is grafted.
+func (c *Client) Accelerate(f *codefile.File, opts core.Options) error {
+	st, err := c.Submit(f, opts)
+	if err != nil {
+		return err
+	}
+	if st.State == StateFailed {
+		return fmt.Errorf("xlate: remote translation failed: %s", st.Error)
+	}
+	deadline := time.Now().Add(c.Deadline)
+	for {
+		cf, _, err := c.Fetch(st.Key)
+		if err != nil {
+			return err
+		}
+		if cf != nil {
+			return c.graft(f, cf, opts)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("xlate: translation %s not ready within %v", st.Key, c.Deadline)
+		}
+		time.Sleep(c.PollInterval)
+	}
+}
+
+// graft verifies the fetched codefile against the local one and adopts its
+// acceleration section.
+func (c *Client) graft(f, cf *codefile.File, opts core.Options) error {
+	if cf.Accel == nil {
+		return fmt.Errorf("xlate: served codefile has no acceleration section")
+	}
+	if cf.Fingerprint() != f.Fingerprint() {
+		return fmt.Errorf("xlate: served codefile fingerprint %016x does not match local %016x",
+			cf.Fingerprint(), f.Fingerprint())
+	}
+	base := opts.CodeBase
+	if base == 0 {
+		base = millicode.UserCodeBase
+	}
+	if err := cf.Accel.Verify(cf, int(base)); err != nil {
+		return fmt.Errorf("xlate: served codefile fails verification: %w", err)
+	}
+	f.Accel = cf.Accel
+	return nil
+}

@@ -1,0 +1,453 @@
+package xlate
+
+import (
+	"bytes"
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"tnsr/internal/codefile"
+	"tnsr/internal/core"
+	"tnsr/internal/millicode"
+	"tnsr/internal/tcache"
+)
+
+// readBody reads a request body under the size cap.
+func readBody(w http.ResponseWriter, r *http.Request, max int64) ([]byte, error) {
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, max))
+}
+
+// Default limits; Config zero values fall back to these.
+const (
+	// DefaultMaxBody bounds a submit body: codefile (base64) + profile +
+	// knobs. Generated codefiles are tens of KB; 64 MiB leaves room for
+	// real programs without letting one request exhaust the daemon.
+	DefaultMaxBody = 64 << 20
+)
+
+// xlatePrefix is the resource path: POST submits a codefile, GET fetches
+// the accelerated result by its content-addressed key.
+const xlatePrefix = "/v1/xlate/"
+
+// Config parameterizes a Server.
+type Config struct {
+	// Cache is the content-addressed codefile store (and translation
+	// executor): entries keyed by core.Options.TransKey, every byte served
+	// from it re-verified on the way out. Required.
+	Cache *tcache.Cache
+
+	// Token is the bearer token every /v1 request must present. Empty
+	// disables auth (tests, trusted networks).
+	Token string
+
+	// MaxBody caps the accepted submit size in bytes (<= 0 means
+	// DefaultMaxBody).
+	MaxBody int64
+
+	// RatePerSec, when > 0, applies the same per-client token-bucket rate
+	// limit tnsprofd uses (keyed by remote host + bearer token).
+	// RateBurst is each bucket's depth (<= 0 means 1).
+	RatePerSec float64
+	RateBurst  int
+
+	// Workers sizes the shared fragment pool (<= 0 means
+	// runtime.GOMAXPROCS(0)).
+	Workers int
+
+	// FIFO switches the queue to the strict submission-order baseline the
+	// scheduling benchmark measures against. Production wants the default
+	// (work-stealing) mode.
+	FIFO bool
+}
+
+// Server is the tnsxlated HTTP surface: an http.Handler plus the shared
+// translation queue. Close releases the queue workers.
+type Server struct {
+	cfg Config
+	q   *Queue
+	m   *metrics
+
+	jobMu sync.Mutex
+	jobs  map[string]*jobState // TransKey -> submission state
+
+	bucketMu sync.Mutex
+	buckets  map[string]*bucket
+}
+
+// jobState tracks one submitted translation by its TransKey. It survives
+// completion so a later GET knows the code base to verify against and a
+// failed translation stays diagnosable.
+type jobState struct {
+	state  string // StateQueued .. StateFailed
+	cached bool
+	base   uint32 // code base the translation verifies against
+	err    string
+}
+
+// maxJobs bounds the job table; on overflow, finished entries are dropped
+// (their results live in the store — forgetting one costs a GET the
+// remembered code base, which the lookup fallback recovers).
+const maxJobs = 4096
+
+// bucket is one client's token bucket (same policy as profsrv).
+type bucket struct {
+	tokens   float64
+	lastFill time.Time
+}
+
+const maxBuckets = 4096
+
+// New builds a Server and starts its translation queue.
+func New(cfg Config) *Server {
+	if cfg.Cache == nil {
+		panic("xlate: New: Config.Cache is required")
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = DefaultMaxBody
+	}
+	if cfg.RateBurst <= 0 {
+		cfg.RateBurst = 1
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Server{
+		cfg:     cfg,
+		q:       NewQueue(cfg.Workers, cfg.FIFO),
+		m:       newMetrics(),
+		jobs:    map[string]*jobState{},
+		buckets: map[string]*bucket{},
+	}
+}
+
+// Close stops the queue workers after in-flight fragments finish.
+func (s *Server) Close() { s.q.Close() }
+
+// Queue exposes the shared scheduler (the daemon's own tools and tests
+// read its stats; fleet hosts can submit local translations through it).
+func (s *Server) Queue() *Queue { return s.q }
+
+func (s *Server) authed(r *http.Request) bool {
+	if s.cfg.Token == "" {
+		return true
+	}
+	got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	return ok && subtle.ConstantTimeCompare([]byte(got), []byte(s.cfg.Token)) == 1
+}
+
+func clientKey(r *http.Request) string {
+	host := r.RemoteAddr
+	if i := strings.LastIndexByte(host, ':'); i >= 0 {
+		host = host[:i]
+	}
+	tok, _ := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	return host + "|" + tok
+}
+
+func (s *Server) allow(r *http.Request) bool {
+	if s.cfg.RatePerSec <= 0 {
+		return true
+	}
+	key := clientKey(r)
+	now := time.Now()
+	s.bucketMu.Lock()
+	defer s.bucketMu.Unlock()
+	b := s.buckets[key]
+	if b == nil {
+		if len(s.buckets) >= maxBuckets {
+			s.evictStale(now)
+		}
+		b = &bucket{tokens: float64(s.cfg.RateBurst), lastFill: now}
+		s.buckets[key] = b
+	}
+	b.tokens += now.Sub(b.lastFill).Seconds() * s.cfg.RatePerSec
+	if max := float64(s.cfg.RateBurst); b.tokens > max {
+		b.tokens = max
+	}
+	b.lastFill = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+func (s *Server) evictStale(now time.Time) {
+	full := time.Duration(float64(s.cfg.RateBurst) / s.cfg.RatePerSec * float64(time.Second))
+	dropped := 0
+	for k, b := range s.buckets {
+		if now.Sub(b.lastFill) >= full {
+			delete(s.buckets, k)
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		s.buckets = map[string]*bucket{}
+	}
+}
+
+// fail writes a plain-text error and records the typed reject.
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, code int, reason, msg string) {
+	s.m.reject(reason)
+	s.m.request(r.Method, code)
+	http.Error(w, msg, code)
+}
+
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, code int, body []byte, contentType string) {
+	s.m.request(r.Method, code)
+	w.Header().Set("Content-Type", contentType)
+	w.WriteHeader(code)
+	w.Write(body)
+}
+
+func (s *Server) status(w http.ResponseWriter, r *http.Request, code int, st Status) {
+	st.Schema = StatusSchema
+	data, _ := json.Marshal(st)
+	s.respond(w, r, code, append(data, '\n'), "application/json")
+}
+
+// ServeHTTP routes:
+//
+//	POST /v1/xlate        submit a codefile + translation knobs; answers a
+//	                      Status with the content-addressed key (200 when
+//	                      served from the store, 202 when queued/running)
+//	GET  /v1/xlate/{key}  the accelerated codefile (200, verified bytes);
+//	                      202 Status while queued/running, 422 when that
+//	                      translation failed, 404 for an unknown key
+//	GET  /metrics         Prometheus text exposition (no auth)
+//	GET  /healthz         liveness probe
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/healthz":
+		s.respond(w, r, http.StatusOK, []byte("ok\n"), "text/plain; charset=utf-8")
+		return
+	case r.URL.Path == "/metrics":
+		s.serveMetrics(w, r)
+		return
+	}
+
+	rest, isXlate := strings.CutPrefix(r.URL.Path, strings.TrimSuffix(xlatePrefix, "/"))
+	if !isXlate {
+		s.fail(w, r, http.StatusNotFound, "path", "not found")
+		return
+	}
+	if !s.authed(r) {
+		s.fail(w, r, http.StatusUnauthorized, "auth", "missing or wrong bearer token")
+		return
+	}
+	if !s.allow(r) {
+		s.fail(w, r, http.StatusTooManyRequests, "rate", "rate limit exceeded")
+		return
+	}
+
+	switch {
+	case r.Method == http.MethodPost && (rest == "" || rest == "/"):
+		s.acceptSubmit(w, r)
+	case r.Method == http.MethodGet && strings.HasPrefix(rest, "/"):
+		s.serveResult(w, r, rest[1:])
+	case r.Method == http.MethodPost:
+		s.fail(w, r, http.StatusBadRequest, "path", "POST to /v1/xlate, GET /v1/xlate/{key}")
+	default:
+		s.fail(w, r, http.StatusMethodNotAllowed, "method", "use POST /v1/xlate or GET /v1/xlate/{key}")
+	}
+}
+
+// acceptSubmit parses a submission, computes its content-addressed key,
+// and answers from the store when possible; otherwise the translation is
+// queued on the shared pool and the client polls the key.
+func (s *Server) acceptSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r, s.cfg.MaxBody)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, r, http.StatusRequestEntityTooLarge, "size",
+				fmt.Sprintf("submission exceeds %d bytes", s.cfg.MaxBody))
+			return
+		}
+		s.fail(w, r, http.StatusBadRequest, "read", "body read failed")
+		return
+	}
+	var req SubmitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.fail(w, r, http.StatusBadRequest, "parse", err.Error())
+		return
+	}
+	if req.Schema != SubmitSchema {
+		s.fail(w, r, http.StatusBadRequest, "schema",
+			fmt.Sprintf("schema must be %q", SubmitSchema))
+		return
+	}
+	opts, err := req.DecodeOptions()
+	if err != nil {
+		s.fail(w, r, http.StatusBadRequest, "options", err.Error())
+		return
+	}
+	f, err := codefile.Read(bytes.NewReader(req.Codefile))
+	if err != nil {
+		s.fail(w, r, http.StatusBadRequest, "codefile", err.Error())
+		return
+	}
+	fp := f.Fingerprint()
+	key, err := opts.TransKey(fp)
+	if err != nil {
+		s.fail(w, r, http.StatusBadRequest, "options", err.Error())
+		return
+	}
+	base := opts.CodeBase
+	if base == 0 {
+		base = millicode.UserCodeBase
+	}
+
+	s.jobMu.Lock()
+	if j := s.jobs[key]; j != nil {
+		// Duplicate submission: answer from the existing job. A finished
+		// job means the store holds (or held) the result; re-queue only
+		// if the entry has since been evicted or damaged.
+		st := *j
+		s.jobMu.Unlock()
+		switch st.state {
+		case StateDone:
+			if _, ok := s.cfg.Cache.GetVerified(key, fp, base); ok {
+				s.m.add(&s.m.submissions)
+				s.m.add(&s.m.cachedSubs)
+				s.status(w, r, http.StatusOK, Status{Key: key, State: StateDone, Cached: true})
+				return
+			}
+			s.jobMu.Lock() // result gone: fall through and re-queue
+		case StateFailed:
+			s.m.add(&s.m.submissions)
+			s.status(w, r, http.StatusOK, Status{Key: key, State: StateFailed, Error: st.err})
+			return
+		default:
+			s.m.add(&s.m.submissions)
+			s.status(w, r, http.StatusAccepted, Status{Key: key, State: st.state})
+			return
+		}
+	}
+	// First sight of this key (or a re-queue): a store hit still answers
+	// without translating — the daemon may have been restarted with a warm
+	// store, or another daemon sharing it may have translated it already.
+	if _, ok := s.cfg.Cache.GetVerified(key, fp, base); ok {
+		s.jobs[key] = &jobState{state: StateDone, cached: true, base: base}
+		s.jobMu.Unlock()
+		s.m.add(&s.m.submissions)
+		s.m.add(&s.m.cachedSubs)
+		s.status(w, r, http.StatusOK, Status{Key: key, State: StateDone, Cached: true})
+		return
+	}
+	if len(s.jobs) >= maxJobs {
+		for k, j := range s.jobs {
+			if j.state == StateDone || j.state == StateFailed {
+				delete(s.jobs, k)
+			}
+		}
+	}
+	j := &jobState{state: StateQueued, base: base}
+	s.jobs[key] = j
+	s.jobMu.Unlock()
+	s.m.add(&s.m.submissions)
+
+	go s.runJob(key, j, f, opts)
+	s.status(w, r, http.StatusAccepted, Status{Key: key, State: StateQueued})
+}
+
+// runJob executes one queued translation on the shared pool and records
+// the outcome. The store write happens inside Cache.Accelerate; a racing
+// identical submission elsewhere writes identical bytes by determinism.
+func (s *Server) runJob(key string, j *jobState, f *codefile.File, opts core.Options) {
+	s.jobMu.Lock()
+	j.state = StateRunning
+	s.jobMu.Unlock()
+
+	opts.Sched = s.q
+	hit, err := s.cfg.Cache.Accelerate(f, opts)
+
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	if err != nil {
+		j.state = StateFailed
+		j.err = err.Error()
+		s.m.add(&s.m.failed)
+		return
+	}
+	j.state = StateDone
+	j.cached = hit
+	s.m.add(&s.m.done)
+}
+
+// serveResult is the GET side: every served byte passes the full verify
+// gate (strict parse, AccelSection.Verify at the remembered code base) on
+// the way out of the store.
+func (s *Server) serveResult(w http.ResponseWriter, r *http.Request, key string) {
+	if !validKey(key) {
+		s.fail(w, r, http.StatusBadRequest, "key", "key must be 16 lowercase hex digits")
+		return
+	}
+	s.jobMu.Lock()
+	j := s.jobs[key]
+	var st jobState
+	if j != nil {
+		st = *j
+	}
+	s.jobMu.Unlock()
+
+	if j != nil {
+		switch st.state {
+		case StateQueued, StateRunning:
+			s.status(w, r, http.StatusAccepted, Status{Key: key, State: st.state})
+			return
+		case StateFailed:
+			s.status(w, r, http.StatusUnprocessableEntity, Status{Key: key, State: StateFailed, Error: st.err})
+			return
+		}
+	}
+	// Done, or a key this daemon never saw submitted (warm store from a
+	// previous life or a sibling daemon). The code base is remembered for
+	// known jobs; for unknown keys try both bases — Verify at the wrong
+	// base fails cleanly and the entry is NOT a hit at that base.
+	bases := []uint32{millicode.UserCodeBase, millicode.LibCodeBase}
+	if j != nil {
+		bases = []uint32{st.base}
+	}
+	for _, base := range bases {
+		if data, ok := s.cfg.Cache.GetVerified(key, 0, base); ok {
+			s.m.add(&s.m.served)
+			s.respond(w, r, http.StatusOK, data, "application/octet-stream")
+			return
+		}
+	}
+	s.fail(w, r, http.StatusNotFound, "absent", "no accelerated codefile under this key")
+	return
+}
+
+// validKey matches core.Options.TransKey output: 16 lowercase hex digits.
+func validKey(key string) bool {
+	if len(key) != 16 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, r, http.StatusMethodNotAllowed, "method", "use GET")
+		return
+	}
+	storeBytes, entries := s.cfg.Cache.SizeBytes()
+	var b strings.Builder
+	s.m.write(&b, s.q.Stats(), s.cfg.Cache.Stats(), storeBytes, entries)
+	s.respond(w, r, http.StatusOK, []byte(b.String()), "text/plain; version=0.0.4; charset=utf-8")
+}
