@@ -32,6 +32,9 @@
 //	-profile-dir d  mount an in-process profile service over store d
 //	                instead; every machine gets its own synthetic client
 //	                address, so per-client rate limiting is exercised
+//	-xlate-url u    send the host's translations to a tnsxlated at u,
+//	                degrading to local translation on any failure
+//	-xlate-token t  bearer token for -xlate-url
 //	-json           print the final report as JSON instead of text
 //	-prom           print the final report in Prometheus text format
 //
@@ -60,6 +63,7 @@ import (
 	"tnsr/internal/fleet"
 	"tnsr/internal/profsrv"
 	"tnsr/internal/tcache"
+	"tnsr/internal/xlate"
 )
 
 func parseLevel(s string) (codefile.AccelLevel, error) {
@@ -114,6 +118,8 @@ func main() {
 	profURL := flag.String("profile-url", "", "remote tnsprofd base URL for the PGO loop")
 	profToken := flag.String("profile-token", "", "bearer token for -profile-url / -profile-dir")
 	profDir := flag.String("profile-dir", "", "mount an in-process profile service over this store")
+	xlateURL := flag.String("xlate-url", "", "remote tnsxlated base URL for the host's translations")
+	xlateToken := flag.String("xlate-token", "", "bearer token for -xlate-url")
 	jsonOut := flag.Bool("json", false, "print the final report as JSON")
 	promOut := flag.Bool("prom", false, "print the final report in Prometheus text format")
 	quiet := flag.Bool("quiet", false, "suppress per-round progress lines")
@@ -165,6 +171,13 @@ func main() {
 		cfg.InProcToken = *profToken
 	case *profURL != "":
 		cfg.Source = profsrv.NewClient(*profURL, *profToken)
+	}
+
+	if *xlateURL != "" {
+		// Remote translation with local fallback: any service failure
+		// degrades to translating on this host — byte-identical by the
+		// determinism contract, so only availability changes, not the image.
+		cfg.Xlate = xlate.NewClient(*xlateURL, *xlateToken)
 	}
 
 	if *cacheDir != "" {

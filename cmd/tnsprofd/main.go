@@ -31,6 +31,14 @@
 //	                   peer degrades out and is counted in /metrics)
 //	-peer-timeout d    per-peer fetch timeout (default 2s)
 //	-peer-token t      bearer token presented to peers (default: -token)
+//	-peer-break-after n    open a peer's circuit breaker after n
+//	                       consecutive failures; further merges skip the
+//	                       peer without paying its timeout (0 = default 5)
+//	-peer-break-cooldown d how long an open breaker waits before letting
+//	                       one probe through (0 = default 5s)
+//	-drain-timeout d   bound on the SIGTERM/SIGINT graceful drain: refuse
+//	                   new uploads, keep serving reads, exit when in-flight
+//	                   requests finish (default 10s)
 //
 // Endpoints:
 //
@@ -42,12 +50,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"tnsr/internal/profsrv"
@@ -67,6 +78,9 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated sibling tnsprofd base URLs")
 	peerTimeout := flag.Duration("peer-timeout", profsrv.DefaultPeerTimeout, "per-peer fetch timeout")
 	peerToken := flag.String("peer-token", "", "bearer token presented to peers (default: -token)")
+	breakAfter := flag.Int("peer-break-after", 0, "open a peer's circuit breaker after N consecutive failures (0 = default)")
+	breakCooldown := flag.Duration("peer-break-cooldown", 0, "how long an open peer breaker waits before probing (0 = default)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown bound on SIGTERM/SIGINT")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: tnsprofd [flags]")
@@ -98,17 +112,28 @@ func main() {
 		*peerToken = *token
 	}
 
+	// Restart recovery: a previous life killed mid-write leaves torn write
+	// temporaries in the store; they were never visible to any read path,
+	// sweeping reclaims them before traffic arrives.
+	if n, err := st.Sweep(); err != nil {
+		log.Printf("tnsprofd: startup sweep: %v", err)
+	} else if n > 0 {
+		log.Printf("tnsprofd: startup sweep reclaimed %d torn write temporaries", n)
+	}
+
 	srv := profsrv.New(profsrv.Config{
-		Store:       st,
-		Token:       *token,
-		MaxBody:     *maxBody,
-		AgeEvery:    *ageEvery,
-		AgeFloor:    *ageFloor,
-		RatePerSec:  *rate,
-		RateBurst:   *burst,
-		Peers:       peerList,
-		PeerTimeout: *peerTimeout,
-		PeerToken:   *peerToken,
+		Store:             st,
+		Token:             *token,
+		MaxBody:           *maxBody,
+		AgeEvery:          *ageEvery,
+		AgeFloor:          *ageFloor,
+		RatePerSec:        *rate,
+		RateBurst:         *burst,
+		Peers:             peerList,
+		PeerTimeout:       *peerTimeout,
+		PeerToken:         *peerToken,
+		PeerBreakAfter:    *breakAfter,
+		PeerBreakCooldown: *breakCooldown,
 	})
 
 	hs := &http.Server{
@@ -118,7 +143,30 @@ func main() {
 	}
 	log.Printf("tnsprofd: serving profiles from %s on %s (auth %s, age every %d runs, %d peers)",
 		*dir, *addr, map[bool]string{true: "on", false: "off"}[*token != ""], *ageEvery, len(peerList))
-	if err := hs.ListenAndServe(); err != http.ErrServerClosed {
+	errc := make(chan error, 1)
+	go func() {
+		if err := hs.ListenAndServe(); err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+
+	// SIGTERM/SIGINT drains: refuse new uploads (503 + Retry-After; every
+	// accepted upload is already durably merged when its 200 goes out),
+	// keep serving reads, and close the listener once in-flight requests
+	// finish.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
 		log.Fatalf("tnsprofd: %v", err)
+	case s := <-sig:
+		log.Printf("tnsprofd: %v: draining (timeout %v)", s, *drainTimeout)
 	}
+	srv.SetDraining(true)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("tnsprofd: listener shutdown: %v", err)
+	}
+	log.Printf("tnsprofd: drained")
 }

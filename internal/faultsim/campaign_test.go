@@ -1,0 +1,144 @@
+package faultsim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tnsr/internal/store"
+)
+
+// TestFaultCampaignStorage runs 120 seeded fault schedules against the
+// wrapped store and holds one line: a Get that succeeds returns EXACTLY the
+// bytes of the last successful Put — under injected I/O errors, ENOSPC,
+// torn-write-then-crash debris, any mix. Failed operations are typed and
+// harmless; after the storm, a sweep plus reopen finds every successful
+// Put intact and every torn write invisible. Wrong bytes anywhere fail the
+// campaign; a panic fails it louder.
+func TestFaultCampaignStorage(t *testing.T) {
+	const (
+		seeds     = 120
+		opsPerRun = 60
+		keySpace  = 6
+	)
+	// Three fault climates, cycled by seed: drizzle, storm, torn-heavy.
+	climates := []StoreOpts{
+		{PIOErr: 0.05, PNoSpace: 0.02, PTorn: 0.05},
+		{PIOErr: 0.25, PNoSpace: 0.10, PTorn: 0.15},
+		{PIOErr: 0.05, PNoSpace: 0.30, PTorn: 0.35},
+	}
+	var injected, survived int64
+	for seed := int64(0); seed < seeds; seed++ {
+		opts := climates[seed%int64(len(climates))]
+		opts.Seed = seed
+		dir := t.TempDir()
+		inner, err := store.OpenDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := WrapStore(inner, opts)
+
+		// model holds the last successfully-Put value per key — the only
+		// thing a successful Get is ever allowed to return.
+		model := map[string][]byte{}
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		for op := 0; op < opsPerRun; op++ {
+			key := fmt.Sprintf("%016x", rng.Intn(keySpace))
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // Put
+				val := []byte(fmt.Sprintf("seed%d-op%d-%s", seed, op, key))
+				if err := fs.Put(key, val); err != nil {
+					if !IsInjected(err) {
+						t.Fatalf("seed %d op %d: non-injected Put error: %v", seed, op, err)
+					}
+					injected++
+					break // old value (or absence) must still hold
+				}
+				model[key] = val
+			case 4, 5, 6, 7: // Get
+				got, err := fs.Get(key)
+				want, exists := model[key]
+				switch {
+				case err == nil:
+					if !exists {
+						t.Fatalf("seed %d op %d: Get(%s) returned bytes for a never-stored key", seed, op, key)
+					}
+					if !bytes.Equal(got, want) {
+						t.Fatalf("seed %d op %d: Get(%s) wrong bytes:\ngot  %q\nwant %q",
+							seed, op, key, got, want)
+					}
+					survived++
+				case errors.Is(err, store.ErrNotExist):
+					if exists {
+						t.Fatalf("seed %d op %d: Get(%s) lost a successful Put", seed, op, key)
+					}
+				case IsInjected(err):
+					injected++
+				default:
+					t.Fatalf("seed %d op %d: non-injected Get error: %v", seed, op, err)
+				}
+			case 8: // Delete
+				if err := fs.Delete(key); err != nil {
+					if !IsInjected(err) {
+						t.Fatalf("seed %d op %d: non-injected Delete error: %v", seed, op, err)
+					}
+					injected++
+					break
+				}
+				delete(model, key)
+			case 9: // List: every listed key must be a model key (debris invisible)
+				entries, err := fs.List()
+				if err != nil {
+					if !IsInjected(err) {
+						t.Fatalf("seed %d op %d: non-injected List error: %v", seed, op, err)
+					}
+					injected++
+					break
+				}
+				for _, e := range entries {
+					if _, ok := model[e.Key]; !ok {
+						t.Fatalf("seed %d op %d: List leaked %q (debris or lost delete)", seed, op, e.Key)
+					}
+				}
+				if len(entries) != len(model) {
+					t.Fatalf("seed %d op %d: List has %d entries, model %d", seed, op, len(entries), len(model))
+				}
+			}
+		}
+
+		// The crash-restart epilogue: sweep the debris, reopen fault-free,
+		// and require every successful Put durable and byte-exact.
+		if _, err := store.Sweep(fs); err != nil {
+			t.Fatalf("seed %d: sweep: %v", seed, err)
+		}
+		reopened, err := store.OpenDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for key, want := range model {
+			got, err := reopened.Get(key)
+			if err != nil {
+				t.Fatalf("seed %d: reopen Get(%s): %v", seed, key, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("seed %d: reopen Get(%s) wrong bytes", seed, key)
+			}
+		}
+		entries, err := reopened.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != len(model) {
+			t.Fatalf("seed %d: reopened store has %d entries, want %d", seed, len(entries), len(model))
+		}
+	}
+	if injected == 0 {
+		t.Error("campaign injected zero faults — the climates are miscalibrated")
+	}
+	if survived == 0 {
+		t.Error("campaign observed zero successful reads — the climates are miscalibrated")
+	}
+	t.Logf("storage campaign: %d seeds, %d injected faults, %d verified reads", int(seeds), injected, survived)
+}

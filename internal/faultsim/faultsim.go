@@ -1,0 +1,89 @@
+// Package faultsim injects deterministic, seeded faults into the service
+// tier's two boundaries — store.Storage and http.RoundTripper — so the
+// campaign tests can prove the standing invariant under hostile conditions:
+// every machine either serves bytes byte-identical to local translation or
+// takes a typed degrade; never wrong output, never a panic.
+//
+// Determinism: every injector draws from one seeded stream under a mutex,
+// so a schedule is reproducible given the seed and the serialized order of
+// operations. Concurrent campaigns don't reproduce exact interleavings (the
+// race itself is nondeterministic) — they reproduce the fault *mix*, which
+// is what the invariant-style assertions need.
+//
+// Fidelity: every injected error wraps ErrInjected, so a test can tell an
+// injected fault from a real bug with errors.Is. In pass-through mode (all
+// probabilities zero) both wrappers are observationally identical to what
+// they wrap: the Store passes the storetest contract, the Transport
+// forwards requests untouched.
+package faultsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the marker every injected fault wraps: errors.Is(err,
+// ErrInjected) separates simulated failures from real ones.
+var ErrInjected = errors.New("faultsim: injected fault")
+
+// IsInjected reports whether err (or anything it wraps) was injected by
+// this package.
+func IsInjected(err error) bool { return errors.Is(err, ErrInjected) }
+
+// injected is a typed fault. It satisfies net.Error-style Timeout probing
+// when built as a timeout, so http clients classify it as they would a real
+// deadline miss.
+type injected struct {
+	msg     string
+	timeout bool
+}
+
+func (e *injected) Error() string   { return e.msg }
+func (e *injected) Timeout() bool   { return e.timeout }
+func (e *injected) Temporary() bool { return true }
+func (e *injected) Unwrap() error   { return ErrInjected }
+
+func errf(format string, args ...any) error {
+	return &injected{msg: "faultsim: " + fmt.Sprintf(format, args...)}
+}
+
+// dice is the shared seeded decision stream. All draws are serialized so a
+// seed maps to one reproducible sequence of decisions.
+type dice struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newDice(seed int64) *dice {
+	return &dice{rng: rand.New(rand.NewSource(seed))}
+}
+
+// roll reports true with probability p.
+func (d *dice) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rng.Float64() < p
+}
+
+// within draws a uniform duration in [0, max).
+func (d *dice) within(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return time.Duration(d.rng.Int63n(int64(max)))
+}
+
+// index draws a uniform int in [0, n).
+func (d *dice) index(n int) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rng.Intn(n)
+}

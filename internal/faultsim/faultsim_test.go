@@ -1,0 +1,316 @@
+package faultsim
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tnsr/internal/store"
+	"tnsr/internal/store/storetest"
+)
+
+// TestPassThroughContract: with an all-zero plan the wrapper must be
+// observationally identical to the store it wraps — the full storage
+// contract runs against it over both filesystem implementations.
+func TestPassThroughContract(t *testing.T) {
+	t.Run("dir", func(t *testing.T) {
+		storetest.Contract(t, func(t *testing.T) store.Storage {
+			d, err := store.OpenDir(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return WrapStore(d, StoreOpts{})
+		})
+	})
+	t.Run("sharded-3", func(t *testing.T) {
+		storetest.Contract(t, func(t *testing.T) store.Storage {
+			s, err := store.OpenSharded(t.TempDir(), 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return WrapStore(s, StoreOpts{})
+		})
+	})
+}
+
+func openDir(t *testing.T) *store.Dir {
+	t.Helper()
+	d, err := store.OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestStoreInjectsTypedIOError(t *testing.T) {
+	inner := openDir(t)
+	if err := inner.Put("00aa00aa00aa00aa.tns", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	fs := WrapStore(inner, StoreOpts{Seed: 1, PIOErr: 1})
+	_, err := fs.Get("00aa00aa00aa00aa.tns")
+	if !IsInjected(err) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	if err := fs.Put("00aa00aa00aa00aa.tns", []byte("v2")); !IsInjected(err) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	// The inner store is untouched by the failed operations.
+	got, err := inner.Get("00aa00aa00aa00aa.tns")
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("inner store disturbed: %q, %v", got, err)
+	}
+	if c := fs.Counts(); c.IOErrs != 2 || c.Ops != 2 {
+		t.Errorf("counts %+v", c)
+	}
+}
+
+func TestStoreNoSpaceKeepsOldValue(t *testing.T) {
+	inner := openDir(t)
+	fs := WrapStore(inner, StoreOpts{Seed: 2, PNoSpace: 1})
+	if err := inner.Put("00bb00bb00bb00bb.tns", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	err := fs.Put("00bb00bb00bb00bb.tns", []byte("new"))
+	if !IsInjected(err) || !strings.Contains(err.Error(), "no space") {
+		t.Fatalf("want injected ENOSPC, got %v", err)
+	}
+	got, _ := fs.Get("00bb00bb00bb00bb.tns")
+	if string(got) != "old" {
+		t.Fatalf("old value lost: %q", got)
+	}
+}
+
+// TestTornPutCrashRecovery is the storage half of the crash story: a torn
+// Put fails the writer, leaves real debris, never corrupts the old value,
+// and Sweep (the restart path) removes the debris.
+func TestTornPutCrashRecovery(t *testing.T) {
+	inner := openDir(t)
+	fs := WrapStore(inner, StoreOpts{Seed: 3, PTorn: 1})
+	if err := inner.Put("00cc00cc00cc00cc.tns", []byte("survivor")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Put("00cc00cc00cc00cc.tns", bytes.Repeat([]byte("x"), 64)); !IsInjected(err) {
+		t.Fatalf("want injected crash, got %v", err)
+	}
+	// Debris is on disk but invisible to every read path.
+	debris := 0
+	ents, err := os.ReadDir(inner.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			debris++
+		}
+	}
+	if debris == 0 {
+		t.Fatal("torn Put left no debris")
+	}
+	if got, err := fs.Get("00cc00cc00cc00cc.tns"); err != nil || string(got) != "survivor" {
+		t.Fatalf("old value after torn write: %q, %v", got, err)
+	}
+	listed, err := fs.List()
+	if err != nil || len(listed) != 1 {
+		t.Fatalf("List after torn write: %+v, %v", listed, err)
+	}
+	// Restart: sweep reclaims exactly the debris.
+	removed, err := fs.Sweep()
+	if err != nil || removed != debris {
+		t.Fatalf("Sweep removed %d (want %d), err %v", removed, debris, err)
+	}
+}
+
+func TestStoreLatencyUsesSleepFn(t *testing.T) {
+	var slept atomic.Int64
+	fs := WrapStore(openDir(t), StoreOpts{
+		Seed: 4, MaxLatency: 50 * time.Millisecond,
+		SleepFn: func(d time.Duration) { slept.Add(int64(d)) },
+	})
+	for i := 0; i < 20; i++ {
+		fs.List()
+	}
+	if slept.Load() == 0 {
+		t.Fatal("no latency injected across 20 ops")
+	}
+	if c := fs.Counts(); c.Delays == 0 {
+		t.Errorf("counts %+v", c)
+	}
+}
+
+// TestStoreDeterministicSchedule: the same seed over the same serialized
+// operation sequence injects the identical fault pattern.
+func TestStoreDeterministicSchedule(t *testing.T) {
+	run := func(seed int64) string {
+		fs := WrapStore(openDir(t), StoreOpts{Seed: seed, PIOErr: 0.3})
+		var pat []byte
+		for i := 0; i < 40; i++ {
+			if _, err := fs.List(); err != nil {
+				pat = append(pat, 'x')
+			} else {
+				pat = append(pat, '.')
+			}
+		}
+		return string(pat)
+	}
+	if a, b := run(99), run(99); a != b {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+	if a, c := run(99), run(100); a == c {
+		t.Fatal("distinct seeds drew identical schedules (suspicious)")
+	}
+}
+
+// echoServer counts hits and echoes the request body (or a fixed payload
+// for GETs).
+func echoServer(t *testing.T, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		b, _ := io.ReadAll(r.Body)
+		if len(b) == 0 {
+			b = []byte("payload-0123456789abcdef")
+		}
+		w.Write(b)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestTransportPassThrough(t *testing.T) {
+	var hits atomic.Int64
+	srv := echoServer(t, &hits)
+	c := &http.Client{Transport: WrapTransport(srv.Client().Transport, TransportOpts{})}
+	resp, err := c.Post(srv.URL, "text/plain", strings.NewReader("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(b) != "hello" || hits.Load() != 1 {
+		t.Fatalf("body %q, hits %d", b, hits.Load())
+	}
+}
+
+func TestTransportReset(t *testing.T) {
+	var hits atomic.Int64
+	srv := echoServer(t, &hits)
+	c := &http.Client{Transport: WrapTransport(srv.Client().Transport, TransportOpts{PReset: 1})}
+	_, err := c.Get(srv.URL)
+	if err == nil || !IsInjected(errors.Unwrap(err)) && !IsInjected(err) {
+		t.Fatalf("want injected reset, got %v", err)
+	}
+	if hits.Load() != 0 {
+		t.Fatal("reset request reached the server")
+	}
+}
+
+func TestTransportTimeoutAfterExecution(t *testing.T) {
+	var hits atomic.Int64
+	srv := echoServer(t, &hits)
+	tr := WrapTransport(srv.Client().Transport, TransportOpts{PTimeout: 1})
+	_, err := tr.RoundTrip(mustReq(t, srv.URL))
+	if err == nil {
+		t.Fatal("want timeout")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("want net.Error timeout, got %v", err)
+	}
+	if !IsInjected(err) {
+		t.Fatalf("timeout not marked injected: %v", err)
+	}
+	// The ambiguous failure: the server DID execute the request.
+	if hits.Load() != 1 {
+		t.Fatalf("server hits %d, want 1", hits.Load())
+	}
+}
+
+func TestTransportSynthetic5xxAnd429(t *testing.T) {
+	var hits atomic.Int64
+	srv := echoServer(t, &hits)
+	tr := WrapTransport(srv.Client().Transport, TransportOpts{P5xx: 1})
+	resp, err := tr.RoundTrip(mustReq(t, srv.URL))
+	if err != nil || resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("resp %v err %v", resp, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	tr = WrapTransport(srv.Client().Transport, TransportOpts{P429: 1, Retry429After: 2})
+	resp, err = tr.RoundTrip(mustReq(t, srv.URL))
+	if err != nil || resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("resp %v err %v", resp, err)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After %q", ra)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if hits.Load() != 0 {
+		t.Fatal("synthetic responses reached the server")
+	}
+}
+
+func TestTransportTruncateAndCorrupt(t *testing.T) {
+	var hits atomic.Int64
+	srv := echoServer(t, &hits)
+	const want = "payload-0123456789abcdef"
+
+	tr := WrapTransport(srv.Client().Transport, TransportOpts{PTruncate: 1})
+	resp, err := tr.RoundTrip(mustReq(t, srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(b) != len(want)/2 || !strings.HasPrefix(want, string(b)) {
+		t.Fatalf("truncated body %q", b)
+	}
+
+	tr = WrapTransport(srv.Client().Transport, TransportOpts{Seed: 5, PCorrupt: 1})
+	resp, err = tr.RoundTrip(mustReq(t, srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(b) != len(want) || string(b) == want {
+		t.Fatalf("corrupt body %q (len %d)", b, len(b))
+	}
+}
+
+func TestTransportDuplicateDelivery(t *testing.T) {
+	var hits atomic.Int64
+	srv := echoServer(t, &hits)
+	c := &http.Client{Transport: WrapTransport(srv.Client().Transport, TransportOpts{PDuplicate: 1})}
+	resp, err := c.Post(srv.URL, "text/plain", strings.NewReader("dup-me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(b) != "dup-me" {
+		t.Fatalf("second delivery body %q", b)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("server hits %d, want 2 (duplicate delivery)", hits.Load())
+	}
+}
+
+func mustReq(t *testing.T, url string) *http.Request {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}

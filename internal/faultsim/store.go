@@ -1,0 +1,185 @@
+package faultsim
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"tnsr/internal/store"
+)
+
+// StoreOpts configures the storage fault injector. All-zero opts mean pure
+// pass-through: every operation forwards to the inner store untouched (the
+// storetest contract runs against that mode).
+type StoreOpts struct {
+	// Seed pins the decision stream.
+	Seed int64
+
+	// PIOErr is the probability any operation fails with an injected I/O
+	// error (the disk said no: medium error, permission flap, …).
+	PIOErr float64
+
+	// PNoSpace is the probability a Put fails with an injected ENOSPC.
+	// Nothing is written; the entry's previous value (if any) survives.
+	PNoSpace float64
+
+	// PTorn is the probability a Put tears: the writer "crashes" after
+	// creating its temporary but before the rename, leaving real ".tmp-"
+	// debris in the owning directory and failing the Put. The entry's
+	// previous value survives — exactly what the atomic-write discipline
+	// guarantees for a real mid-write crash.
+	PTorn float64
+
+	// MaxLatency, when > 0, stalls every operation by a uniform duration
+	// in [0, MaxLatency) before it runs (slow disk, contended volume).
+	MaxLatency time.Duration
+
+	// SleepFn replaces time.Sleep for latency injection (tests run
+	// schedules without wall-clock time). Nil means time.Sleep.
+	SleepFn func(time.Duration)
+}
+
+// StoreCounts is a snapshot of what the injector did.
+type StoreCounts struct {
+	Ops     int64 // operations that reached the wrapper
+	IOErrs  int64 // injected I/O errors
+	NoSpace int64 // injected ENOSPC failures
+	Torn    int64 // injected torn-write-then-crash Puts
+	Delays  int64 // operations stalled by injected latency
+}
+
+// Store wraps a store.Storage with seeded fault injection. It forwards the
+// optional raw-file surfaces (Roots, Path, Sweep) when the inner store has
+// them, so crash-recovery tooling sees through the wrapper.
+type Store struct {
+	inner store.Storage
+	opts  StoreOpts
+	dice  *dice
+
+	ops, ioErrs, noSpace, torn, delays atomic.Int64
+}
+
+// WrapStore builds the injector around inner.
+func WrapStore(inner store.Storage, opts StoreOpts) *Store {
+	return &Store{inner: inner, opts: opts, dice: newDice(opts.Seed)}
+}
+
+// Counts snapshots the injector's activity.
+func (s *Store) Counts() StoreCounts {
+	return StoreCounts{
+		Ops:     s.ops.Load(),
+		IOErrs:  s.ioErrs.Load(),
+		NoSpace: s.noSpace.Load(),
+		Torn:    s.torn.Load(),
+		Delays:  s.delays.Load(),
+	}
+}
+
+// enter runs the per-operation faults common to every method: latency,
+// then an injected I/O error.
+func (s *Store) enter(op string) error {
+	s.ops.Add(1)
+	if d := s.dice.within(s.opts.MaxLatency); d > 0 {
+		s.delays.Add(1)
+		if s.opts.SleepFn != nil {
+			s.opts.SleepFn(d)
+		} else {
+			time.Sleep(d)
+		}
+	}
+	if s.dice.roll(s.opts.PIOErr) {
+		s.ioErrs.Add(1)
+		return errf("%s: input/output error", op)
+	}
+	return nil
+}
+
+func (s *Store) Get(key string) ([]byte, error) {
+	if err := s.enter("get"); err != nil {
+		return nil, err
+	}
+	return s.inner.Get(key)
+}
+
+func (s *Store) Put(key string, data []byte) error {
+	if err := s.enter("put"); err != nil {
+		return err
+	}
+	if s.dice.roll(s.opts.PNoSpace) {
+		s.noSpace.Add(1)
+		return errf("put %s: no space left on device", key)
+	}
+	if s.dice.roll(s.opts.PTorn) {
+		s.torn.Add(1)
+		s.plantTorn(key, data)
+		return errf("put %s: crashed mid-write", key)
+	}
+	return s.inner.Put(key, data)
+}
+
+// plantTorn leaves the debris a mid-write crash would: a ".tmp-" file with
+// a partial payload in the directory that owns key. Best-effort — if the
+// inner store exposes no directories (a future object-store backend), the
+// Put still fails, there's just nothing on disk to sweep.
+func (s *Store) plantTorn(key string, data []byte) {
+	dir := ""
+	if p, ok := s.inner.(interface{ Path(string) string }); ok {
+		dir = filepath.Dir(p.Path(key))
+	} else if r, ok := s.inner.(interface{ Roots() []string }); ok {
+		if roots := r.Roots(); len(roots) > 0 {
+			dir = roots[s.dice.index(len(roots))]
+		}
+	}
+	if dir == "" {
+		return
+	}
+	cut := len(data) / 2
+	name := filepath.Join(dir, fmt.Sprintf(".tmp-torn%d", s.torn.Load()))
+	os.WriteFile(name, data[:cut], 0o666)
+}
+
+func (s *Store) Delete(key string) error {
+	if err := s.enter("delete"); err != nil {
+		return err
+	}
+	return s.inner.Delete(key)
+}
+
+func (s *Store) Touch(key string) error {
+	if err := s.enter("touch"); err != nil {
+		return err
+	}
+	return s.inner.Touch(key)
+}
+
+func (s *Store) List() ([]store.Entry, error) {
+	if err := s.enter("list"); err != nil {
+		return nil, err
+	}
+	return s.inner.List()
+}
+
+// Roots forwards the inner store's backing directories (nil when it has
+// none), so debris-planting tests see through the wrapper.
+func (s *Store) Roots() []string {
+	if r, ok := s.inner.(interface{ Roots() []string }); ok {
+		return r.Roots()
+	}
+	return nil
+}
+
+// Path forwards the inner store's key→file mapping ("" when it has none).
+func (s *Store) Path(key string) string {
+	if p, ok := s.inner.(interface{ Path(string) string }); ok {
+		return p.Path(key)
+	}
+	return ""
+}
+
+// Sweep forwards crash-debris recovery to the inner store. Sweep itself is
+// never fault-injected: it models the recovery path, not the failure path.
+func (s *Store) Sweep() (int, error) {
+	return store.Sweep(s.inner)
+}

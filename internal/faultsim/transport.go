@@ -1,0 +1,261 @@
+package faultsim
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// TransportOpts configures the network fault injector. All-zero opts mean
+// pure pass-through. The injector models the failure classes a client must
+// survive without ever serving wrong bytes:
+//
+//   - connection reset / timeout: the request may or may not have reached
+//     the server — the client cannot know, so idempotency is on trial;
+//   - synthetic 5xx / 429: the server refused before doing work;
+//   - truncated / corrupted body: the bytes arrived damaged — the strict
+//     parsers and checksums must refuse them, and the client must treat
+//     the refusal as transient;
+//   - duplicate delivery: the request executes twice (a retransmit the
+//     server saw both copies of) — dedup by key must make it harmless.
+type TransportOpts struct {
+	// Seed pins the decision stream.
+	Seed int64
+
+	// PReset is the probability a request fails with a connection reset
+	// BEFORE reaching the server (nothing executed).
+	PReset float64
+
+	// PTimeout is the probability a request times out AFTER the server
+	// executed it (response lost — the ambiguous failure).
+	PTimeout float64
+
+	// P5xx is the probability the injector answers with a synthetic 502
+	// without forwarding the request.
+	P5xx float64
+
+	// P429 is the probability the injector answers with a synthetic 429
+	// carrying a Retry-After, without forwarding the request.
+	P429 float64
+
+	// Retry429After is the Retry-After seconds on injected 429s (0 omits
+	// the header).
+	Retry429After int
+
+	// PTruncate is the probability a successful response body is cut in
+	// half before the client sees it.
+	PTruncate float64
+
+	// PCorrupt is the probability one byte of a successful response body
+	// is flipped before the client sees it.
+	PCorrupt float64
+
+	// PDuplicate is the probability the request is delivered twice (both
+	// executions reach the server; the client sees the second response).
+	// Requests whose body cannot be replayed are delivered once.
+	PDuplicate float64
+
+	// MaxLatency, when > 0, stalls each request by a uniform duration in
+	// [0, MaxLatency).
+	MaxLatency time.Duration
+
+	// SleepFn replaces time.Sleep for latency injection. Nil means
+	// time.Sleep.
+	SleepFn func(time.Duration)
+}
+
+// TransportCounts is a snapshot of what the injector did.
+type TransportCounts struct {
+	Requests   int64 // requests that entered the wrapper
+	Resets     int64 // injected connection resets (server never saw it)
+	Timeouts   int64 // injected timeouts (server DID see it)
+	Syn5xx     int64 // synthetic 502s
+	Syn429     int64 // synthetic 429s
+	Truncated  int64 // bodies cut in half
+	Corrupted  int64 // bodies with a flipped byte
+	Duplicated int64 // requests delivered twice
+	Delays     int64 // requests stalled by injected latency
+}
+
+// Transport wraps an http.RoundTripper with seeded fault injection.
+type Transport struct {
+	next http.RoundTripper
+	opts TransportOpts
+	dice *dice
+
+	requests, resets, timeouts           atomic.Int64
+	syn5xx, syn429, truncated, corrupted atomic.Int64
+	duplicated, delays                   atomic.Int64
+}
+
+// WrapTransport builds the injector in front of next (nil means
+// http.DefaultTransport).
+func WrapTransport(next http.RoundTripper, opts TransportOpts) *Transport {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &Transport{next: next, opts: opts, dice: newDice(opts.Seed)}
+}
+
+// Counts snapshots the injector's activity.
+func (t *Transport) Counts() TransportCounts {
+	return TransportCounts{
+		Requests:   t.requests.Load(),
+		Resets:     t.resets.Load(),
+		Timeouts:   t.timeouts.Load(),
+		Syn5xx:     t.syn5xx.Load(),
+		Syn429:     t.syn429.Load(),
+		Truncated:  t.truncated.Load(),
+		Corrupted:  t.corrupted.Load(),
+		Duplicated: t.duplicated.Load(),
+		Delays:     t.delays.Load(),
+	}
+}
+
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.requests.Add(1)
+	if d := t.dice.within(t.opts.MaxLatency); d > 0 {
+		t.delays.Add(1)
+		if t.opts.SleepFn != nil {
+			t.opts.SleepFn(d)
+		} else {
+			time.Sleep(d)
+		}
+	}
+
+	// Pre-delivery faults: the server never sees the request.
+	if t.dice.roll(t.opts.PReset) {
+		t.resets.Add(1)
+		drain(req)
+		return nil, errf("%s %s: connection reset by peer", req.Method, req.URL.Path)
+	}
+	if t.dice.roll(t.opts.P5xx) {
+		t.syn5xx.Add(1)
+		drain(req)
+		return synthetic(req, http.StatusBadGateway, "faultsim: injected bad gateway", nil), nil
+	}
+	if t.dice.roll(t.opts.P429) {
+		t.syn429.Add(1)
+		drain(req)
+		hdr := http.Header{}
+		if t.opts.Retry429After > 0 {
+			hdr.Set("Retry-After", strconv.Itoa(t.opts.Retry429After))
+		}
+		return synthetic(req, http.StatusTooManyRequests, "faultsim: injected rate limit", hdr), nil
+	}
+
+	// Duplicate delivery: execute twice when the body can be replayed.
+	if t.dice.roll(t.opts.PDuplicate) && replayable(req) {
+		t.duplicated.Add(1)
+		first, err := t.next.RoundTrip(cloneWithBody(req))
+		if err == nil {
+			// The "lost" first response: fully received, discarded.
+			io.Copy(io.Discard, first.Body)
+			first.Body.Close()
+		}
+		rewind(req)
+	}
+
+	resp, err := t.next.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+
+	// Post-delivery faults: the server executed the request, the client
+	// doesn't (correctly) see the answer.
+	if t.dice.roll(t.opts.PTimeout) {
+		t.timeouts.Add(1)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, &injected{msg: "faultsim: request timed out awaiting response", timeout: true}
+	}
+	if t.dice.roll(t.opts.PTruncate) {
+		t.truncated.Add(1)
+		return damage(resp, func(b []byte) []byte { return b[:len(b)/2] })
+	}
+	if t.dice.roll(t.opts.PCorrupt) {
+		t.corrupted.Add(1)
+		d := t.dice
+		return damage(resp, func(b []byte) []byte {
+			if len(b) == 0 {
+				return b
+			}
+			b[d.index(len(b))] ^= 0x41
+			return b
+		})
+	}
+	return resp, nil
+}
+
+// drain consumes and closes a request body that will never be delivered,
+// matching real transport behavior.
+func drain(req *http.Request) {
+	if req.Body != nil {
+		io.Copy(io.Discard, req.Body)
+		req.Body.Close()
+	}
+}
+
+// replayable reports whether the request can be delivered twice.
+func replayable(req *http.Request) bool {
+	return req.Body == nil || req.GetBody != nil
+}
+
+// cloneWithBody deep-copies req with a fresh body for the extra delivery.
+func cloneWithBody(req *http.Request) *http.Request {
+	c := req.Clone(req.Context())
+	if req.GetBody != nil {
+		body, err := req.GetBody()
+		if err != nil {
+			c.Body = http.NoBody
+		} else {
+			c.Body = body
+		}
+	}
+	return c
+}
+
+// rewind restores req's body after the first delivery consumed it.
+func rewind(req *http.Request) {
+	if req.GetBody == nil {
+		return
+	}
+	if body, err := req.GetBody(); err == nil {
+		req.Body = body
+	}
+}
+
+// synthetic builds an injector-originated response.
+func synthetic(req *http.Request, status int, body string, hdr http.Header) *http.Response {
+	if hdr == nil {
+		hdr = http.Header{}
+	}
+	hdr.Set("Content-Type", "text/plain; charset=utf-8")
+	return &http.Response{
+		StatusCode:    status,
+		Status:        http.StatusText(status),
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        hdr,
+		Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// damage rewrites resp's body through f, preserving the original
+// Content-Length header so a truncation looks like a cut connection, not a
+// shorter answer.
+func damage(resp *http.Response, f func([]byte) []byte) (*http.Response, error) {
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(f(b)))
+	return resp, nil
+}

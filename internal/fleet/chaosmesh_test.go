@@ -1,0 +1,149 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tnsr/internal/faultsim"
+	"tnsr/internal/obs"
+	"tnsr/internal/profsrv"
+	"tnsr/internal/retry"
+	"tnsr/internal/store"
+	"tnsr/internal/tcache"
+	"tnsr/internal/xlate"
+)
+
+// meshConfig is the fixed fleet shape every soak run (and the fault-free
+// baseline) uses; only the fault seeds vary.
+func meshConfig() Config {
+	return Config{Machines: 4, Seed: 9, Rounds: 1}
+}
+
+// normalizeMesh strips the advisory resilience fields whose values depend
+// on which faults fired — push failures, breaker state — leaving exactly
+// the served work: transactions, latency, mode residency, escapes. That
+// remainder must be byte-identical to the fault-free baseline, because
+// every code path under test either produced the deterministic image or
+// took a typed degrade to a local translation of the same image.
+func normalizeMesh(t *testing.T, fr *FleetReport) []byte {
+	t.Helper()
+	for i := range fr.Rounds {
+		fr.Rounds[i].PushErrs = 0
+		fr.Rounds[i].SourceBreaker = nil
+	}
+	data, err := fr.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestChaosMeshSoak wires the whole service mesh — fleet host, tnsxlated
+// over a fault-injected store behind a fault-injected transport, tnsprofd
+// behind a fault-injected transport — and runs 12 seeded storms through
+// it. The acceptance line: every machine either serves bytes identical to
+// the fault-free baseline or takes a typed degrade; no machine fails, no
+// escape is unattributed, nothing panics. Wrong output anywhere is a test
+// failure — availability may degrade under chaos, correctness never does.
+func TestChaosMeshSoak(t *testing.T) {
+	const meshSeeds = 12
+
+	baseline, err := Run(meshConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := string(normalizeMesh(t, baseline))
+
+	for seed := int64(0); seed < meshSeeds; seed++ {
+		// tnsxlated: translation service whose store AND transport misbehave.
+		backing, err := store.OpenDir(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		xsrv := xlate.New(xlate.Config{
+			Cache: tcache.New(faultsim.WrapStore(backing, faultsim.StoreOpts{
+				Seed: seed, PIOErr: 0.10, PNoSpace: 0.10, PTorn: 0.10,
+			})),
+			Workers: 2,
+		})
+		xhs := httptest.NewServer(xsrv)
+
+		xc := xlate.NewClient(xhs.URL, "")
+		xc.HTTPClient = &http.Client{
+			Transport: faultsim.WrapTransport(http.DefaultTransport, faultsim.TransportOpts{
+				Seed: seed + 1000, PReset: 0.10, P5xx: 0.10, PTruncate: 0.05, PCorrupt: 0.05,
+			}),
+			Timeout: 5 * time.Second,
+		}
+		xc.Retry = retry.Policy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond, Seed: seed}
+		xc.PollInterval = time.Millisecond
+		xc.PollMax = 10 * time.Millisecond
+		xc.Deadline = 5 * time.Second
+
+		// tnsprofd: profile service reached through its own bad network.
+		pstore, err := profsrv.OpenStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		phs := httptest.NewServer(profsrv.New(profsrv.Config{Store: pstore}))
+
+		pc := profsrv.NewClient(phs.URL, "")
+		pc.HTTPClient = &http.Client{
+			Transport: faultsim.WrapTransport(http.DefaultTransport, faultsim.TransportOpts{
+				Seed: seed + 2000, PReset: 0.15, P5xx: 0.10, PDuplicate: 0.10,
+			}),
+			Timeout: 5 * time.Second,
+		}
+		pc.Retry = retry.Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond, Seed: seed}
+
+		cfg := meshConfig()
+		cfg.Xlate = xc
+		cfg.Source = pc
+		fr, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("mesh seed %d: fleet run failed: %v", seed, err)
+		}
+		rr := fr.Final()
+		ms := rr.MachineStates
+		if ms.Failed != 0 {
+			t.Fatalf("mesh seed %d: %d machines failed under chaos: %+v", seed, ms.Failed, rr.Failures)
+		}
+		if ms.Serving+ms.Degraded != cfg.Machines {
+			t.Fatalf("mesh seed %d: states %d+%d != %d machines", seed, ms.Serving, ms.Degraded, cfg.Machines)
+		}
+		for _, e := range rr.Obs.Escapes {
+			if e.Reason == obs.EscapeUnknown.String() && e.Count > 0 {
+				t.Fatalf("mesh seed %d: %d unattributed escapes", seed, e.Count)
+			}
+		}
+		if got := string(normalizeMesh(t, fr)); got != want {
+			t.Fatalf("mesh seed %d: served work differs from fault-free baseline\ngot:  %.400s\nwant: %.400s",
+				seed, got, want)
+		}
+
+		xhs.Close()
+		phs.Close()
+		xsrv.Close()
+	}
+}
+
+// TestChaosMeshReportJSON pins that the normalized comparison above is not
+// vacuous: the baseline report round-trips through JSON with its rounds,
+// states and escape lines present.
+func TestChaosMeshReportJSON(t *testing.T) {
+	fr, err := Run(meshConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := normalizeMesh(t, fr)
+	var back FleetReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rounds) != 1 || back.Machines != 4 {
+		t.Fatalf("normalized report lost its shape: %+v", back)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"tnsr/internal/chaos"
 	"tnsr/internal/codefile"
@@ -14,6 +15,7 @@ import (
 	"tnsr/internal/obs"
 	"tnsr/internal/pgo"
 	"tnsr/internal/profsrv"
+	"tnsr/internal/retry"
 	"tnsr/internal/risc"
 	"tnsr/internal/tcache"
 	"tnsr/internal/workloads"
@@ -113,12 +115,24 @@ type Config struct {
 	// so degrading changes availability, never the image.
 	Xlate *xlate.Client
 
+	// SourceBreakAfter is the consecutive-failure count that opens the
+	// shared profile-source circuit breaker (<= 0 means
+	// retry.DefaultBreakAfter); SourceBreakCooldown is how long it stays
+	// open before probing (<= 0 means retry.DefaultCooldown). The breaker
+	// is shared by every machine's pushes and the host's fetches — one
+	// dependency, one breaker. 429 backpressure never counts as failure.
+	SourceBreakAfter    int
+	SourceBreakCooldown time.Duration
+
 	// Config is the simulator timing model (zero value means the
 	// Cyclone/R defaults).
 	Config risc.Config
 
 	// Progress, when non-nil, receives one-line status messages.
 	Progress func(format string, args ...any)
+
+	// sourceBr guards every profile-source call; built by fill.
+	sourceBr *retry.Breaker
 }
 
 func (c *Config) fill() {
@@ -155,6 +169,9 @@ func (c *Config) fill() {
 	if (c.Config == risc.Config{}) {
 		c.Config = risc.DefaultConfig()
 	}
+	if c.sourceBr == nil {
+		c.sourceBr = retry.NewBreaker(c.SourceBreakAfter, c.SourceBreakCooldown)
+	}
 }
 
 func (c *Config) progress(format string, args ...any) {
@@ -167,10 +184,16 @@ func (c *Config) progress(format string, args ...any) {
 // client when a server is mounted, the shared source otherwise. id < 0 is
 // the host itself.
 func (c *Config) sourceFor(id int) xrun.ProfileSource {
+	var src xrun.ProfileSource
 	if c.InProc != nil {
-		return NewInProcClient(c.InProc, c.InProcToken, id)
+		src = NewInProcClient(c.InProc, c.InProcToken, id)
+	} else {
+		src = c.Source
 	}
-	return c.Source
+	if src == nil {
+		return nil
+	}
+	return &guardedSource{src: src, br: c.sourceBr}
 }
 
 // mixSeed derives machine id's per-round seed from the run seed with a
@@ -430,6 +453,15 @@ func aggregateRound(cfg *Config, round int, results []*machineResult) (RoundRepo
 	if cfg.Cache != nil {
 		st := cfg.Cache.Stats()
 		rr.CacheHits, rr.CacheMisses = st.Hits, st.Misses
+	}
+	if cfg.InProc != nil || cfg.Source != nil {
+		bc := cfg.sourceBr.Counts()
+		rr.SourceBreaker = &BreakerSnapshot{
+			State:     bc.State.String(),
+			Opens:     bc.Opens,
+			FastFails: bc.FastFails,
+			Probes:    bc.Probes,
+		}
 	}
 	return rr, captures
 }

@@ -45,6 +45,19 @@ type RoundReport struct {
 	PushErrs    int   `json:"push_errs,omitempty"`
 	CacheHits   int64 `json:"cache_hits,omitempty"`
 	CacheMisses int64 `json:"cache_misses,omitempty"`
+
+	// SourceBreaker snapshots the shared profile-source circuit breaker at
+	// the end of the round; nil when no profile source is configured.
+	// Counters are cumulative across rounds.
+	SourceBreaker *BreakerSnapshot `json:"source_breaker,omitempty"`
+}
+
+// BreakerSnapshot is one circuit breaker's end-of-round view.
+type BreakerSnapshot struct {
+	State     string `json:"state"`
+	Opens     int64  `json:"opens"`
+	FastFails int64  `json:"fast_fails"`
+	Probes    int64  `json:"probes"`
 }
 
 // MachineStates counts machines by end-of-round state.
@@ -230,4 +243,23 @@ func (fr *FleetReport) WritePrometheus(w io.Writer) {
 
 	obs.PromHeader(w, "tnsr_fleet_push_errors_total", "counter", "Profile pushes that failed in the final round.")
 	fmt.Fprintf(w, "tnsr_fleet_push_errors_total %d\n", rr.PushErrs)
+
+	if sb := rr.SourceBreaker; sb != nil {
+		state := 0
+		switch sb.State {
+		case "open":
+			state = 1
+		case "half-open":
+			state = 2
+		}
+		obs.PromHeader(w, "tnsr_fleet_source_breaker_state", "gauge",
+			"Profile-source circuit breaker state (0 closed, 1 open, 2 half-open).")
+		fmt.Fprintf(w, "tnsr_fleet_source_breaker_state %d\n", state)
+		obs.PromHeader(w, "tnsr_fleet_source_breaker_opens_total", "counter",
+			"Times the profile-source breaker tripped open.")
+		fmt.Fprintf(w, "tnsr_fleet_source_breaker_opens_total %d\n", sb.Opens)
+		obs.PromHeader(w, "tnsr_fleet_source_fastfails_total", "counter",
+			"Profile-source calls refused by an open breaker.")
+		fmt.Fprintf(w, "tnsr_fleet_source_fastfails_total %d\n", sb.FastFails)
+	}
 }

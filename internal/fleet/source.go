@@ -1,0 +1,58 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"tnsr/internal/pgo"
+	"tnsr/internal/retry"
+	"tnsr/internal/xrun"
+)
+
+// guardedSource wraps a profile source behind the fleet's shared circuit
+// breaker. Every machine's pushes and the host's aggregate fetches count
+// against ONE breaker — the dependency is one daemon, so a dead tnsprofd
+// costs the fleet a handful of timeouts before the whole round fast-fails
+// its profile traffic, instead of every machine independently rediscovering
+// the outage. Profile traffic is advisory throughout: a fast-failed push or
+// fetch degrades the PGO loop for a round, never the served transactions.
+type guardedSource struct {
+	src xrun.ProfileSource
+	br  *retry.Breaker
+}
+
+func (g *guardedSource) Fetch(fingerprint string) (*pgo.Profile, error) {
+	if !g.br.Allow() {
+		return nil, fmt.Errorf("fleet: profile fetch: %w", retry.ErrOpen)
+	}
+	p, err := g.src.Fetch(fingerprint)
+	g.br.Report(breakerVerdict(err))
+	return p, err
+}
+
+func (g *guardedSource) Push(p *pgo.Profile) (*pgo.Profile, error) {
+	if !g.br.Allow() {
+		return nil, fmt.Errorf("fleet: profile push: %w", retry.ErrOpen)
+	}
+	agg, err := g.src.Push(p)
+	g.br.Report(breakerVerdict(err))
+	return agg, err
+}
+
+// breakerVerdict decides what one source call's outcome tells the breaker.
+// A 429 is backpressure from a live, responding daemon — the per-client
+// rate limiter doing its job — and MUST NOT count as a failure: tripping on
+// it would convert a rate limit into a self-inflicted outage where the
+// fleet stops talking to a healthy server precisely because the server
+// asked it to slow down.
+func breakerVerdict(err error) error {
+	if err == nil {
+		return nil
+	}
+	var he *retry.HTTPError
+	if errors.As(err, &he) && he.Status == http.StatusTooManyRequests {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,130 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"tnsr/internal/pgo"
+	"tnsr/internal/retry"
+)
+
+// failingSource is a profile source that always errors, counting calls.
+type failingSource struct{ calls atomic.Int64 }
+
+func (f *failingSource) Fetch(string) (*pgo.Profile, error) {
+	f.calls.Add(1)
+	return nil, errors.New("profile daemon unreachable")
+}
+
+func (f *failingSource) Push(*pgo.Profile) (*pgo.Profile, error) {
+	f.calls.Add(1)
+	return nil, errors.New("profile daemon unreachable")
+}
+
+// rateLimitedSource answers every call 429 — a live daemon under
+// backpressure.
+type rateLimitedSource struct{ calls atomic.Int64 }
+
+func (f *rateLimitedSource) err() error {
+	f.calls.Add(1)
+	return fmt.Errorf("profsrv: push: %w",
+		&retry.HTTPError{Status: http.StatusTooManyRequests, Body: "rate limit exceeded"})
+}
+
+func (f *rateLimitedSource) Fetch(string) (*pgo.Profile, error)      { return nil, f.err() }
+func (f *rateLimitedSource) Push(*pgo.Profile) (*pgo.Profile, error) { return nil, f.err() }
+
+// TestFleetSourceBreakerOpens pins the shared-breaker contract: a dead
+// profile daemon costs the fleet its threshold of real attempts, after
+// which every further push fast-fails — and none of it touches the served
+// transactions.
+func TestFleetSourceBreakerOpens(t *testing.T) {
+	src := &failingSource{}
+	fr, err := Run(Config{
+		Machines:         8,
+		Seed:             3,
+		Source:           src,
+		SourceBreakAfter: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := fr.Final()
+	if rr.MachineStates.Serving != 8 {
+		t.Fatalf("serving %d of 8 under a dead profile source: %+v",
+			rr.MachineStates.Serving, rr.Failures)
+	}
+	sb := rr.SourceBreaker
+	if sb == nil {
+		t.Fatal("round report carries no source breaker snapshot")
+	}
+	if sb.State != "open" {
+		t.Errorf("breaker state %q, want open", sb.State)
+	}
+	if sb.Opens < 1 {
+		t.Errorf("breaker opens = %d, want >= 1", sb.Opens)
+	}
+	// 8 pushes + 1 host fetch raced into the breaker; only the threshold's
+	// worth (plus any admitted concurrently before the trip) reached the
+	// daemon, the rest fast-failed.
+	if got := src.calls.Load(); got > 8 {
+		t.Errorf("dead source contacted %d times, want <= 8", got)
+	}
+	if sb.FastFails < 1 {
+		t.Errorf("fast fails = %d, want >= 1", sb.FastFails)
+	}
+	// Every machine whose push was refused (by the source or the breaker)
+	// counts a push error — the degrade is visible, never silent.
+	if rr.PushErrs != 8 {
+		t.Errorf("push errors = %d, want 8", rr.PushErrs)
+	}
+
+	var prom bytes.Buffer
+	fr.WritePrometheus(&prom)
+	for _, want := range []string{
+		"tnsr_fleet_source_breaker_state 1",
+		"tnsr_fleet_source_breaker_opens_total 1",
+		"tnsr_fleet_source_fastfails_total",
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, prom.String())
+		}
+	}
+}
+
+// TestFleetSourceBreakerIgnoresBackpressure pins the 429 rule: a daemon
+// shedding load with rate limits is ALIVE, and the breaker must not convert
+// its backpressure into a self-inflicted outage.
+func TestFleetSourceBreakerIgnoresBackpressure(t *testing.T) {
+	src := &rateLimitedSource{}
+	fr, err := Run(Config{
+		Machines:         8,
+		Seed:             3,
+		Source:           src,
+		SourceBreakAfter: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := fr.Final()
+	sb := rr.SourceBreaker
+	if sb == nil {
+		t.Fatal("round report carries no source breaker snapshot")
+	}
+	if sb.State != "closed" {
+		t.Errorf("breaker state %q under pure 429s, want closed", sb.State)
+	}
+	if sb.Opens != 0 || sb.FastFails != 0 {
+		t.Errorf("breaker opens=%d fastFails=%d under pure 429s, want 0/0",
+			sb.Opens, sb.FastFails)
+	}
+	// Every call went through — nothing was fast-failed.
+	if got := src.calls.Load(); got < 8 {
+		t.Errorf("rate-limited source contacted %d times, want >= 8", got)
+	}
+}

@@ -2,6 +2,7 @@ package profsrv
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"tnsr/internal/pgo"
+	"tnsr/internal/retry"
 )
 
 // Client talks to a tnsprofd daemon. It implements xrun.ProfileSource
@@ -17,7 +19,9 @@ import (
 //
 // Responses pass through the same strict parser uploads do: a server (or a
 // middlebox) handing back damaged JSON produces a typed error, never
-// silently-wrong advice.
+// silently-wrong advice. Transient failures — transport errors, 5xx, 429
+// (whose Retry-After is honored, capped), damaged bytes — are retried
+// under Retry; refusals (401, 409, 413) are terminal *retry.HTTPErrors.
 type Client struct {
 	// BaseURL is the daemon root, e.g. "http://profiles.fleet:9911".
 	BaseURL string
@@ -25,6 +29,8 @@ type Client struct {
 	Token string
 	// HTTPClient, when nil, falls back to a 30-second-timeout client.
 	HTTPClient *http.Client
+	// Retry is the transient-failure policy; zero value = retry defaults.
+	Retry retry.Policy
 }
 
 // NewClient builds a client for a daemon root URL.
@@ -63,7 +69,22 @@ func UserFingerprint(p *pgo.Profile) (string, error) {
 // Fetch returns the current aggregate for a fingerprint, or (nil, nil)
 // when the server has none — the no-profile case a translator degrades to.
 func (c *Client) Fetch(fingerprint string) (*pgo.Profile, error) {
-	req, err := http.NewRequest(http.MethodGet, c.url(fingerprint), nil)
+	return c.FetchContext(context.Background(), fingerprint)
+}
+
+// FetchContext is Fetch bounded by ctx.
+func (c *Client) FetchContext(ctx context.Context, fingerprint string) (*pgo.Profile, error) {
+	var p *pgo.Profile
+	err := c.Retry.Do(ctx, func() error {
+		var err error
+		p, err = c.fetchOnce(ctx, fingerprint)
+		return err
+	})
+	return p, err
+}
+
+func (c *Client) fetchOnce(ctx context.Context, fingerprint string) (*pgo.Profile, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(fingerprint), nil)
 	if err != nil {
 		return nil, fmt.Errorf("profsrv: fetch: %w", err)
 	}
@@ -76,7 +97,7 @@ func (c *Client) Fetch(fingerprint string) (*pgo.Profile, error) {
 		return nil, nil
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("profsrv: fetch %s: %s", fingerprint, readStatus(resp))
+		return nil, fmt.Errorf("profsrv: fetch %s: %w", fingerprint, typedStatus(resp))
 	}
 	data, err := io.ReadAll(io.LimitReader(resp.Body, DefaultMaxBody))
 	if err != nil {
@@ -84,6 +105,8 @@ func (c *Client) Fetch(fingerprint string) (*pgo.Profile, error) {
 	}
 	p, err := pgo.ParseProfile(data)
 	if err != nil {
+		// Damaged bytes in flight: the strict parser refused them, the
+		// server may well hold a good aggregate — transient by policy.
 		return nil, fmt.Errorf("profsrv: fetch %s: server sent invalid profile: %w", fingerprint, err)
 	}
 	return p, nil
@@ -92,6 +115,14 @@ func (c *Client) Fetch(fingerprint string) (*pgo.Profile, error) {
 // Push uploads one capture and returns the merged fleet aggregate the
 // server now holds for that fingerprint.
 func (c *Client) Push(p *pgo.Profile) (*pgo.Profile, error) {
+	return c.PushContext(context.Background(), p)
+}
+
+// PushContext is Push bounded by ctx. A replayed push (duplicate delivery,
+// retry after an ambiguous timeout) double-merges the capture — by design:
+// profile weights are advisory, skewed counts cost interludes downstream,
+// never correctness.
+func (c *Client) PushContext(ctx context.Context, p *pgo.Profile) (*pgo.Profile, error) {
 	fp, err := UserFingerprint(p)
 	if err != nil {
 		return nil, err
@@ -100,7 +131,17 @@ func (c *Client) Push(p *pgo.Profile) (*pgo.Profile, error) {
 	if err != nil {
 		return nil, fmt.Errorf("profsrv: push: %w", err)
 	}
-	req, err := http.NewRequest(http.MethodPost, c.url(fp), bytes.NewReader(data))
+	var agg *pgo.Profile
+	err = c.Retry.Do(ctx, func() error {
+		var err error
+		agg, err = c.pushOnce(ctx, fp, data)
+		return err
+	})
+	return agg, err
+}
+
+func (c *Client) pushOnce(ctx context.Context, fp string, data []byte) (*pgo.Profile, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url(fp), bytes.NewReader(data))
 	if err != nil {
 		return nil, fmt.Errorf("profsrv: push: %w", err)
 	}
@@ -111,7 +152,7 @@ func (c *Client) Push(p *pgo.Profile) (*pgo.Profile, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("profsrv: push %s: %s", fp, readStatus(resp))
+		return nil, fmt.Errorf("profsrv: push %s: %w", fp, typedStatus(resp))
 	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, DefaultMaxBody))
 	if err != nil {
@@ -124,9 +165,9 @@ func (c *Client) Push(p *pgo.Profile) (*pgo.Profile, error) {
 	return agg, nil
 }
 
-// readStatus folds the status line and a bounded error body into one
-// message.
-func readStatus(resp *http.Response) string {
+// typedStatus folds a non-2xx response into a *retry.HTTPError carrying
+// the status, a bounded server message, and any Retry-After.
+func typedStatus(resp *http.Response) *retry.HTTPError {
 	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-	return fmt.Sprintf("%s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	return retry.NewHTTPError(resp, strings.TrimSpace(string(msg)))
 }

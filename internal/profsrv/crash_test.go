@@ -1,0 +1,92 @@
+package profsrv
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tnsr/internal/pgo"
+)
+
+// TestStoreCrashDebrisSweptOnReopen: temporaries left by a writer that died
+// mid-save are invisible, survive nothing, and the aggregate they were
+// racing stays intact across the sweep.
+func TestStoreCrashDebrisSweptOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Update(testFP, func(cur *pgo.Profile) (*pgo.Profile, error) {
+		return testProfile(testFP, 3), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range []string{".tmp-4242", testFP + ".pgo.json.tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(`{"torn`), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Debris is already invisible to List...
+	fps, err := st.List()
+	if err != nil || len(fps) != 1 || fps[0] != testFP {
+		t.Fatalf("List with debris: %v, %v", fps, err)
+	}
+
+	// ...and a reopened store's sweep reclaims exactly it.
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed, err := st2.Sweep()
+	if err != nil || removed != 2 {
+		t.Fatalf("Sweep removed %d, err %v; want 2", removed, err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".tmp-") || strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("debris survived sweep: %q", e.Name())
+		}
+	}
+	p, err := st2.Load(testFP)
+	if err != nil || p == nil {
+		t.Fatalf("aggregate after recovery: %v, %v", p, err)
+	}
+	if p.Spaces[0].Procs[0].Calls != 3 {
+		t.Errorf("aggregate content changed: %+v", p.Spaces[0].Procs[0])
+	}
+}
+
+// TestHalfWrittenAggregateNeverServed: an aggregate truncated mid-file must
+// surface as a typed load error — never parse into wrong advice.
+func TestHalfWrittenAggregateNeverServed(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Update(testFP, func(cur *pgo.Profile) (*pgo.Profile, error) {
+		return testProfile(testFP, 5), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	path := st.Path(testFP)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, full[:len(full)/2], 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	if p, err := st.Load(testFP); err == nil {
+		t.Fatalf("half-written aggregate served: %+v", p)
+	}
+}

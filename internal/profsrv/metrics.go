@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"tnsr/internal/obs"
+	"tnsr/internal/retry"
 )
 
 // reqKey labels one requests_total series.
@@ -27,21 +28,36 @@ type metrics struct {
 	served   int64            // aggregates served
 	ages     int64            // aging events applied
 
-	peerMerges int64            // multi-node merges served
-	peerErrs   map[string]int64 // peer URL -> degraded fetches
+	peerMerges    int64            // multi-node merges served
+	peerErrs      map[string]int64 // peer URL -> degraded fetches
+	peerFastFails map[string]int64 // peer URL -> merges skipped by an open breaker
+}
+
+// peerBreakerView is one peer's breaker snapshot, taken by the caller so
+// the metrics lock never nests with the breakers'.
+type peerBreakerView struct {
+	peer   string
+	counts retry.BreakerCounts
 }
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests: map[reqKey]int64{},
-		rejects:  map[string]int64{},
-		peerErrs: map[string]int64{},
+		requests:      map[reqKey]int64{},
+		rejects:       map[string]int64{},
+		peerErrs:      map[string]int64{},
+		peerFastFails: map[string]int64{},
 	}
 }
 
 func (m *metrics) peerError(peer string) {
 	m.mu.Lock()
 	m.peerErrs[peer]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) peerFastFail(peer string) {
+	m.mu.Lock()
+	m.peerFastFails[peer]++
 	m.mu.Unlock()
 }
 
@@ -63,9 +79,10 @@ func (m *metrics) add(counter *int64) {
 	m.mu.Unlock()
 }
 
-// write renders the exposition. stored is the current aggregate count
-// (read from the store by the caller so the lock stays I/O-free).
-func (m *metrics) write(w io.Writer, stored int) {
+// write renders the exposition. stored is the current aggregate count and
+// breakers the peer-breaker snapshots (both gathered by the caller so the
+// lock stays I/O-free and never nests with another).
+func (m *metrics) write(w io.Writer, stored int, breakers []peerBreakerView, draining bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -126,7 +143,41 @@ func (m *metrics) write(w io.Writer, stored int) {
 			obs.PromEscape(k), m.peerErrs[k])
 	}
 
+	obs.PromHeader(w, "tnsr_profsrv_peer_fastfails_total", "counter",
+		"Peer merges skipped because the peer's circuit breaker was open, by peer.")
+	fkeys := make([]string, 0, len(m.peerFastFails))
+	for k := range m.peerFastFails {
+		fkeys = append(fkeys, k)
+	}
+	sort.Strings(fkeys)
+	for _, k := range fkeys {
+		fmt.Fprintf(w, "tnsr_profsrv_peer_fastfails_total{peer=%q} %d\n",
+			obs.PromEscape(k), m.peerFastFails[k])
+	}
+
+	obs.PromHeader(w, "tnsr_profsrv_peer_breaker_state", "gauge",
+		"Peer circuit breaker state (0 closed, 1 open, 2 half-open), by peer.")
+	for _, v := range breakers {
+		fmt.Fprintf(w, "tnsr_profsrv_peer_breaker_state{peer=%q} %d\n",
+			obs.PromEscape(v.peer), int(v.counts.State))
+	}
+
+	obs.PromHeader(w, "tnsr_profsrv_peer_breaker_opens_total", "counter",
+		"Times a peer's circuit breaker tripped open, by peer.")
+	for _, v := range breakers {
+		fmt.Fprintf(w, "tnsr_profsrv_peer_breaker_opens_total{peer=%q} %d\n",
+			obs.PromEscape(v.peer), v.counts.Opens)
+	}
+
 	obs.PromHeader(w, "tnsr_profsrv_stored_profiles", "gauge",
 		"Aggregates currently stored, one per codefile fingerprint.")
 	fmt.Fprintf(w, "tnsr_profsrv_stored_profiles %d\n", stored)
+
+	obs.PromHeader(w, "tnsr_profsrv_draining", "gauge",
+		"1 while the server refuses new uploads ahead of shutdown.")
+	d := 0
+	if draining {
+		d = 1
+	}
+	fmt.Fprintf(w, "tnsr_profsrv_draining %d\n", d)
 }

@@ -1,0 +1,306 @@
+package profsrv
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tnsr/internal/retry"
+)
+
+// getFront GETs the aggregate from a node and fails the test unless the
+// response is 200 — the degrade contract: a broken peer never breaks the
+// answer this node can give from its own captures.
+func getFront(t *testing.T, s *Server) string {
+	t.Helper()
+	w := do(s, http.MethodGet, profilesPrefix+testFP, "", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET: status %d: %s", w.Code, w.Body.String())
+	}
+	return w.Body.String()
+}
+
+// TestPeerBreakerOpensAndFastFails pins the dead-peer cost model: after
+// PeerBreakAfter consecutive failures the peer's breaker opens, further
+// merges skip the peer without contacting it, and every response is still
+// served from what this node holds — degrade, never fail.
+func TestPeerBreakerOpensAndFastFails(t *testing.T) {
+	var hits atomic.Int64
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	t.Cleanup(dead.Close)
+
+	front := newTestServer(t, func(c *Config) {
+		c.Peers = []string{dead.URL}
+		c.PeerBreakAfter = 3
+		c.PeerBreakCooldown = time.Hour
+	})
+	up := testProfile(testFP, 5)
+	if w := do(front, http.MethodPost, profilesPrefix+testFP, "", mustJSON(t, up)); w.Code != http.StatusOK {
+		t.Fatalf("push: status %d: %s", w.Code, w.Body.String())
+	}
+	localAnswer := getFront(t, front) // hit 1; also what every later GET must serve
+	getFront(t, front)                // hit 2
+	getFront(t, front)                // hit 3: breaker trips
+
+	if got := front.breakerFor(dead.URL).State(); got != retry.Open {
+		t.Fatalf("breaker state after %d failures = %v, want open", hits.Load(), got)
+	}
+	before := hits.Load()
+	for i := 0; i < 5; i++ {
+		if got := getFront(t, front); got != localAnswer {
+			t.Fatalf("degraded answer changed:\ngot:  %s\nwant: %s", got, localAnswer)
+		}
+	}
+	if hits.Load() != before {
+		t.Errorf("open breaker still contacted the peer: %d hits, want %d", hits.Load(), before)
+	}
+
+	w := do(front, http.MethodGet, "/metrics", "", nil)
+	body := w.Body.String()
+	for _, want := range []string{
+		`tnsr_profsrv_peer_breaker_state{peer="` + dead.URL + `"} 1`,
+		`tnsr_profsrv_peer_breaker_opens_total{peer="` + dead.URL + `"} 1`,
+		`tnsr_profsrv_peer_fastfails_total{peer="` + dead.URL + `"} 5`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestPeerBreakerProbeRecovers pins the recovery path: once the cooldown
+// elapses the breaker admits exactly one probe, and a healthy answer closes
+// it — the peer is back in every merge.
+func TestPeerBreakerProbeRecovers(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	var hits atomic.Int64
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if failing.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		// Healthy but empty: "no aggregate" is a successful peer answer.
+		http.NotFound(w, r)
+	}))
+	t.Cleanup(peer.Close)
+
+	front := newTestServer(t, func(c *Config) {
+		c.Peers = []string{peer.URL}
+		c.PeerBreakAfter = 2
+		c.PeerBreakCooldown = time.Hour
+	})
+	now := time.Now()
+	clock := &now
+	br := front.breakerFor(peer.URL)
+	br.SetClock(func() time.Time { return *clock })
+
+	up := testProfile(testFP, 5)
+	if w := do(front, http.MethodPost, profilesPrefix+testFP, "", mustJSON(t, up)); w.Code != http.StatusOK {
+		t.Fatalf("push: status %d: %s", w.Code, w.Body.String())
+	}
+	getFront(t, front)
+	getFront(t, front)
+	if got := br.State(); got != retry.Open {
+		t.Fatalf("breaker state = %v, want open", got)
+	}
+
+	// Cooldown not yet elapsed: fast-fail, peer untouched.
+	before := hits.Load()
+	getFront(t, front)
+	if hits.Load() != before {
+		t.Fatalf("fast-fail window still contacted the peer")
+	}
+
+	// Advance past the cooldown with the peer healthy again: the one
+	// admitted probe succeeds and closes the breaker.
+	failing.Store(false)
+	now = now.Add(2 * time.Hour)
+	getFront(t, front)
+	if got := br.State(); got != retry.Closed {
+		t.Fatalf("breaker state after healthy probe = %v, want closed", got)
+	}
+	if hits.Load() != before+1 {
+		t.Errorf("probe hits = %d, want %d", hits.Load()-before, 1)
+	}
+}
+
+// TestDrainRefusesUploadsServesReads pins the tnsprofd drain contract:
+// draining answers POST 503 (typed, with a Retry-After) while GET keeps
+// serving the aggregates the node already holds.
+func TestDrainRefusesUploadsServesReads(t *testing.T) {
+	s := newTestServer(t, nil)
+	up := testProfile(testFP, 3)
+	if w := do(s, http.MethodPost, profilesPrefix+testFP, "", mustJSON(t, up)); w.Code != http.StatusOK {
+		t.Fatalf("push: status %d: %s", w.Code, w.Body.String())
+	}
+	want := getFront(t, s)
+
+	s.SetDraining(true)
+	w := do(s, http.MethodPost, profilesPrefix+testFP, "", mustJSON(t, up))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining POST: status %d, want 503", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("draining 503 carries no Retry-After")
+	}
+	if got := getFront(t, s); got != want {
+		t.Errorf("draining GET changed the aggregate:\ngot:  %s\nwant: %s", got, want)
+	}
+
+	mw := do(s, http.MethodGet, "/metrics", "", nil)
+	for _, wantLine := range []string{
+		"tnsr_profsrv_draining 1",
+		`tnsr_profsrv_rejects_total{reason="draining"} 1`,
+	} {
+		if !strings.Contains(mw.Body.String(), wantLine) {
+			t.Errorf("/metrics missing %q", wantLine)
+		}
+	}
+
+	s.SetDraining(false)
+	if w := do(s, http.MethodPost, profilesPrefix+testFP, "", mustJSON(t, up)); w.Code != http.StatusOK {
+		t.Errorf("undrained POST: status %d, want 200", w.Code)
+	}
+}
+
+// TestRateLimitSetsRetryAfter pins that a 429 tells resilient clients how
+// long to back off instead of leaving them to guess.
+func TestRateLimitSetsRetryAfter(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.RatePerSec = 0.001
+		c.RateBurst = 1
+	})
+	do(s, http.MethodGet, profilesPrefix+testFP, "", nil) // drains the bucket
+	w := do(s, http.MethodGet, profilesPrefix+testFP, "", nil)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("429 carries no Retry-After")
+	}
+}
+
+// TestClientRetriesTransient pins the client half of the policy: 5xx and
+// damaged bytes are transient, retried under the policy until the server
+// recovers — the caller sees one successful Fetch.
+func TestClientRetriesTransient(t *testing.T) {
+	want := mustJSON(t, testProfile(testFP, 9))
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			http.Error(w, "warming up", http.StatusInternalServerError)
+		case 2:
+			w.Write(want[:len(want)/2]) // truncated: the strict parser refuses it
+		default:
+			w.Write(want)
+		}
+	}))
+	t.Cleanup(srv.Close)
+
+	c := NewClient(srv.URL, "")
+	c.Retry = retry.Policy{MaxAttempts: 5, BaseDelay: time.Millisecond, Seed: 1}
+	p, err := c.Fetch(testFP)
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	got, err := p.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("fetched profile differs after retries")
+	}
+	if calls.Load() != 3 {
+		t.Errorf("server calls = %d, want 3", calls.Load())
+	}
+}
+
+// TestClientTerminalOn401 pins the refusal side: an auth failure is
+// terminal — retried zero times, surfaced as a typed *retry.HTTPError.
+func TestClientTerminalOn401(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "missing or wrong bearer token", http.StatusUnauthorized)
+	}))
+	t.Cleanup(srv.Close)
+
+	c := NewClient(srv.URL, "wrong")
+	c.Retry = retry.Policy{MaxAttempts: 5, BaseDelay: time.Millisecond}
+	if _, err := c.Fetch(testFP); err == nil {
+		t.Fatal("Fetch succeeded against a 401 server")
+	} else {
+		var he *retry.HTTPError
+		if !errors.As(err, &he) || he.Status != http.StatusUnauthorized {
+			t.Errorf("error %v is not a typed 401", err)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Errorf("server calls = %d, want 1 (no retries on terminal)", calls.Load())
+	}
+
+	if _, err := c.Push(testProfile(testFP, 2)); err == nil {
+		t.Fatal("Push succeeded against a 401 server")
+	}
+	if calls.Load() != 2 {
+		t.Errorf("server calls = %d, want 2 (push not retried either)", calls.Load())
+	}
+}
+
+// TestClientPushHonorsRetryAfter pins that a 429'd push backs off and then
+// lands: the profile loop degrades under backpressure, it does not drop
+// captures.
+func TestClientPushHonorsRetryAfter(t *testing.T) {
+	up := testProfile(testFP, 4)
+	merged := mustJSON(t, up)
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+			return
+		}
+		w.Write(merged)
+	}))
+	t.Cleanup(srv.Close)
+
+	var slept []time.Duration
+	c := NewClient(srv.URL, "")
+	c.Retry = retry.Policy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Second,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}
+	agg, err := c.Push(up)
+	if err != nil {
+		t.Fatalf("Push: %v", err)
+	}
+	got, err := agg.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(merged) {
+		t.Errorf("pushed aggregate differs")
+	}
+	if calls.Load() != 2 {
+		t.Errorf("server calls = %d, want 2", calls.Load())
+	}
+	if len(slept) != 1 || slept[0] != time.Second {
+		t.Errorf("slept %v, want exactly the server's Retry-After (1s)", slept)
+	}
+}

@@ -8,9 +8,11 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tnsr/internal/pgo"
+	"tnsr/internal/retry"
 )
 
 // Default limits; Config zero values fall back to these.
@@ -77,6 +79,17 @@ type Config struct {
 	// PeerToken is the bearer token presented to peers (they typically
 	// share the fleet's token; empty sends none).
 	PeerToken string
+
+	// PeerBreakAfter is the consecutive-failure count that opens a peer's
+	// circuit breaker: further GETs fast-fail that peer out of the merge
+	// without paying PeerTimeout, until a cooldown probe finds it healthy
+	// again (<= 0 means retry.DefaultBreakAfter). A dead peer then costs
+	// one timeout per cooldown instead of one per request.
+	PeerBreakAfter int
+
+	// PeerBreakCooldown is how long an open peer breaker waits before
+	// admitting a probe (<= 0 means retry.DefaultCooldown).
+	PeerBreakCooldown time.Duration
 }
 
 // DefaultPeerTimeout bounds a peer aggregate fetch.
@@ -89,7 +102,11 @@ type Server struct {
 	cfg Config
 	m   *metrics
 
-	peerHTTP *http.Client // peer fetches, bounded by PeerTimeout
+	peerHTTP  *http.Client // peer fetches, bounded by PeerTimeout
+	breakerMu sync.Mutex
+	breakers  map[string]*retry.Breaker // peer URL -> circuit breaker, lazily built
+
+	draining atomic.Bool
 
 	bucketMu sync.Mutex
 	buckets  map[string]*bucket
@@ -128,9 +145,31 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		m:        newMetrics(),
 		peerHTTP: &http.Client{Timeout: cfg.PeerTimeout},
+		breakers: map[string]*retry.Breaker{},
 		buckets:  map[string]*bucket{},
 	}
 }
+
+// breakerFor returns (building on first use) the breaker guarding a peer.
+func (s *Server) breakerFor(peer string) *retry.Breaker {
+	s.breakerMu.Lock()
+	defer s.breakerMu.Unlock()
+	b := s.breakers[peer]
+	if b == nil {
+		b = retry.NewBreaker(s.cfg.PeerBreakAfter, s.cfg.PeerBreakCooldown)
+		s.breakers[peer] = b
+	}
+	return b
+}
+
+// SetDraining flips drain mode: new uploads are refused 503 (with a
+// Retry-After so resilient clients back off to another node or a later
+// attempt) while reads keep being served — profile data already held must
+// stay available right up to the last request before shutdown.
+func (s *Server) SetDraining(on bool) { s.draining.Store(on) }
+
+// Draining reports whether the server is refusing new uploads.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // clientKey identifies the bucket a request draws from: the remote host
 // joined with the bearer token it presented. Either alone is spoofable in
@@ -245,6 +284,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.allow(r) {
+		w.Header().Set("Retry-After", "1")
 		s.fail(w, r, http.StatusTooManyRequests, "rate", "rate limit exceeded")
 		return
 	}
@@ -258,6 +298,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case http.MethodGet:
 		s.serveAggregate(w, r, fp)
 	case http.MethodPost:
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", "1")
+			s.fail(w, r, http.StatusServiceUnavailable, "draining",
+				"server is draining; retry another node")
+			return
+		}
 		s.acceptUpload(w, r, fp)
 	default:
 		s.fail(w, r, http.StatusMethodNotAllowed, "method", "use GET or POST")
@@ -303,9 +349,11 @@ func (s *Server) serveAggregate(w http.ResponseWriter, r *http.Request, fp strin
 // merges the reachable ones with the local aggregate (nil when this node
 // holds none). A peer failure — unreachable, slow past PeerTimeout, or a
 // damaged response the strict parser refuses — degrades that peer out of
-// the answer and counts in /metrics; it never fails the request. Merge
-// itself failing (cross-build fingerprints) is a hard error: refusing to
-// serve beats serving a mixed-build aggregate.
+// the answer and counts in /metrics; it never fails the request. Each peer
+// sits behind a circuit breaker, so a peer that keeps failing is dropped
+// from the merge without paying its timeout until a cooldown probe clears
+// it. Merge itself failing (cross-build fingerprints) is a hard error:
+// refusing to serve beats serving a mixed-build aggregate.
 func (s *Server) mergePeers(fp string, local *pgo.Profile) (*pgo.Profile, error) {
 	parts := make([]*pgo.Profile, len(s.cfg.Peers))
 	var wg sync.WaitGroup
@@ -313,7 +361,13 @@ func (s *Server) mergePeers(fp string, local *pgo.Profile) (*pgo.Profile, error)
 		wg.Add(1)
 		go func(i int, peer string) {
 			defer wg.Done()
+			br := s.breakerFor(peer)
+			if !br.Allow() {
+				s.m.peerFastFail(peer)
+				return
+			}
 			p, err := s.fetchPeer(peer, fp)
+			br.Report(err)
 			if err != nil {
 				s.m.peerError(peer)
 				return
@@ -444,7 +498,11 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, http.StatusInternalServerError, "store", "store unreadable")
 		return
 	}
+	views := make([]peerBreakerView, 0, len(s.cfg.Peers))
+	for _, peer := range s.cfg.Peers {
+		views = append(views, peerBreakerView{peer: peer, counts: s.breakerFor(peer).Counts()})
+	}
 	var b strings.Builder
-	s.m.write(&b, len(stored))
+	s.m.write(&b, len(stored), views, s.draining.Load())
 	s.ok(w, r, http.StatusOK, []byte(b.String()), "text/plain; version=0.0.4; charset=utf-8")
 }

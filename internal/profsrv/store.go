@@ -82,14 +82,19 @@ func ValidFingerprint(fp string) bool {
 }
 
 // Path returns the aggregate file path for a fingerprint when the backing
-// storage is a plain directory (tests damage entries through it), and ""
-// for any other backing.
+// storage maps keys to files (both filesystem backings do; tests damage
+// entries through it), and "" for any other backing.
 func (s *Store) Path(fp string) string {
-	if d, ok := s.st.(*store.Dir); ok {
+	if d, ok := s.st.(interface{ Path(string) string }); ok {
 		return d.Path(fp + storeSuffix)
 	}
 	return ""
 }
+
+// Sweep removes crash debris (orphaned atomic-write temporaries) from the
+// backing storage; a restarting daemon runs it before serving. Backings
+// without a sweep surface report 0.
+func (s *Store) Sweep() (int, error) { return store.Sweep(s.st) }
 
 // lock returns the per-fingerprint mutex, creating it on first use.
 func (s *Store) lock(fp string) *sync.Mutex {

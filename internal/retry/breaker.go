@@ -1,0 +1,172 @@
+package retry
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrOpen is the fast-fail a Breaker answers while open: the dependency
+// has failed enough times in a row that hammering it helps nobody.
+var ErrOpen = errors.New("retry: circuit breaker open")
+
+// BreakerState is the classic three-state machine.
+type BreakerState int
+
+const (
+	// Closed: requests flow; consecutive failures are counted.
+	Closed BreakerState = iota
+	// Open: requests fast-fail without touching the dependency until the
+	// cooldown elapses.
+	Open
+	// HalfOpen: one probe is in flight; its outcome decides between
+	// Closed (success) and another full Open period (failure).
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "invalid"
+}
+
+// Default breaker knobs; zero values in NewBreaker fall back to these.
+const (
+	DefaultBreakAfter = 5
+	DefaultCooldown   = 5 * time.Second
+)
+
+// Breaker is a circuit breaker shared by every caller of one dependency:
+// after Threshold consecutive failures it opens and fast-fails Allow until
+// Cooldown elapses, then admits exactly one half-open probe whose outcome
+// closes it again or re-opens it for another full cooldown. Safe for
+// concurrent use; a fleet of a thousand machines shares one Breaker per
+// profile source, so a dead tnsprofd is hit by one probe per cooldown, not
+// a thousand retry storms.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for tests
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+
+	// BreakerCounters fields, exported through Counts.
+	opens     int64 // transitions to Open
+	fastFails int64 // Allows refused while Open
+	probes    int64 // half-open probes admitted
+}
+
+// BreakerCounts is a point-in-time view for /metrics.
+type BreakerCounts struct {
+	State     BreakerState
+	Opens     int64 // times the breaker tripped
+	FastFails int64 // requests refused without touching the dependency
+	Probes    int64 // half-open probes admitted
+}
+
+// NewBreaker builds a breaker that opens after threshold consecutive
+// failures (<= 0 means DefaultBreakAfter) and probes again after cooldown
+// (<= 0 means DefaultCooldown).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakAfter
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultCooldown
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// SetClock replaces the breaker's time source (tests drive the cooldown
+// without waiting it out).
+func (b *Breaker) SetClock(now func() time.Time) { b.now = now }
+
+// Allow reports whether a request may proceed. While open it fast-fails;
+// once the cooldown has elapsed it admits exactly one probe (the caller
+// MUST Report the probe's outcome, or the breaker stays half-open).
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			b.fastFails++
+			return false
+		}
+		b.state = HalfOpen
+		b.probing = true
+		b.probes++
+		return true
+	case HalfOpen:
+		if b.probing {
+			b.fastFails++
+			return false
+		}
+		b.probing = true
+		b.probes++
+		return true
+	}
+	return false
+}
+
+// Report feeds one allowed request's outcome back. A success closes the
+// breaker (and resets the failure run); a failure re-opens it from
+// half-open, or counts toward the threshold while closed.
+func (b *Breaker) Report(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.state = Closed
+		b.fails = 0
+		b.probing = false
+		return
+	}
+	switch b.state {
+	case Closed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.trip()
+		}
+	case HalfOpen:
+		b.probing = false
+		b.trip()
+	case Open:
+		// A late Report from a request admitted before the trip; the
+		// breaker is already open and the failure changes nothing.
+	}
+}
+
+// trip moves to Open. Caller holds b.mu.
+func (b *Breaker) trip() {
+	b.state = Open
+	b.openedAt = b.now()
+	b.fails = 0
+	b.opens++
+}
+
+// State returns the current state (advancing Open to HalfOpen is Allow's
+// job; State is a pure read).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Counts snapshots the breaker for /metrics.
+func (b *Breaker) Counts() BreakerCounts {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerCounts{State: b.state, Opens: b.opens, FastFails: b.fastFails, Probes: b.probes}
+}

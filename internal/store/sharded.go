@@ -40,6 +40,32 @@ func OpenSharded(root string, n int) (*Sharded, error) {
 // Shards returns the shard count.
 func (s *Sharded) Shards() int { return len(s.shards) }
 
+// Roots returns every shard's backing directory, in shard order.
+func (s *Sharded) Roots() []string {
+	roots := make([]string, len(s.shards))
+	for i, d := range s.shards {
+		roots[i] = d.Root()
+	}
+	return roots
+}
+
+// Path returns the file key resolves to (in whichever shard owns it).
+// Exposed for tests and tooling that damage entries on purpose.
+func (s *Sharded) Path(key string) string { return s.shardOf(key).Path(key) }
+
+// Sweep removes crash debris from every shard.
+func (s *Sharded) Sweep() (int, error) {
+	total := 0
+	for _, d := range s.shards {
+		n, err := d.Sweep()
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
 // shardOf routes a key: the value of its leading hex digits (up to 8) modulo
 // the shard count, falling back to FNV-1a for non-hex keys.
 func (s *Sharded) shardOf(key string) *Dir {

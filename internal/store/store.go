@@ -43,6 +43,30 @@ type Entry struct {
 	ModTime time.Time
 }
 
+// Sweeper is the optional crash-recovery surface: Sweep removes the
+// debris an interrupted atomic write leaves behind (in-flight temporaries
+// that will never be renamed into place). The contract already makes that
+// debris invisible to every read path; sweeping reclaims the space and is
+// what a restarting daemon runs before serving. Both filesystem
+// implementations are Sweepers.
+type Sweeper interface {
+	// Sweep deletes orphaned write temporaries and returns how many it
+	// removed. It is meant for startup, before the store takes traffic: a
+	// Sweep racing an in-flight Put can delete the Put's temporary out from
+	// under it and fail that Put (harmlessly — the store stays consistent,
+	// the writer just sees an error).
+	Sweep() (removed int, err error)
+}
+
+// Sweep runs st's Sweep when it has one, and reports 0 otherwise — a
+// daemon can call it unconditionally on any Storage.
+func Sweep(st Storage) (int, error) {
+	if sw, ok := st.(Sweeper); ok {
+		return sw.Sweep()
+	}
+	return 0, nil
+}
+
 // Storage is a flat, atomic key→bytes store. Keys are restricted to
 // [a-z A-Z 0-9 . _ -] and must not start with a dot, so every key is a safe
 // single path component in the filesystem implementations.
@@ -103,6 +127,36 @@ func OpenDir(dir string) (*Dir, error) {
 
 // Root returns the backing directory.
 func (d *Dir) Root() string { return d.dir }
+
+// Roots returns the backing directories (one, for Dir). It exists so code
+// that plants or inspects raw files — crash-recovery tests, fault
+// injectors — can handle Dir and Sharded uniformly.
+func (d *Dir) Roots() []string { return []string{d.dir} }
+
+// Sweep removes crash debris: current-shape temporaries (".tmp-*") and
+// legacy pre-refactor ones ("<name>.tmp"). Both are already invisible to
+// Get/List; sweeping reclaims the space at daemon startup.
+func (d *Dir) Sweep() (int, error) {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	removed := 0
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !(strings.HasPrefix(name, tmpPrefix) || strings.HasSuffix(name, ".tmp")) {
+			continue
+		}
+		err := os.Remove(filepath.Join(d.dir, name))
+		if err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return removed, fmt.Errorf("store: sweep: %w", err)
+		}
+		if err == nil {
+			removed++
+		}
+	}
+	return removed, nil
+}
 
 // Path returns the file a key resolves to. Exposed for tests and tooling
 // that damage entries on purpose; normal access goes through Get/Put.

@@ -1,0 +1,319 @@
+// Package storetest exports the store.Storage contract test so every
+// implementation — Dir, Sharded, and wrappers like the fault injector in
+// internal/faultsim (which must be observationally identical to its inner
+// store when its fault plan is empty) — proves the same guarantees:
+//
+//   - Put is atomic: a concurrent Get never observes a torn or partial
+//     value — it sees some complete previously-Put value or ErrNotExist.
+//   - In-flight temporaries are invisible: List never reports them and no
+//     Get key ever resolves to one, even after a crash leaves one behind.
+//   - Get/Put/Delete/Touch/List are safe for arbitrary concurrent use.
+package storetest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"tnsr/internal/store"
+)
+
+// rooted and pathed are the optional raw-file surfaces the filesystem
+// implementations (and forwarding wrappers) expose; the subtests that
+// plant debris or backdate files need them and are skipped otherwise.
+type rooted interface{ Roots() []string }
+
+type pathed interface{ Path(key string) string }
+
+// Contract runs the full Storage contract against the implementation
+// open builds. Each subtest gets a fresh store.
+func Contract(t *testing.T, open func(t *testing.T) store.Storage) {
+	t.Run("roundtrip", func(t *testing.T) { testRoundTrip(t, open(t)) })
+	t.Run("atomic-visibility", func(t *testing.T) { testAtomicVisibility(t, open(t)) })
+	t.Run("torn-tmp-invisible", func(t *testing.T) { testTornTmpInvisible(t, open(t)) })
+	t.Run("sweep-removes-debris", func(t *testing.T) { testSweepRemovesDebris(t, open(t)) })
+	t.Run("touch-recency", func(t *testing.T) { testTouchRecency(t, open(t)) })
+	t.Run("concurrent-mixed", func(t *testing.T) { testConcurrentMixed(t, open(t)) })
+}
+
+func testRoundTrip(t *testing.T, st store.Storage) {
+	if _, err := st.Get("absent0123456789.tns"); !errors.Is(err, store.ErrNotExist) {
+		t.Fatalf("Get absent: want ErrNotExist, got %v", err)
+	}
+	keys := []string{
+		"00ff00ff00ff00ff.tns",      // hex prefix -> prefix routing
+		"fedcba9876543210.pgo.json", // different shard
+		"named-key_1.json",          // no hex prefix -> hash routing
+	}
+	for i, k := range keys {
+		want := bytes.Repeat([]byte{byte(i + 1)}, 100*(i+1))
+		if err := st.Put(k, want); err != nil {
+			t.Fatalf("Put %s: %v", k, err)
+		}
+		got, err := st.Get(k)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("Get %s: err %v, equal %v", k, err, bytes.Equal(got, want))
+		}
+	}
+	ents, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != len(keys) {
+		t.Fatalf("List: %d entries, want %d: %+v", len(ents), len(keys), ents)
+	}
+	for i := 1; i < len(ents); i++ {
+		if ents[i-1].Key >= ents[i].Key {
+			t.Fatalf("List not sorted: %q before %q", ents[i-1].Key, ents[i].Key)
+		}
+	}
+	for _, e := range ents {
+		if e.Size <= 0 || e.ModTime.IsZero() {
+			t.Fatalf("List entry missing metadata: %+v", e)
+		}
+	}
+	if err := st.Delete(keys[0]); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := st.Delete(keys[0]); err != nil {
+		t.Fatalf("Delete absent (must be benign): %v", err)
+	}
+	if _, err := st.Get(keys[0]); !errors.Is(err, store.ErrNotExist) {
+		t.Fatalf("Get deleted: want ErrNotExist, got %v", err)
+	}
+	for _, bad := range []string{"", ".hidden", "a/b", "../escape", "nul\x00"} {
+		if err := st.Put(bad, []byte("x")); err == nil {
+			t.Fatalf("Put %q: want error", bad)
+		}
+		if _, err := st.Get(bad); err == nil || errors.Is(err, store.ErrNotExist) {
+			t.Fatalf("Get %q: want a validation error, got %v", bad, err)
+		}
+	}
+}
+
+// testAtomicVisibility hammers one key with concurrent writers while readers
+// poll: every read must see one writer's complete payload, never a mixture
+// or a truncation.
+func testAtomicVisibility(t *testing.T, st store.Storage) {
+	const key = "00aabbccddeeff00.tns"
+	const writers, rounds = 4, 25
+	payload := func(w, r int) []byte {
+		b := bytes.Repeat([]byte{byte(1 + w<<4 | r%16)}, 4096)
+		return b
+	}
+	valid := func(b []byte) bool {
+		if len(b) != 4096 || b[0] == 0 {
+			return false
+		}
+		for _, c := range b {
+			if c != b[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := st.Put(key, payload(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				got, err := st.Get(key)
+				if err != nil {
+					errs <- fmt.Errorf("reader: %v", err)
+					return
+				}
+				if !valid(got) {
+					errs <- fmt.Errorf("reader saw torn value: len %d", len(got))
+					return
+				}
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for r := 0; r < rounds; r++ {
+				if err := st.Put(key, payload(w, r)); err != nil {
+					errs <- fmt.Errorf("writer: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// plantDebris drops torn temporaries into every backing directory, in both
+// the current (".tmp-*") and the legacy ("<name>.tmp") shapes, and returns
+// how many files it wrote.
+func plantDebris(t *testing.T, st store.Storage) int {
+	r, ok := st.(rooted)
+	if !ok {
+		t.Skipf("%T exposes no Roots; cannot plant crash debris", st)
+	}
+	n := 0
+	for _, dir := range r.Roots() {
+		for _, name := range []string{".tmp-123456", "0123456789abcdef.tns.tmp"} {
+			if err := os.WriteFile(filepath.Join(dir, name), []byte("to"), 0o666); err != nil {
+				t.Fatal(err)
+			}
+			n++
+		}
+	}
+	return n
+}
+
+// testTornTmpInvisible plants the debris a crashed writer leaves behind and
+// checks no read path ever surfaces it.
+func testTornTmpInvisible(t *testing.T, st store.Storage) {
+	if err := st.Put("0123456789abcdef.tns", []byte("real")); err != nil {
+		t.Fatal(err)
+	}
+	plantDebris(t, st)
+	ents, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Key != "0123456789abcdef.tns" {
+		t.Fatalf("List surfaced a temporary: %+v", ents)
+	}
+	got, err := st.Get("0123456789abcdef.tns")
+	if err != nil || string(got) != "real" {
+		t.Fatalf("Get after planting temporaries: %q, %v", got, err)
+	}
+}
+
+// testSweepRemovesDebris plants crash debris, sweeps, and checks the debris
+// is gone while real entries survive.
+func testSweepRemovesDebris(t *testing.T, st store.Storage) {
+	if _, ok := st.(store.Sweeper); !ok {
+		t.Skipf("%T is not a Sweeper", st)
+	}
+	if err := st.Put("0123456789abcdef.tns", []byte("real")); err != nil {
+		t.Fatal(err)
+	}
+	planted := plantDebris(t, st)
+	removed, err := store.Sweep(st)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if removed != planted {
+		t.Fatalf("Sweep removed %d, planted %d", removed, planted)
+	}
+	for _, dir := range st.(rooted).Roots() {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			if name := e.Name(); name != "0123456789abcdef.tns" {
+				t.Fatalf("debris survived sweep: %q", name)
+			}
+		}
+	}
+	if got, err := st.Get("0123456789abcdef.tns"); err != nil || string(got) != "real" {
+		t.Fatalf("real entry after sweep: %q, %v", got, err)
+	}
+	if removed, err := store.Sweep(st); err != nil || removed != 0 {
+		t.Fatalf("second sweep: removed %d, err %v", removed, err)
+	}
+}
+
+func testTouchRecency(t *testing.T, st store.Storage) {
+	if err := st.Touch("0000000000000000.tns"); !errors.Is(err, store.ErrNotExist) {
+		t.Fatalf("Touch absent: want ErrNotExist, got %v", err)
+	}
+	if err := st.Put("0000000000000000.tns", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := st.(pathed)
+	if !ok {
+		t.Skipf("%T exposes no Path; cannot backdate", st)
+	}
+	// Backdate, then Touch must move ModTime forward again.
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(p.Path("0000000000000000.tns"), old, old); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Touch("0000000000000000.tns"); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || !ents[0].ModTime.After(old.Add(30*time.Minute)) {
+		t.Fatalf("Touch did not refresh recency: %+v", ents)
+	}
+}
+
+// testConcurrentMixed exercises every operation concurrently under -race:
+// the assertions are weak (no torn reads, no unexpected errors) because the
+// interleavings are arbitrary; the race detector is the real check.
+func testConcurrentMixed(t *testing.T, st store.Storage) {
+	keys := []string{"1111111111111111.tns", "2222222222222222.tns", "cccccccccccccccc.tns"}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				k := keys[(g+i)%len(keys)]
+				switch i % 4 {
+				case 0:
+					if err := st.Put(k, bytes.Repeat([]byte{byte(g + 1)}, 512)); err != nil {
+						errs <- err
+						return
+					}
+				case 1:
+					if _, err := st.Get(k); err != nil && !errors.Is(err, store.ErrNotExist) {
+						errs <- err
+						return
+					}
+				case 2:
+					if _, err := st.List(); err != nil {
+						errs <- err
+						return
+					}
+				case 3:
+					if err := st.Touch(k); err != nil && !errors.Is(err, store.ErrNotExist) {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}

@@ -1,0 +1,165 @@
+package tcache
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tnsr/internal/codefile"
+	"tnsr/internal/core"
+	"tnsr/internal/faultsim"
+	"tnsr/internal/store"
+)
+
+// entryPath resolves the on-disk file for the cache entry a translation
+// under opts would use.
+func entryPath(t *testing.T, dir string, opts core.Options) string {
+	t.Helper()
+	key, err := opts.TransKey(buildUser(t).Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, key+entrySuffix)
+}
+
+// TestCrashDebrisSweptOnReopen models the daemon crash-and-restart story:
+// a writer dies mid-Put leaving temporaries, the survivors stay intact, and
+// the reopened cache's Sweep reclaims exactly the debris.
+func TestCrashDebrisSweptOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{Level: codefile.LevelDefault}
+	if _, err := c.Accelerate(buildUser(t), opts); err != nil {
+		t.Fatal(err)
+	}
+	want := serialize(t, func() *codefile.File {
+		f := buildUser(t)
+		if err := core.Accelerate(f, opts); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}())
+
+	// The crash: both debris shapes a torn writer can leave.
+	for _, name := range []string{".tmp-9999", "dead0123456789ab.tns.tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("torn"), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The restart: fresh Cache over the same directory, sweep first.
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed, err := c2.Sweep()
+	if err != nil || removed != 2 {
+		t.Fatalf("Sweep removed %d, err %v; want 2", removed, err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".tmp-") || strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("debris survived sweep: %q", e.Name())
+		}
+	}
+
+	// The surviving entry still serves, byte-identical.
+	warm := buildUser(t)
+	hit, err := c2.Accelerate(warm, opts)
+	if err != nil || !hit {
+		t.Fatalf("post-recovery accelerate: hit %v, err %v", hit, err)
+	}
+	if !bytes.Equal(serialize(t, warm), want) {
+		t.Error("post-recovery hit is not byte-identical to cold translation")
+	}
+	if removed, err := c2.Sweep(); err != nil || removed != 0 {
+		t.Fatalf("second sweep: %d, %v", removed, err)
+	}
+}
+
+// TestHalfWrittenEntryNeverServed: an entry truncated mid-file (the shape a
+// non-atomic writer would leave; ours can't, but damage can) must fail the
+// verify gate and fall back to a byte-identical retranslation.
+func TestHalfWrittenEntryNeverServed(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{Level: codefile.LevelDefault}
+	if _, err := c.Accelerate(buildUser(t), opts); err != nil {
+		t.Fatal(err)
+	}
+	want := serialize(t, func() *codefile.File {
+		f := buildUser(t)
+		if err := core.Accelerate(f, opts); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}())
+
+	// Truncate the entry to half its size, in place.
+	path := entryPath(t, dir, opts)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, full[:len(full)/2], 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	got := buildUser(t)
+	hit, err := c.Accelerate(got, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("half-written entry served as a hit")
+	}
+	if !bytes.Equal(serialize(t, got), want) {
+		t.Error("fallback translation not byte-identical to cold")
+	}
+	if s := c.Stats(); s.Rejects != 1 {
+		t.Errorf("stats %+v, want 1 reject", s)
+	}
+}
+
+// TestPutFailureIsAdvisory: a cache population the disk refuses (ENOSPC)
+// must not fail the translation — the caller still gets its byte-identical
+// result; only the cache goes without.
+func TestPutFailureIsAdvisory(t *testing.T) {
+	inner, err := store.OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(faultsim.WrapStore(inner, faultsim.StoreOpts{Seed: 11, PNoSpace: 1}))
+	opts := core.Options{Level: codefile.LevelDefault}
+
+	cold := buildUser(t)
+	if err := core.Accelerate(cold, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	got := buildUser(t)
+	hit, err := c.Accelerate(got, opts)
+	if err != nil {
+		t.Fatalf("full disk failed the translation: %v", err)
+	}
+	if hit {
+		t.Fatal("unexpected hit")
+	}
+	if !bytes.Equal(serialize(t, got), serialize(t, cold)) {
+		t.Error("translation under failing cache not byte-identical to cold")
+	}
+	if s := c.Stats(); s.PutErrs != 1 || s.Misses != 1 {
+		t.Errorf("stats %+v, want 1 putErr / 1 miss", s)
+	}
+}

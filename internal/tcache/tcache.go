@@ -45,7 +45,7 @@ type Cache struct {
 	maxBytes int64
 	evictMu  sync.Mutex
 
-	hits, misses, rejects, evictions atomic.Int64
+	hits, misses, rejects, evictions, putErrs atomic.Int64
 }
 
 // Stats is a point-in-time view of cache effectiveness.
@@ -53,8 +53,10 @@ type Stats struct {
 	// Hits served a translation from disk; Misses translated cold and
 	// populated the cache; Rejects found an entry that failed an
 	// integrity gate and retranslated (the entry is replaced); Evictions
-	// counts entries dropped by the size cap.
-	Hits, Misses, Rejects, Evictions int64
+	// counts entries dropped by the size cap; PutErrs counts populations
+	// the backing store refused (ENOSPC, I/O error) — the translation
+	// still succeeded, the cache just didn't keep it.
+	Hits, Misses, Rejects, Evictions, PutErrs int64
 }
 
 // Open opens (creating if needed) a cache rooted at a single directory.
@@ -84,6 +86,7 @@ func (c *Cache) Stats() Stats {
 	return Stats{
 		Hits: c.hits.Load(), Misses: c.misses.Load(),
 		Rejects: c.rejects.Load(), Evictions: c.evictions.Load(),
+		PutErrs: c.putErrs.Load(),
 	}
 }
 
@@ -126,11 +129,19 @@ func (c *Cache) Accelerate(f *codefile.File, opts core.Options) (hit bool, err e
 		return false, err
 	}
 	c.misses.Add(1)
+	// The population write is advisory: the translation already succeeded
+	// and f carries its section, so a full or failing disk costs the next
+	// caller a retranslation, never this caller its result.
 	if err := c.Put(key, f); err != nil {
-		return false, err
+		c.putErrs.Add(1)
 	}
 	return false, nil
 }
+
+// Sweep removes crash debris (orphaned atomic-write temporaries) from the
+// backing store; a restarting daemon runs it before serving. Stores without
+// a sweep surface report 0.
+func (c *Cache) Sweep() (int, error) { return store.Sweep(c.st) }
 
 // GetVerified returns the stored accelerated codefile bytes for key after
 // re-running every gate a fresh load gets: the strict v5 parser, an

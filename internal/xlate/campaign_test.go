@@ -1,0 +1,85 @@
+package xlate
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tnsr/internal/core"
+	"tnsr/internal/faultsim"
+	"tnsr/internal/retry"
+)
+
+// TestFaultCampaignNetwork runs 100 seeded network-fault schedules through
+// the full client/server path: resets, timeouts, synthetic 5xx and 429,
+// truncated and corrupted bodies, duplicate deliveries. The invariant is
+// the service's whole reason to exist: every Accelerate that reports
+// success produced bytes identical to a local translation, and every
+// failure is a typed degrade — never wrong output, never a panic.
+func TestFaultCampaignNetwork(t *testing.T) {
+	const (
+		seeds    = 100
+		programs = 4
+	)
+	srv := newServer(t, nil)
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+
+	// Reference bytes per program, translated locally once.
+	var want [programs][]byte
+	for p := int64(0); p < programs; p++ {
+		want[p] = localBytes(t, p, core.Options{})
+	}
+
+	climates := []faultsim.TransportOpts{
+		{PReset: 0.10, P5xx: 0.10, PTruncate: 0.05, PCorrupt: 0.05},
+		{PReset: 0.25, P5xx: 0.20, P429: 0.10, Retry429After: 1, PDuplicate: 0.10},
+		{PTimeout: 0.15, PTruncate: 0.15, PCorrupt: 0.15, PDuplicate: 0.05},
+	}
+	var succeeded, degraded int
+	for seed := int64(0); seed < seeds; seed++ {
+		opts := climates[seed%int64(len(climates))]
+		opts.Seed = seed
+		prog := seed % programs
+
+		c := NewClient(hs.URL, "")
+		c.HTTPClient = &http.Client{
+			Transport: faultsim.WrapTransport(http.DefaultTransport, opts),
+			Timeout:   5 * time.Second,
+		}
+		c.Retry = retry.Policy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond, Seed: seed}
+		c.PollInterval = time.Millisecond
+		c.PollMax = 10 * time.Millisecond
+		c.Deadline = 5 * time.Second
+
+		f := buildFile(t, prog)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err := c.AccelerateContext(ctx, f, core.Options{})
+		cancel()
+		if err != nil {
+			// A typed degrade: the faults won this schedule. The local file
+			// must be untouched — no partial graft.
+			if f.Accel != nil {
+				t.Fatalf("seed %d: failed Accelerate left a grafted section", seed)
+			}
+			degraded++
+			continue
+		}
+		var buf bytes.Buffer
+		if _, err := f.WriteTo(&buf); err != nil {
+			t.Fatalf("seed %d: serialize: %v", seed, err)
+		}
+		if !bytes.Equal(buf.Bytes(), want[prog]) {
+			t.Fatalf("seed %d: remote translation differs from local under faults", seed)
+		}
+		succeeded++
+	}
+	if succeeded == 0 {
+		t.Error("campaign had zero successes — retries are not riding out the faults")
+	}
+	t.Logf("network campaign: %d seeds, %d byte-identical successes, %d typed degrades",
+		seeds, succeeded, degraded)
+}

@@ -28,6 +28,7 @@ type metrics struct {
 	done        int64            // translations completed
 	failed      int64            // translations failed
 	served      int64            // accelerated codefiles served (GET 200)
+	swept       int64            // torn write temporaries reclaimed at startup
 }
 
 func newMetrics() *metrics {
@@ -55,9 +56,9 @@ func (m *metrics) add(counter *int64) {
 	m.mu.Unlock()
 }
 
-// write renders the exposition. Queue and cache state are passed in so the
-// metrics lock never nests with theirs.
-func (m *metrics) write(w io.Writer, qs QueueStats, cs tcache.Stats, storeBytes int64, storeEntries int) {
+// write renders the exposition. Queue, cache, and drain state are passed
+// in so the metrics lock never nests with theirs.
+func (m *metrics) write(w io.Writer, qs QueueStats, cs tcache.Stats, storeBytes int64, storeEntries int, draining bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -142,4 +143,20 @@ func (m *metrics) write(w io.Writer, qs QueueStats, cs tcache.Stats, storeBytes 
 	obs.PromHeader(w, "tnsr_xlated_store_entries", "gauge",
 		"Entries currently in the content-addressed store.")
 	fmt.Fprintf(w, "tnsr_xlated_store_entries %d\n", storeEntries)
+
+	obs.PromHeader(w, "tnsr_xlated_store_put_errors_total", "counter",
+		"Store population writes refused by the backing disk (translation still served).")
+	fmt.Fprintf(w, "tnsr_xlated_store_put_errors_total %d\n", cs.PutErrs)
+
+	obs.PromHeader(w, "tnsr_xlated_swept_total", "counter",
+		"Torn write temporaries reclaimed by the startup sweep.")
+	fmt.Fprintf(w, "tnsr_xlated_swept_total %d\n", m.swept)
+
+	obs.PromHeader(w, "tnsr_xlated_draining", "gauge",
+		"1 while the server refuses new submissions ahead of shutdown.")
+	d := 0
+	if draining {
+		d = 1
+	}
+	fmt.Fprintf(w, "tnsr_xlated_draining %d\n", d)
 }

@@ -2,6 +2,7 @@ package xlate
 
 import (
 	"bytes"
+	"context"
 	"crypto/subtle"
 	"encoding/json"
 	"errors"
@@ -11,6 +12,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tnsr/internal/codefile"
@@ -74,6 +76,12 @@ type Server struct {
 	q   *Queue
 	m   *metrics
 
+	// draining refuses new submissions (503 + Retry-After) while letting
+	// in-flight translations finish and their results be fetched; jobWG
+	// tracks the in-flight translations Shutdown waits for.
+	draining atomic.Bool
+	jobWG    sync.WaitGroup
+
 	jobMu sync.Mutex
 	jobs  map[string]*jobState // TransKey -> submission state
 
@@ -118,10 +126,19 @@ func New(cfg Config) *Server {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	m := newMetrics()
+	// Restart recovery: a previous life killed mid-translation leaves torn
+	// write temporaries in the store. They were never visible to any read
+	// path; sweeping reclaims them before traffic arrives. In-flight
+	// submissions died with the old process — clients re-submit, and the
+	// content-addressed key makes the replay idempotent.
+	if n, err := cfg.Cache.Sweep(); err == nil {
+		m.swept = int64(n)
+	}
 	return &Server{
 		cfg:     cfg,
 		q:       NewQueue(cfg.Workers, cfg.FIFO),
-		m:       newMetrics(),
+		m:       m,
 		jobs:    map[string]*jobState{},
 		buckets: map[string]*bucket{},
 	}
@@ -130,9 +147,46 @@ func New(cfg Config) *Server {
 // Close stops the queue workers after in-flight fragments finish.
 func (s *Server) Close() { s.q.Close() }
 
+// SetDraining flips the drain flag: while draining, new submissions are
+// refused with 503 + Retry-After, but polls and result fetches still serve
+// — a client of an in-flight translation gets its bytes.
+func (s *Server) SetDraining(on bool) { s.draining.Store(on) }
+
+// Draining reports the drain flag (the daemon's signal handler and tests
+// read it; /metrics exposes it as a gauge).
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown drains the server: refuse new submissions, wait for in-flight
+// translations to finish (bounded by ctx), then stop the queue workers.
+// After Shutdown returns nil, every accepted submission has a terminal
+// state and its result (when successful) is durably in the store.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.jobWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("xlate: shutdown: %w", ctx.Err())
+	case <-done:
+	}
+	s.q.Close()
+	return nil
+}
+
 // Queue exposes the shared scheduler (the daemon's own tools and tests
 // read its stats; fleet hosts can submit local translations through it).
 func (s *Server) Queue() *Queue { return s.q }
+
+// Swept reports how many torn-write temporaries the startup sweep
+// reclaimed (the daemon logs it; /metrics exposes it as a counter).
+func (s *Server) Swept() int64 {
+	s.m.mu.Lock()
+	defer s.m.mu.Unlock()
+	return s.m.swept
+}
 
 func (s *Server) authed(r *http.Request) bool {
 	if s.cfg.Token == "" {
@@ -243,6 +297,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.allow(r) {
+		w.Header().Set("Retry-After", "1")
 		s.fail(w, r, http.StatusTooManyRequests, "rate", "rate limit exceeded")
 		return
 	}
@@ -263,6 +318,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // and answers from the store when possible; otherwise the translation is
 // queued on the shared pool and the client polls the key.
 func (s *Server) acceptSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		// Draining: no new work. In-flight jobs finish and remain
+		// fetchable; the typed 503 tells resilient clients to go
+		// elsewhere (or retry after the restart).
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, r, http.StatusServiceUnavailable, "draining", "server is draining; retry later")
+		return
+	}
 	body, err := readBody(w, r, s.cfg.MaxBody)
 	if err != nil {
 		var tooBig *http.MaxBytesError
@@ -354,6 +417,7 @@ func (s *Server) acceptSubmit(w http.ResponseWriter, r *http.Request) {
 	s.jobMu.Unlock()
 	s.m.add(&s.m.submissions)
 
+	s.jobWG.Add(1)
 	go s.runJob(key, j, f, opts)
 	s.status(w, r, http.StatusAccepted, Status{Key: key, State: StateQueued})
 }
@@ -362,6 +426,7 @@ func (s *Server) acceptSubmit(w http.ResponseWriter, r *http.Request) {
 // the outcome. The store write happens inside Cache.Accelerate; a racing
 // identical submission elsewhere writes identical bytes by determinism.
 func (s *Server) runJob(key string, j *jobState, f *codefile.File, opts core.Options) {
+	defer s.jobWG.Done()
 	s.jobMu.Lock()
 	j.state = StateRunning
 	s.jobMu.Unlock()
@@ -448,6 +513,6 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	storeBytes, entries := s.cfg.Cache.SizeBytes()
 	var b strings.Builder
-	s.m.write(&b, s.q.Stats(), s.cfg.Cache.Stats(), storeBytes, entries)
+	s.m.write(&b, s.q.Stats(), s.cfg.Cache.Stats(), storeBytes, entries, s.draining.Load())
 	s.respond(w, r, http.StatusOK, []byte(b.String()), "text/plain; version=0.0.4; charset=utf-8")
 }
