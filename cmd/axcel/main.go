@@ -8,6 +8,11 @@
 //	axcel [flags] prog.tns
 //
 //	-level stmtdebug|default|fast   translation level (default "default")
+//	-backend name                   RISC target to translate for (default
+//	                                "mips"; see -backend list). The target
+//	                                is stamped into the acceleration
+//	                                section, so tnsrun simulates it with
+//	                                the right machine automatically.
 //	-o out.tns                      output path (default: in place)
 //	-lib file.tns                   system-library codefile for summaries
 //	-space 0|1                      code space of this file (1 = library)
@@ -44,6 +49,8 @@ import (
 	"strconv"
 	"strings"
 
+	"tnsr/internal/backend"
+	_ "tnsr/internal/backend/ob0" // register the second target for -backend
 	"tnsr/internal/codefile"
 	"tnsr/internal/core"
 	"tnsr/internal/millicode"
@@ -60,6 +67,8 @@ func (h *hintList) Set(s string) error { *h = append(*h, s); return nil }
 
 func main() {
 	level := flag.String("level", "default", "stmtdebug, default, or fast")
+	target := flag.String("backend", "mips",
+		"RISC target to translate for ("+strings.Join(backend.Names(), ", ")+", or list)")
 	out := flag.String("o", "", "output codefile (default: rewrite input)")
 	libPath := flag.String("lib", "", "system-library codefile (summaries)")
 	space := flag.Int("space", 0, "code space (0 user, 1 library)")
@@ -79,13 +88,24 @@ func main() {
 	var hints hintList
 	flag.Var(&hints, "hint", "ReturnValSize hint, name=words")
 	flag.Parse()
+	if *target == "list" {
+		fmt.Println(strings.Join(backend.Names(), "\n"))
+		os.Exit(0)
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: axcel [flags] prog.tns")
 		os.Exit(2)
 	}
 
+	be, ok := backend.ByName(*target)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "axcel: unknown backend %q (have: %s)\n",
+			*target, strings.Join(backend.Names(), ", "))
+		os.Exit(2)
+	}
+
 	f := mustRead(flag.Arg(0))
-	opts := core.Options{Space: uint8(*space), Workers: *workers}
+	opts := core.Options{Space: uint8(*space), Workers: *workers, Backend: be}
 	switch strings.ToLower(*level) {
 	case "stmtdebug", "statementdebug":
 		opts.Level = codefile.LevelStmtDebug

@@ -7,6 +7,10 @@
 //	benchtab -figure N     print only figure N (1..2)
 //	benchtab -claims       print only the headline claims
 //	benchtab -iters k=v,.. override per-workload iteration counts
+//	benchtab -backend name measure against this RISC target instead of the
+//	                       default MIPS/R3000; the target runs on its own
+//	                       timing model, so times are not comparable to the
+//	                       paper's tables (fidelity and expansion still are)
 //	benchtab -fleet N      run an N-machine ET1 fleet and print (and, with
 //	                       -jsondir, export as BENCH_fleet.json) aggregate
 //	                       throughput and latency percentiles
@@ -23,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 
+	"tnsr/internal/backend"
 	"tnsr/internal/bench"
 	"tnsr/internal/fleet"
 )
@@ -39,7 +44,24 @@ func main() {
 	fleetChaos := flag.Int("fleet-chaos", 0, "chaos machines within the -fleet run")
 	fleetSeed := flag.Int64("fleet-seed", 1, "seed for the -fleet run")
 	xlateN := flag.Int("xlate", 0, "benchmark the translation service with N concurrent codefiles")
+	target := flag.String("backend", "mips",
+		"RISC target to measure ("+strings.Join(backend.Names(), ", ")+")")
 	flag.Parse()
+
+	be, ok := backend.ByName(*target)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchtab: unknown backend %q (have: %s)\n",
+			*target, strings.Join(backend.Names(), ", "))
+		os.Exit(2)
+	}
+	if be.ID() != 0 {
+		// Non-default targets execute on their own timing model; the
+		// paper's tables describe the MIPS/R3000 numbers.
+		bench.Target = be
+		fmt.Fprintf(os.Stderr,
+			"benchtab: measuring backend %q on its own timing model; times are not comparable to the paper's tables\n",
+			be.Name())
+	}
 
 	if *iters != "" {
 		for _, kv := range strings.Split(*iters, ",") {

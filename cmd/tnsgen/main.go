@@ -8,12 +8,16 @@
 //
 //	tnsgen [-n N] [-seed S] [-steer] [-minimize] [-out dir]
 //	       [-lib-every K] [-chaos-every K] [-adaptive-every K] [-workers W]
+//	       [-backends mips,ob0]
 //
 // The campaign is fully deterministic in (-seed, -n, -steer, the every-K
 // knobs): rerunning with the same flags reruns the identical programs.
 // -minimize delta-debugs every failing program before reporting it;
 // -out writes each failure (minimized if requested) as a scenario file the
-// internal/tnsgen corpus tests can replay.
+// internal/tnsgen corpus tests can replay. -backends runs the oracle's
+// level sweep on each named RISC target (a cross-backend campaign: any
+// divergence on one target and not another is a backend bug by
+// construction); the default is the default target only.
 //
 // Exit codes: 0 all programs passed, 1 failures or missing class coverage,
 // 2 usage.
@@ -24,7 +28,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
+	"tnsr/internal/backend"
 	"tnsr/internal/obs"
 	"tnsr/internal/tnsgen"
 )
@@ -39,6 +45,8 @@ func main() {
 	chaosEvery := flag.Int("chaos-every", 0, "add a chaos pass to every k-th program (0 = never)")
 	adaptiveEvery := flag.Int("adaptive-every", 0, "add a RunAdaptive cycle to every k-th program (0 = never)")
 	workers := flag.Int("workers", 0, "translator worker count (0 = serial)")
+	backends := flag.String("backends", "",
+		"comma-separated RISC targets to run the oracle on (default: the default target)")
 	flag.Parse()
 	if flag.NArg() != 0 || *n <= 0 {
 		flag.Usage()
@@ -47,6 +55,17 @@ func main() {
 
 	o := tnsgen.DefaultOracle()
 	o.Workers = *workers
+	if *backends != "" {
+		for _, name := range strings.Split(*backends, ",") {
+			be, ok := backend.ByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "tnsgen: unknown backend %q (have: %s)\n",
+					name, strings.Join(backend.Names(), ", "))
+				os.Exit(2)
+			}
+			o.Backends = append(o.Backends, be)
+		}
+	}
 	c := &tnsgen.Campaign{
 		Seed: *seed, N: *n, Steer: *steer,
 		LibraryEvery:  *libEvery,

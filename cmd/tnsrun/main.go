@@ -8,6 +8,10 @@
 // -interp forces interpretation even of accelerated codefiles (the paper's
 // "execute the entire accelerated program in interpreter mode" debugging
 // option). -time prints cycle accounting under the Cyclone/R model.
+// -backend NAME refuses to run a translation that targets any other RISC
+// backend (the runner otherwise picks the simulator matching the
+// acceleration section's stamped target automatically); it also refuses
+// interpreted-only runs, where the assertion would be vacuous.
 // -profile captures a PGO profile of the run (either mode) and writes it to
 // the given path for a later `axcel -profile` retranslation.
 //
@@ -26,7 +30,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
+	"tnsr/internal/backend"
 	"tnsr/internal/chaos"
 	"tnsr/internal/codefile"
 	"tnsr/internal/interp"
@@ -42,6 +48,8 @@ func main() {
 	forceInterp := flag.Bool("interp", false, "ignore the translation; interpret")
 	showTime := flag.Bool("time", false, "print cycle accounting")
 	budget := flag.Int64("budget", 2_000_000_000, "instruction budget")
+	wantBackend := flag.String("backend", "",
+		"require the translation to target this backend (mixed-mode runs refuse any other)")
 	profilePath := flag.String("profile", "", "write a PGO profile of this run")
 	quarantine := flag.Int("quarantine", xrun.DefaultQuarantineThreshold,
 		"trap-storm threshold before a procedure is demoted to the interpreter")
@@ -56,7 +64,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: tnsrun [-lib lib.tns] [-interp] prog.tns")
 		os.Exit(2)
 	}
+	if *wantBackend != "" {
+		if _, ok := backend.ByName(*wantBackend); !ok {
+			fmt.Fprintf(os.Stderr, "tnsrun: unknown backend %q (have: %s)\n",
+				*wantBackend, strings.Join(backend.Names(), ", "))
+			os.Exit(2)
+		}
+	}
 	user := mustRead(flag.Arg(0))
+	if *wantBackend != "" && (*forceInterp || user.Accel == nil) {
+		// The assertion would be vacuous on an interpreted run: there is
+		// no translation whose target could be checked.
+		fmt.Fprintf(os.Stderr, "tnsrun: -backend %s requires an accelerated codefile run in mixed mode (run axcel -backend %s first)\n",
+			*wantBackend, *wantBackend)
+		os.Exit(1)
+	}
 	var lib *codefile.File
 	if *libPath != "" {
 		lib = mustRead(*libPath)
@@ -106,6 +128,11 @@ func main() {
 		os.Exit(1)
 	}
 	r.QuarantineThreshold = *quarantine
+	if *wantBackend != "" && r.Backend().Name() != *wantBackend {
+		fmt.Fprintf(os.Stderr, "tnsrun: translation targets backend %q, not the required %q (re-run axcel -backend %s)\n",
+			r.Backend().Name(), *wantBackend, *wantBackend)
+		os.Exit(1)
+	}
 	if r.Degraded {
 		fmt.Fprintf(os.Stderr, "tnsrun: acceleration failed verification, running interpreted: %s\n",
 			r.DegradedReason)

@@ -1,0 +1,37 @@
+package backend
+
+// Label identifies a position in the virtual instruction stream, bound
+// during translation and resolved at layout time.
+type Label int32
+
+// NoLabel is the unbound label sentinel.
+const NoLabel Label = -1
+
+// Inst is one virtual instruction (or raw table word) before layout. The
+// operand roles follow the Op's MIPS-shaped definition; a backend's
+// encoder owns the mapping to its machine word(s).
+type Inst struct {
+	Op      Op
+	Rd      uint8
+	Rs      uint8
+	Rt      uint8
+	Shamt   uint8
+	Imm     int32
+	Lbl     Label  // branch target / data-word label reference
+	JTarget uint32 // absolute word index for J/JAL (millicode entries)
+	JLbl    Label  // J/JAL to a local label (direct PCAL targets)
+	Code    uint32 // BREAK/SYSCALL code
+	IsWord  bool   // raw data word: Imm literal or (JLbl) code address
+	LALbl   Label  // pair loading CodeWindow+4*(CodeBase+pos(LALbl))
+	HasLA   bool   // LALbl is valid
+	LAHi    bool   // this is the high half of the pair
+	TNSAddr uint16 // originating TNS address (stats, debug listings)
+	IsExact bool   // scheduling barrier: start of an exact point
+}
+
+// IsNop reports whether the instruction is the canonical virtual no-op
+// (sll $0,$0,0) — what the raw emitter places in every delay slot.
+func (in Inst) IsNop() bool {
+	return !in.IsWord && !in.HasLA && in.Op == SLL &&
+		in.Rd == 0 && in.Rt == 0 && in.Shamt == 0
+}

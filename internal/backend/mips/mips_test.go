@@ -1,0 +1,26 @@
+package mips_test
+
+import (
+	"testing"
+
+	"tnsr/internal/backend/backendtest"
+	"tnsr/internal/backend/mips"
+	"tnsr/internal/risc"
+)
+
+// TestConformance holds the default MIPS target to the backend contract.
+// The def/use adapter feeds the conformance kit's metadata-vs-simulator
+// property test; control flow and the host protocol are outside the
+// single-word property and are skipped.
+func TestConformance(t *testing.T) {
+	backendtest.Contract(t, mips.Default, func(w uint32) (int, []uint8, bool) {
+		in := risc.Decode(w)
+		switch in.Op {
+		case risc.INVALID, risc.BEQ, risc.BNE, risc.BLEZ, risc.BGTZ,
+			risc.BLTZ, risc.BGEZ, risc.J, risc.JAL, risc.JR, risc.JALR,
+			risc.BREAK, risc.SYSCALL:
+			return 0, nil, false
+		}
+		return in.Def(), in.Uses(nil), true
+	})
+}

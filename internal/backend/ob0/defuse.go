@@ -1,0 +1,57 @@
+package ob0
+
+import "tnsr/internal/backend"
+
+// Def returns the number of the general register this instruction writes,
+// or -1 if it writes none. Flag and H effects are reported separately
+// (SetsFlags, WritesH) — they are ob0-private state, invisible to the
+// shared CPU.
+func (in Instr) Def() int {
+	switch {
+	case in.Op == CMP, in.Op == CMPI:
+		return -1
+	case in.Op.IsRType(), in.Op.IsIType(), in.Op.IsLoad():
+		if in.A == 0 {
+			return -1 // register 0 is hardwired
+		}
+		return int(in.A)
+	case in.Op == JLA:
+		return backend.RegRA
+	case in.Op == JLR:
+		if in.A == 0 {
+			return -1
+		}
+		return int(in.A)
+	}
+	return -1
+}
+
+// Uses appends the numbers of the general registers this instruction reads
+// to dst and returns it.
+func (in Instr) Uses(dst []uint8) []uint8 {
+	switch {
+	case in.Op == MVH, in.Op == MVHI:
+		return dst
+	case in.Op.IsRType():
+		return append(dst, in.B, in.C)
+	case in.Op.IsIType(), in.Op.IsLoad():
+		return append(dst, in.B)
+	case in.Op.IsStore():
+		return append(dst, in.A, in.B)
+	case in.Op == JR, in.Op == JLR:
+		return append(dst, in.B)
+	}
+	return dst
+}
+
+// SetsFlags reports whether the instruction writes the N/Z/V flags.
+func (in Instr) SetsFlags() bool { return in.Op == CMP || in.Op == CMPI }
+
+// ReadsFlags reports whether the instruction tests the N/Z/V flags.
+func (in Instr) ReadsFlags() bool { return in.Op.IsBranch() }
+
+// WritesH reports whether the instruction writes the H special register.
+func (in Instr) WritesH() bool { return in.Op >= MUL && in.Op <= DVQU }
+
+// ReadsH reports whether the instruction reads the H special register.
+func (in Instr) ReadsH() bool { return in.Op == MVH }

@@ -1,0 +1,45 @@
+package ob0
+
+import (
+	"fmt"
+
+	"tnsr/internal/backend"
+)
+
+// Disassemble renders the instruction at word index pc.
+func Disassemble(pc uint32, w uint32) string {
+	in := Decode(w)
+	r := backend.RegName
+	switch {
+	case in.Op == INVALID:
+		return fmt.Sprintf(".word 0x%08x", w)
+	case in.Op == CMP:
+		return fmt.Sprintf("cmp %s, %s", r(in.B), r(in.C))
+	case in.Op == MVH:
+		return fmt.Sprintf("mvh %s", r(in.A))
+	case in.Op.IsRType():
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, r(in.A), r(in.B), r(in.C))
+	case in.Op == CMPI:
+		return fmt.Sprintf("cmpi %s, %d", r(in.B), in.Imm)
+	case in.Op == MVHI:
+		return fmt.Sprintf("mvhi %s, %d", r(in.A), in.Imm)
+	case in.Op.IsIType():
+		if w == Nop {
+			return "nop"
+		}
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, r(in.A), r(in.B), in.Imm)
+	case in.Op.IsLoad() || in.Op.IsStore():
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, r(in.A), in.Imm, r(in.B))
+	case in.Op.IsBranch():
+		return fmt.Sprintf("%s %d", in.Op, int64(pc)+1+int64(in.Imm))
+	case in.Op == JA || in.Op == JLA:
+		return fmt.Sprintf("%s %d", in.Op, in.Target)
+	case in.Op == JR:
+		return fmt.Sprintf("jr %s", r(in.B))
+	case in.Op == JLR:
+		return fmt.Sprintf("jlr %s, %s", r(in.A), r(in.B))
+	case in.Op == BRK || in.Op == SVC:
+		return fmt.Sprintf("%s %d", in.Op, in.Target)
+	}
+	return fmt.Sprintf(".word 0x%08x", w)
+}

@@ -1,0 +1,37 @@
+package ob0
+
+import (
+	"tnsr/internal/backend"
+	"tnsr/internal/millicode"
+)
+
+// BackendID is the codefile identity byte of the ob0 target.
+const BackendID uint8 = 1
+
+// codeWindow maps the code space read-only into data addresses; the base
+// is part of the cross-backend runtime contract.
+const codeWindow = millicode.CodeWindow
+
+// B implements backend.Backend for the ob0 target. It is stateless — the
+// simple timing model has no configuration.
+type B struct{}
+
+// Default is the registry instance.
+var Default = &B{}
+
+func init() { backend.Register(Default) }
+
+func (b *B) ID() uint8                  { return BackendID }
+func (b *B) Name() string               { return "ob0" }
+func (b *B) Traits() backend.Traits     { return backend.Traits{DelaySlots: false} }
+func (b *B) Disasm(pc, w uint32) string { return Disassemble(pc, w) }
+
+// Millicode returns the assembled ob0 millicode and its entry labels.
+func (b *B) Millicode() (code []uint32, labels map[string]uint32) {
+	return BuildMillicode()
+}
+
+// NewSim constructs an ob0 simulator.
+func (b *B) NewSim(code []uint32, memBytes int) backend.Sim {
+	return NewSim(code, memBytes)
+}

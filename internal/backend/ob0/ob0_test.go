@@ -1,0 +1,25 @@
+package ob0_test
+
+import (
+	"testing"
+
+	"tnsr/internal/backend/backendtest"
+	"tnsr/internal/backend/ob0"
+)
+
+// TestConformance holds the ob0 target to the same backend contract as the
+// MIPS default. The def/use adapter skips control flow and the host
+// protocol, which the single-word property test cannot exercise; the flag
+// and H side channels start identical in both property runs, so CMP/MVH
+// and friends stay in scope.
+func TestConformance(t *testing.T) {
+	backendtest.Contract(t, ob0.Default, func(w uint32) (int, []uint8, bool) {
+		in := ob0.Decode(w)
+		switch {
+		case in.Op == ob0.INVALID, in.Op.IsBranch(), in.Op.IsJump(),
+			in.Op == ob0.BRK, in.Op == ob0.SVC:
+			return 0, nil, false
+		}
+		return in.Def(), in.Uses(nil), true
+	})
+}

@@ -1,0 +1,120 @@
+package backend
+
+import "fmt"
+
+// Op identifies one virtual instruction operation. The set (and the
+// mnemonics) are those of the MIPS-I subset the original TNS/R Accelerator
+// generated — the virtual stream is deliberately shaped like the paper's
+// target so the default backend encodes it 1:1 — but every operation has
+// well-defined target-independent semantics that a non-MIPS backend lowers
+// to its own encoding (possibly several words, or zero for elided delay-slot
+// nops).
+type Op uint8
+
+// The operation set. Names match MIPS mnemonics.
+const (
+	INVALID Op = iota
+	SLL
+	SRL
+	SRA
+	SLLV
+	SRLV
+	SRAV
+	JR
+	JALR
+	SYSCALL
+	BREAK
+	MFHI
+	MFLO
+	MULT
+	MULTU
+	DIV
+	DIVU
+	ADD
+	ADDU
+	SUB
+	SUBU
+	AND
+	OR
+	XOR
+	NOR
+	SLT
+	SLTU
+	J
+	JAL
+	BEQ
+	BNE
+	BLEZ
+	BGTZ
+	BLTZ
+	BGEZ
+	ADDI
+	ADDIU
+	SLTI
+	SLTIU
+	ANDI
+	ORI
+	XORI
+	LUI
+	LB
+	LH
+	LW
+	LBU
+	LHU
+	SB
+	SH
+	SW
+	NumOps
+)
+
+var opNames = [NumOps]string{
+	INVALID: "invalid",
+	SLL:     "sll", SRL: "srl", SRA: "sra", SLLV: "sllv", SRLV: "srlv",
+	SRAV: "srav", JR: "jr", JALR: "jalr", SYSCALL: "syscall",
+	BREAK: "break", MFHI: "mfhi", MFLO: "mflo", MULT: "mult",
+	MULTU: "multu", DIV: "div", DIVU: "divu", ADD: "add", ADDU: "addu",
+	SUB: "sub", SUBU: "subu", AND: "and", OR: "or", XOR: "xor", NOR: "nor",
+	SLT: "slt", SLTU: "sltu", J: "j", JAL: "jal", BEQ: "beq", BNE: "bne",
+	BLEZ: "blez", BGTZ: "bgtz", BLTZ: "bltz", BGEZ: "bgez", ADDI: "addi",
+	ADDIU: "addiu", SLTI: "slti", SLTIU: "sltiu", ANDI: "andi", ORI: "ori",
+	XORI: "xori", LUI: "lui", LB: "lb", LH: "lh", LW: "lw", LBU: "lbu",
+	LHU: "lhu", SB: "sb", SH: "sh", SW: "sw",
+}
+
+func (o Op) String() string {
+	if o < NumOps {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// IsLoad reports whether the operation reads data memory into Rt.
+func (o Op) IsLoad() bool { return o == LB || o == LH || o == LW || o == LBU || o == LHU }
+
+// IsStore reports whether the operation writes data memory.
+func (o Op) IsStore() bool { return o == SB || o == SH || o == SW }
+
+// IsBranch reports whether the operation is a conditional branch.
+func (o Op) IsBranch() bool {
+	switch o {
+	case BEQ, BNE, BLEZ, BGTZ, BLTZ, BGEZ:
+		return true
+	}
+	return false
+}
+
+// IsJump reports whether the operation is an unconditional control
+// transfer.
+func (o Op) IsJump() bool {
+	switch o {
+	case J, JAL, JR, JALR:
+		return true
+	}
+	return false
+}
+
+// HasDelaySlot reports whether the instruction is followed by a delay slot
+// in the virtual stream. The raw emitter always places an explicit nop in
+// the slot; only the delay-slot scheduler (run when the target's Traits
+// say so) ever replaces it with useful work.
+func (o Op) HasDelaySlot() bool { return o.IsBranch() || o.IsJump() }

@@ -1,0 +1,70 @@
+package backend
+
+import "fmt"
+
+// Dedicated register numbers of the TNS/R emulation scheme, fixed across
+// backends (per the paper: eight dedicated registers hold the TNS register
+// stack, seven hold special TNS state, fourteen are translator
+// temporaries). Every backend is a 32-register machine with register 0
+// hardwired to zero, so the convention carries over unchanged:
+//
+//	$0          $z     always zero
+//	$1..$8      $r0..$r7   the emulated TNS register barrel
+//	$9          $db    data base: byte address of TNS data word 0
+//	$10         $l     TNS L register as a byte offset (L*2)
+//	$11         $s     TNS S register as a byte offset (S*2)
+//	$12         $cc    condition code as a signed value (<0, 0, >0)
+//	$13         $k     carry flag (0/1)
+//	$14         $v     overflow flag (0/1)
+//	$15         $env   packed ENV: RP in bits 0..2, T in bit 7, space bit 8
+//	$16..$29    $t0..$t13  Accelerator temporaries
+//	$30         $mt    millicode linkage temporary
+//	$31         $ra    return address (linking jumps)
+const (
+	RegZero = 0
+	RegR0   = 1 // TNS R0; TNS Rn is RegR0+n
+	RegDB   = 9
+	RegL    = 10
+	RegS    = 11
+	RegCC   = 12
+	RegK    = 13
+	RegV    = 14
+	RegENV  = 15
+	RegT0   = 16 // first of 14 temporaries
+	NumTemp = 14
+	RegMT   = 30
+	RegRA   = 31
+)
+
+// RegName returns the assembler name of a register under the shared
+// dedicated-register convention; backends use it in their assemblers and
+// disassemblers so listings read the same on every target.
+func RegName(r uint8) string {
+	switch {
+	case r == RegZero:
+		return "$z"
+	case r >= RegR0 && r < RegR0+8:
+		return fmt.Sprintf("$r%d", r-RegR0)
+	case r == RegDB:
+		return "$db"
+	case r == RegL:
+		return "$l"
+	case r == RegS:
+		return "$s"
+	case r == RegCC:
+		return "$cc"
+	case r == RegK:
+		return "$k"
+	case r == RegV:
+		return "$v"
+	case r == RegENV:
+		return "$env"
+	case r >= RegT0 && r < RegT0+NumTemp:
+		return fmt.Sprintf("$t%d", r-RegT0)
+	case r == RegMT:
+		return "$mt"
+	case r == RegRA:
+		return "$ra"
+	}
+	return fmt.Sprintf("$%d", r)
+}

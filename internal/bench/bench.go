@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 
+	"tnsr/internal/backend"
 	"tnsr/internal/codefile"
 	"tnsr/internal/core"
 	"tnsr/internal/interp"
@@ -24,6 +25,13 @@ import (
 	"tnsr/internal/tns"
 	"tnsr/internal/workloads"
 )
+
+// Target selects the RISC backend the measurements translate for; nil is
+// the MIPS/R3000 default the paper's tables describe. A non-default target
+// is executed on its own timing model, so the absolute numbers are not
+// comparable to the paper's — the sweep still verifies output fidelity and
+// reports that target's expansion and residency.
+var Target backend.Backend
 
 // Iterations gives each workload enough work to measure without making the
 // full table slow. Override per run if desired.
@@ -100,13 +108,13 @@ func MeasureWorkload(name string, iterations int) (*Row, error) {
 
 	for _, lvl := range Levels {
 		w := workloads.MustBuild(name, iterations)
-		opts := core.Options{Level: lvl, LibSummaries: w.LibSummaries}
+		opts := core.Options{Level: lvl, LibSummaries: w.LibSummaries, Backend: Target}
 		if err := core.Accelerate(w.User, opts); err != nil {
 			return nil, fmt.Errorf("%s/%s: %w", name, lvl, err)
 		}
 		if w.Lib != nil {
 			if err := core.Accelerate(w.Lib, core.Options{
-				Level: lvl, CodeBase: 0x80000, Space: 1,
+				Level: lvl, CodeBase: 0x80000, Space: 1, Backend: Target,
 			}); err != nil {
 				return nil, fmt.Errorf("%s/%s lib: %w", name, lvl, err)
 			}

@@ -6,6 +6,7 @@ import (
 
 	"tnsr/internal/codefile"
 	"tnsr/internal/core"
+	"tnsr/internal/risc"
 	"tnsr/internal/workloads"
 )
 
@@ -17,7 +18,12 @@ func TestDebugCycleBreakdown(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s := r.Sim
+		// The stall/cache breakdown is R3000 pipeline detail, so it lives
+		// on the MIPS backend's concrete simulator, not the shared CPU.
+		s, ok := r.BackendSim().(*risc.Sim)
+		if !ok {
+			t.Fatalf("default backend is not the MIPS simulator: %T", r.BackendSim())
+		}
 		fmt.Printf("%s: cycles=%d instrs=%d cpi=%.2f loadstall=%d mdstall=%d imiss=%d dmiss=%d\n",
 			lvl, s.Cycles, s.Instrs, float64(s.Cycles)/float64(s.Instrs),
 			s.LoadStalls, s.MDStalls, s.ICacheMisses, s.DCacheMisses)

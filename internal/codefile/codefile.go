@@ -89,6 +89,10 @@ func (l AccelLevel) String() string {
 // AccelSection is the augmentation appended by the Accelerator.
 type AccelSection struct {
 	Level AccelLevel
+	// BackendID names the RISC target the section was encoded for (the
+	// backend registry's identity byte; 0 is the MIPS/R3000 default).
+	// Runners refuse to drive a section with the wrong simulator.
+	BackendID uint8
 	// RISC holds the generated RISC instruction words.
 	RISC []uint32
 	// Entries maps each PEP index to the RISC word index of the procedure's
@@ -179,10 +183,13 @@ func (f *File) StatementAt(addr uint16) *Statement {
 
 const (
 	magic = 0x544E5343 // "TNSC"
-	// version 5 added per-section CRC-32 checksums (v4 added FallbackWhy).
-	// v4 files still load — flagged Unverified — so a fleet can upgrade
-	// tools before re-accelerating its codefiles.
-	version   = 5
+	// version 6 added the acceleration section's backend tag (v5 added
+	// per-section CRC-32 checksums, v4 FallbackWhy). v5 files still load
+	// with BackendID 0 — every pre-tag section is MIPS — and v4 files
+	// load flagged Unverified, so a fleet can upgrade tools before
+	// re-accelerating its codefiles.
+	version   = 6
+	versionV5 = 5
 	versionV4 = 4
 )
 
@@ -255,6 +262,7 @@ func (f *File) Marshal() ([]byte, []SectionSpan) {
 
 	a := f.Accel
 	p(uint8(a.Level))
+	p(a.BackendID)
 	p(uint32(len(a.RISC)))
 	p(a.RISC)
 	seal(SecAccelRISC)
@@ -319,8 +327,12 @@ func Read(r io.Reader) (*File, error) {
 		return nil, br.fail()
 	case v == version:
 		br.sums = true
+	case v == versionV5:
+		br.sums = true
+		br.noBackendTag = true
 	case v == versionV4:
 		f.Unverified = true
+		br.noBackendTag = true
 	default:
 		br.err = corruptf(SecHeader, "unsupported version %d", v)
 		return nil, br.fail()
@@ -371,6 +383,9 @@ func Read(r io.Reader) (*File, error) {
 		a := &AccelSection{}
 		br.sec = SecAccelRISC
 		a.Level = AccelLevel(br.u8())
+		if !br.noBackendTag {
+			a.BackendID = br.u8()
+		}
 		a.RISC = br.u32s(br.u32())
 		br.seal(SecAccelRISC)
 
@@ -427,12 +442,13 @@ func writeString(buf *bytes.Buffer, s string) {
 }
 
 type reader struct {
-	raw  io.Reader    // the undecorated source (checksum words read here)
-	r    io.Reader    // raw teed into hash: every payload byte is summed
-	hash hash.Hash32  // running CRC-32 of the current section's payload
-	sums bool         // v5: verify a stored checksum at each seal point
-	sec  SectionID    // section under parse, for error attribution
-	err  error
+	raw          io.Reader   // the undecorated source (checksum words read here)
+	r            io.Reader   // raw teed into hash: every payload byte is summed
+	hash         hash.Hash32 // running CRC-32 of the current section's payload
+	sums         bool        // v5+: verify a stored checksum at each seal point
+	noBackendTag bool        // v4/v5: acceleration section has no backend byte
+	sec          SectionID   // section under parse, for error attribution
+	err          error
 }
 
 func newReader(r io.Reader) *reader {

@@ -56,7 +56,10 @@ func Accelerate(file *codefile.File, opts Options) error {
 		t0 = time.Now() // translate times itself (see parallel.go)
 	}
 
-	if !opts.DisableSchedule {
+	// The delay-slot scheduler models the default target's pipeline; a
+	// backend without delay slots gets the raw stream (its encoder drops
+	// the explicit slot nops instead).
+	if !opts.DisableSchedule && opts.Backend.Traits().DelaySlots {
 		ss := schedule(f)
 		stats.FilledSlots = ss.filledSlots
 		stats.WeldedStmts = ss.welded

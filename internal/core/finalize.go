@@ -3,32 +3,54 @@ package core
 import (
 	"fmt"
 
+	"tnsr/internal/backend"
 	"tnsr/internal/codefile"
-	"tnsr/internal/millicode"
-	"tnsr/internal/risc"
 )
 
-// finalizeSection lays out the emitted stream, resolves labels, encodes
-// instruction words, and builds the PMap, entry table and statistics into
-// the codefile's acceleration section. It consumes the (possibly merged)
-// emission buffer, so it is independent of how many workers produced it.
+// finalizeSection lays out the emitted stream, hands it to the selected
+// backend for encoding, and builds the PMap, entry table and statistics
+// into the codefile's acceleration section. It consumes the (possibly
+// merged) emission buffer, so it is independent of how many workers
+// produced it.
+//
+// The backend owns the mapping from virtual instruction indexes to target
+// word indexes (Encoded.Pos): on MIPS it is the identity, on a target
+// without delay slots the explicit slot nops vanish and everything after
+// them shifts down. Labels, PMap points and entry addresses are all
+// resolved through that mapping, so the analysis side never assumes
+// one-word-per-instruction.
 func finalizeSection(p *program, opts *Options, f *fn,
 	stats codefile.AccelStats) (*codefile.AccelSection, error) {
 	base := opts.CodeBase
-	pos := func(l label) (uint32, error) {
-		if l == noLabel || int(l) >= len(f.labelPos) || f.labelPos[l] < 0 {
+	labelAt := func(l backend.Label) (int32, error) {
+		if l == backend.Label(noLabel) || int(l) >= len(f.labelPos) ||
+			f.labelPos[l] < 0 {
 			return 0, fmt.Errorf("core: unresolved label %d", l)
 		}
-		return uint32(f.labelPos[l]), nil
+		return f.labelPos[l], nil
 	}
 
-	code := make([]uint32, len(f.ins))
+	ins := make([]backend.Inst, len(f.ins))
 	for i, r := range f.ins {
-		w, err := encodeOne(r, uint32(i), base, pos)
-		if err != nil {
-			return nil, fmt.Errorf("core: at RISC %d (tns %d): %w", i, r.tnsAddr, err)
+		ins[i] = backend.Inst{
+			Op: r.op, Rd: r.rd, Rs: r.rs, Rt: r.rt, Shamt: r.shamt,
+			Imm: r.imm, Lbl: backend.Label(r.lbl), JTarget: r.jTarget,
+			JLbl: backend.Label(r.jLbl), Code: r.code, IsWord: r.isWord,
+			LALbl: backend.Label(r.laLbl), HasLA: r.hasLA, LAHi: r.laHi,
+			TNSAddr: r.tnsAddr, IsExact: r.isExact,
 		}
-		code[i] = w
+	}
+	enc, err := opts.Backend.Encode(ins, labelAt, base)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	// Word position of a label: where its instruction index landed.
+	wordPos := func(l label) (int32, error) {
+		p, err := labelAt(backend.Label(l))
+		if err != nil {
+			return 0, err
+		}
+		return enc.Pos[p], nil
 	}
 
 	pm := codefile.NewPMap(len(p.file.Code))
@@ -37,7 +59,7 @@ func finalizeSection(p *program, opts *Options, f *fn,
 		expRP[i] = 0xFF
 	}
 	for _, pt := range f.points {
-		pp, err := pos(pt.lbl)
+		pp, err := wordPos(pt.lbl)
 		if err != nil {
 			return nil, err
 		}
@@ -58,7 +80,7 @@ func finalizeSection(p *program, opts *Options, f *fn,
 			entries[i] = -1
 			continue
 		}
-		entries[i] = int32(base) + f.labelPos[l]
+		entries[i] = int32(base) + enc.Pos[f.labelPos[l]]
 	}
 
 	instrs, tables := p.countKinds()
@@ -75,81 +97,12 @@ func finalizeSection(p *program, opts *Options, f *fn,
 
 	return &codefile.AccelSection{
 		Level:       opts.Level,
-		RISC:        code,
+		BackendID:   opts.Backend.ID(),
+		RISC:        enc.Code,
 		Entries:     entries,
 		ExpectedRP:  expRP,
 		PMap:        pm,
 		Stats:       st,
 		FallbackWhy: f.why,
 	}, nil
-}
-
-func encodeOne(r rinst, idx, base uint32,
-	pos func(label) (uint32, error)) (uint32, error) {
-	if r.isWord {
-		if r.jLbl != noLabel {
-			p, err := pos(r.jLbl)
-			if err != nil {
-				return 0, err
-			}
-			return (base + p) << 2, nil // absolute RISC byte address
-		}
-		return uint32(r.imm), nil
-	}
-	if r.hasLA {
-		p, err := pos(r.laLbl)
-		if err != nil {
-			return 0, err
-		}
-		v := uint32(millicode.CodeWindow) + ((base + p) << 2)
-		if r.laHi {
-			return risc.EncImm(risc.LUI, r.rt, 0, int32(v>>16)), nil
-		}
-		return risc.EncImm(risc.ORI, r.rt, r.rs, int32(v&0xFFFF)), nil
-	}
-	switch r.op {
-	case risc.SLL, risc.SRL, risc.SRA:
-		return risc.EncShift(r.op, r.rd, r.rt, r.shamt), nil
-	case risc.SLLV, risc.SRLV, risc.SRAV:
-		// Encoded as rd, value(rt), amount(rs).
-		return risc.EncALU(r.op, r.rd, r.rs, r.rt), nil
-	case risc.ADD, risc.ADDU, risc.SUB, risc.SUBU, risc.AND, risc.OR,
-		risc.XOR, risc.NOR, risc.SLT, risc.SLTU:
-		return risc.EncALU(r.op, r.rd, r.rs, r.rt), nil
-	case risc.ADDI, risc.ADDIU, risc.SLTI, risc.SLTIU, risc.ANDI,
-		risc.ORI, risc.XORI, risc.LUI:
-		return risc.EncImm(r.op, r.rt, r.rs, r.imm), nil
-	case risc.LB, risc.LH, risc.LW, risc.LBU, risc.LHU, risc.SB, risc.SH,
-		risc.SW:
-		return risc.EncMem(r.op, r.rt, r.rs, r.imm), nil
-	case risc.BEQ, risc.BNE, risc.BLEZ, risc.BGTZ, risc.BLTZ, risc.BGEZ:
-		p, err := pos(r.lbl)
-		if err != nil {
-			return 0, err
-		}
-		disp := int32(p) - int32(idx) - 1
-		return risc.EncBranch(r.op, r.rs, r.rt, disp), nil
-	case risc.J, risc.JAL:
-		if r.jLbl != noLabel {
-			p, err := pos(r.jLbl)
-			if err != nil {
-				return 0, err
-			}
-			return risc.EncJ(r.op, base+p), nil
-		}
-		return risc.EncJ(r.op, r.jTarget), nil
-	case risc.JR:
-		return risc.EncJR(r.rs), nil
-	case risc.JALR:
-		return risc.EncJALR(r.rd, r.rs), nil
-	case risc.MULT, risc.MULTU, risc.DIV, risc.DIVU:
-		return risc.EncMulDiv(r.op, r.rs, r.rt), nil
-	case risc.MFHI, risc.MFLO:
-		return risc.EncMulDiv(r.op, r.rd, 0), nil
-	case risc.BREAK:
-		return risc.EncBreak(r.code), nil
-	case risc.SYSCALL:
-		return risc.EncSyscall(r.code), nil
-	}
-	return 0, fmt.Errorf("unencodable op %s", r.op)
 }

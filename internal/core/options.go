@@ -16,6 +16,8 @@ import (
 	"runtime"
 	"sort"
 
+	"tnsr/internal/backend"
+	"tnsr/internal/backend/mips"
 	"tnsr/internal/codefile"
 	"tnsr/internal/millicode"
 	"tnsr/internal/obs"
@@ -26,6 +28,14 @@ import (
 type Options struct {
 	// Level selects StmtDebug, Default or Fast translation.
 	Level codefile.AccelLevel
+
+	// Backend selects the RISC target the analysis core's virtual stream
+	// is encoded for. Nil means the MIPS/R3000 default — the paper's
+	// target and the only one whose bytes predate the backend seam. The
+	// backend's identity is folded into TransKey and stamped into the
+	// acceleration section so a runner never simulates code with the
+	// wrong target.
+	Backend backend.Backend
 
 	// Hints carries the optional "translation hints" the paper describes:
 	// never needed for correctness, only to avoid interpreter interludes.
@@ -148,6 +158,7 @@ func (o Options) TransKey(fileFingerprint uint64) (string, error) {
 		fmt.Fprintln(h, parts...)
 	}
 	put("tnsr/transkey/v1", codefile.FormatVersion, fileFingerprint)
+	put("backend", o.Backend.ID(), o.Backend.Name())
 	put(o.Level, o.Space, o.CodeBase, o.IgnoreSummaries,
 		o.DisableFlagElision, o.DisableCSE, o.DisableSchedule)
 
@@ -221,8 +232,11 @@ func (o Options) withDefaults() Options {
 	if o.Level == codefile.LevelNone {
 		o.Level = codefile.LevelDefault
 	}
+	if o.Backend == nil {
+		o.Backend = mips.Default
+	}
 	if o.MilliLabels == nil {
-		_, labels := millicode.Build()
+		_, labels := o.Backend.Millicode()
 		o.MilliLabels = labels
 	}
 	if o.CodeBase == 0 {

@@ -22,9 +22,9 @@ import (
 	"fmt"
 	"strings"
 
+	"tnsr/internal/backend"
 	"tnsr/internal/codefile"
 	"tnsr/internal/interp"
-	"tnsr/internal/risc"
 	"tnsr/internal/tns"
 	"tnsr/internal/xrun"
 )
@@ -61,7 +61,7 @@ type Location struct {
 func (d *Debugger) Where() Location {
 	loc := Location{RISCMode: d.R.InRISCMode()}
 	if loc.RISCMode {
-		env := uint16(d.R.Sim.Reg[risc.RegENV])
+		env := uint16(d.R.Sim.Reg[backend.RegENV])
 		loc.Space = interp.UnpackENVSpace(env)
 		f := d.file(loc.Space)
 		if f.Accel != nil {
@@ -179,10 +179,10 @@ func (d *Debugger) Registers() (R [8]uint16, RP uint8, CC int8) {
 	if d.R.InRISCMode() {
 		s := d.R.Sim
 		for i := 0; i < 8; i++ {
-			R[i] = uint16(s.Reg[risc.RegR0+i])
+			R[i] = uint16(s.Reg[backend.RegR0+i])
 		}
-		RP = uint8(s.Reg[risc.RegENV] & 7)
-		cc := int32(s.Reg[risc.RegCC])
+		RP = uint8(s.Reg[backend.RegENV] & 7)
+		cc := int32(s.Reg[backend.RegCC])
 		switch {
 		case cc < 0:
 			CC = -1
@@ -200,7 +200,7 @@ func (d *Debugger) Registers() (R [8]uint16, RP uint8, CC int8) {
 // plain memory-exact points modification may not take effect.
 func (d *Debugger) SetRegister(n int, v uint16) {
 	if d.R.InRISCMode() {
-		d.R.Sim.Reg[risc.RegR0+(n&7)] = uint32(int32(int16(v)))
+		d.R.Sim.Reg[backend.RegR0+(n&7)] = uint32(int32(int16(v)))
 		return
 	}
 	d.R.Int.R[n&7] = v
@@ -262,7 +262,7 @@ func (d *Debugger) resolveVar(name string) (*codefile.Symbol, uint16, error) {
 
 func (d *Debugger) currentL() uint16 {
 	if d.R.InRISCMode() {
-		return uint16(d.R.Sim.Reg[risc.RegL] / 2)
+		return uint16(d.R.Sim.Reg[backend.RegL] / 2)
 	}
 	return d.R.Int.L
 }
@@ -299,7 +299,7 @@ func (d *Debugger) DisassembleRISC(n int) string {
 	var b strings.Builder
 	for i := 0; i < n && int(s.PC)+i < len(s.Code); i++ {
 		pc := s.PC + uint32(i)
-		fmt.Fprintf(&b, "%8d: %s\n", pc, risc.Disassemble(pc, s.Code[pc]))
+		fmt.Fprintf(&b, "%8d: %s\n", pc, d.R.Backend().Disasm(pc, s.Code[pc]))
 	}
 	return b.String()
 }

@@ -1,38 +1,14 @@
 package risc
 
-import "fmt"
+import (
+	"fmt"
+
+	"tnsr/internal/backend"
+)
 
 // RegName returns the assembler name of a register under the Accelerator's
-// dedicated-register convention.
-func RegName(r uint8) string {
-	switch {
-	case r == RegZero:
-		return "$z"
-	case r >= RegR0 && r < RegR0+8:
-		return fmt.Sprintf("$r%d", r-RegR0)
-	case r == RegDB:
-		return "$db"
-	case r == RegL:
-		return "$l"
-	case r == RegS:
-		return "$s"
-	case r == RegCC:
-		return "$cc"
-	case r == RegK:
-		return "$k"
-	case r == RegV:
-		return "$v"
-	case r == RegENV:
-		return "$env"
-	case r >= RegT0 && r < RegT0+NumTemp:
-		return fmt.Sprintf("$t%d", r-RegT0)
-	case r == RegMT:
-		return "$mt"
-	case r == RegRA:
-		return "$ra"
-	}
-	return fmt.Sprintf("$%d", r)
-}
+// dedicated-register convention (shared across backends).
+func RegName(r uint8) string { return backend.RegName(r) }
 
 // Disassemble renders the instruction at word index pc.
 func Disassemble(pc uint32, w uint32) string {

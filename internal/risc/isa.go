@@ -27,23 +27,26 @@
 //	$31         $ra    return address (JAL/JALR)
 package risc
 
-import "fmt"
+import "tnsr/internal/backend"
 
-// Dedicated register numbers (see the package comment).
+// Dedicated register numbers (see the package comment). The convention is
+// the cross-backend TNS/R emulation scheme's; the canonical definitions
+// live in the backend package and are aliased here for the encoder's and
+// assembler's convenience.
 const (
-	RegZero = 0
-	RegR0   = 1 // TNS R0; TNS Rn is RegR0+n
-	RegDB   = 9
-	RegL    = 10
-	RegS    = 11
-	RegCC   = 12
-	RegK    = 13
-	RegV    = 14
-	RegENV  = 15
-	RegT0   = 16 // first of 14 temporaries
-	NumTemp = 14
-	RegMT   = 30
-	RegRA   = 31
+	RegZero = backend.RegZero
+	RegR0   = backend.RegR0 // TNS R0; TNS Rn is RegR0+n
+	RegDB   = backend.RegDB
+	RegL    = backend.RegL
+	RegS    = backend.RegS
+	RegCC   = backend.RegCC
+	RegK    = backend.RegK
+	RegV    = backend.RegV
+	RegENV  = backend.RegENV
+	RegT0   = backend.RegT0 // first of NumTemp temporaries
+	NumTemp = backend.NumTemp
+	RegMT   = backend.RegMT
+	RegRA   = backend.RegRA
 )
 
 // Opcodes (bits 31..26).
@@ -110,85 +113,65 @@ const (
 	rtBGEZ = 0x01
 )
 
-// Op identifies a decoded operation.
-type Op uint8
+// Op is the virtual operation set shared with the backend seam. The MIPS
+// backend encodes it 1:1 (this package is that encoding); the constants
+// are aliased so existing risc.* spellings keep working.
+type Op = backend.Op
 
-// The operation set. Names match MIPS mnemonics.
 const (
-	INVALID Op = iota
-	SLL
-	SRL
-	SRA
-	SLLV
-	SRLV
-	SRAV
-	JR
-	JALR
-	SYSCALL
-	BREAK
-	MFHI
-	MFLO
-	MULT
-	MULTU
-	DIV
-	DIVU
-	ADD
-	ADDU
-	SUB
-	SUBU
-	AND
-	OR
-	XOR
-	NOR
-	SLT
-	SLTU
-	J
-	JAL
-	BEQ
-	BNE
-	BLEZ
-	BGTZ
-	BLTZ
-	BGEZ
-	ADDI
-	ADDIU
-	SLTI
-	SLTIU
-	ANDI
-	ORI
-	XORI
-	LUI
-	LB
-	LH
-	LW
-	LBU
-	LHU
-	SB
-	SH
-	SW
-	NumOps
+	INVALID = backend.INVALID
+	SLL     = backend.SLL
+	SRL     = backend.SRL
+	SRA     = backend.SRA
+	SLLV    = backend.SLLV
+	SRLV    = backend.SRLV
+	SRAV    = backend.SRAV
+	JR      = backend.JR
+	JALR    = backend.JALR
+	SYSCALL = backend.SYSCALL
+	BREAK   = backend.BREAK
+	MFHI    = backend.MFHI
+	MFLO    = backend.MFLO
+	MULT    = backend.MULT
+	MULTU   = backend.MULTU
+	DIV     = backend.DIV
+	DIVU    = backend.DIVU
+	ADD     = backend.ADD
+	ADDU    = backend.ADDU
+	SUB     = backend.SUB
+	SUBU    = backend.SUBU
+	AND     = backend.AND
+	OR      = backend.OR
+	XOR     = backend.XOR
+	NOR     = backend.NOR
+	SLT     = backend.SLT
+	SLTU    = backend.SLTU
+	J       = backend.J
+	JAL     = backend.JAL
+	BEQ     = backend.BEQ
+	BNE     = backend.BNE
+	BLEZ    = backend.BLEZ
+	BGTZ    = backend.BGTZ
+	BLTZ    = backend.BLTZ
+	BGEZ    = backend.BGEZ
+	ADDI    = backend.ADDI
+	ADDIU   = backend.ADDIU
+	SLTI    = backend.SLTI
+	SLTIU   = backend.SLTIU
+	ANDI    = backend.ANDI
+	ORI     = backend.ORI
+	XORI    = backend.XORI
+	LUI     = backend.LUI
+	LB      = backend.LB
+	LH      = backend.LH
+	LW      = backend.LW
+	LBU     = backend.LBU
+	LHU     = backend.LHU
+	SB      = backend.SB
+	SH      = backend.SH
+	SW      = backend.SW
+	NumOps  = backend.NumOps
 )
-
-var opNames = [NumOps]string{
-	INVALID: "invalid",
-	SLL:     "sll", SRL: "srl", SRA: "sra", SLLV: "sllv", SRLV: "srlv",
-	SRAV: "srav", JR: "jr", JALR: "jalr", SYSCALL: "syscall",
-	BREAK: "break", MFHI: "mfhi", MFLO: "mflo", MULT: "mult",
-	MULTU: "multu", DIV: "div", DIVU: "divu", ADD: "add", ADDU: "addu",
-	SUB: "sub", SUBU: "subu", AND: "and", OR: "or", XOR: "xor", NOR: "nor",
-	SLT: "slt", SLTU: "sltu", J: "j", JAL: "jal", BEQ: "beq", BNE: "bne",
-	BLEZ: "blez", BGTZ: "bgtz", BLTZ: "bltz", BGEZ: "bgez", ADDI: "addi",
-	ADDIU: "addiu", SLTI: "slti", SLTIU: "sltiu", ANDI: "andi", ORI: "ori",
-	XORI: "xori", LUI: "lui", LB: "lb", LH: "lh", LW: "lw", LBU: "lbu",
-	LHU: "lhu", SB: "sb", SH: "sh", SW: "sw",
-}
-
-func (o Op) String() string {
-	if o < NumOps {
-		return opNames[o]
-	}
-	return fmt.Sprintf("op%d", uint8(o))
-}
 
 // Instr is a decoded RISC instruction.
 type Instr struct {
@@ -527,31 +510,3 @@ func EncSyscall(code uint32) uint32 {
 
 // NOP is the canonical no-op (sll $0,$0,0).
 const NOP uint32 = 0
-
-// IsLoad reports whether the operation reads data memory into Rt.
-func (o Op) IsLoad() bool { return o == LB || o == LH || o == LW || o == LBU || o == LHU }
-
-// IsStore reports whether the operation writes data memory.
-func (o Op) IsStore() bool { return o == SB || o == SH || o == SW }
-
-// IsBranch reports whether the operation is a conditional branch.
-func (o Op) IsBranch() bool {
-	switch o {
-	case BEQ, BNE, BLEZ, BGTZ, BLTZ, BGEZ:
-		return true
-	}
-	return false
-}
-
-// IsJump reports whether the operation is an unconditional control
-// transfer.
-func (o Op) IsJump() bool {
-	switch o {
-	case J, JAL, JR, JALR:
-		return true
-	}
-	return false
-}
-
-// HasDelaySlot reports whether the instruction is followed by a delay slot.
-func (o Op) HasDelaySlot() bool { return o.IsBranch() || o.IsJump() }

@@ -3,6 +3,7 @@ package risc
 import (
 	"testing"
 	"testing/quick"
+	"tnsr/internal/backend"
 )
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
@@ -277,7 +278,7 @@ func TestSimSyscallHook(t *testing.T) {
 	}
 	s := NewSim(code, 1<<12, Config{})
 	var got []uint32
-	s.OnSyscall = func(s *Sim, c uint32) {
+	s.OnSyscall = func(s *backend.CPU, c uint32) {
 		got = append(got, c, s.Reg[RegT0])
 	}
 	if err := s.Run(100); err != nil {

@@ -1,15 +1,20 @@
 package risc
 
-import "fmt"
+import (
+	"fmt"
 
-// Trap codes raised by RISC execution.
+	"tnsr/internal/backend"
+)
+
+// Trap codes raised by RISC execution. The numbering is the cross-backend
+// contract defined next to backend.CPU; aliased here for convenience.
 const (
-	TrapNone      = 0
-	TrapOverflow  = 1 // ADD/ADDI/SUB signed overflow
-	TrapAddress   = 2 // unaligned or out-of-range access
-	TrapBadInstr  = 3
-	TrapDivZero   = 4 // raised by millicode via BREAK, not by DIV itself
-	TrapProtected = 5 // store into the fenced runtime-table region
+	TrapNone      = backend.TrapNone
+	TrapOverflow  = backend.TrapOverflow // ADD/ADDI/SUB signed overflow
+	TrapAddress   = backend.TrapAddress  // unaligned or out-of-range access
+	TrapBadInstr  = backend.TrapBadInstr
+	TrapDivZero   = backend.TrapDivZero   // raised by millicode via BREAK, not by DIV itself
+	TrapProtected = backend.TrapProtected // store into the fenced runtime-table region
 )
 
 // CacheConfig describes one direct-mapped cache. A zero SizeBytes disables
@@ -87,56 +92,19 @@ const CodeWindowBase = 0x01000000
 // memory; PC values are word indexes into Code, and register-held code
 // addresses (for JR/JALR) are byte addresses, i.e. 4 times the word index.
 type Sim struct {
-	Code []uint32
-	Mem  []byte
-	Reg  [32]uint32
-	HI   uint32
-	LO   uint32
-	PC   uint32 // word index of the next instruction to execute
+	// CPU is the backend-shared simulator state (code, memory, the 32
+	// registers, PC, stop/breakpoint/observation protocol); embedding it
+	// keeps the historical s.Reg / s.PC / s.Stopped spellings working
+	// and satisfies the backend.Sim interface's Core method.
+	backend.CPU
 
-	Cycles       int64
-	Instrs       int64
+	HI uint32
+	LO uint32
+
 	LoadStalls   int64
 	MDStalls     int64
 	ICacheMisses int64
 	DCacheMisses int64
-
-	// Stopped is set when a BREAK executes or a trap is raised; Run
-	// returns to the host, which may adjust state and call Run again.
-	Stopped   bool
-	BreakCode uint32 // valid when stopped by BREAK
-	Trap      int    // valid when stopped by a trap
-	TrapPC    uint32
-
-	// Breakpoints stops execution before the instruction at a word index
-	// executes (BPHit is set). ResumeAt clears the hit and skips the
-	// check for the first instruction so execution can continue.
-	Breakpoints map[uint32]bool
-	BPHit       bool
-
-	// OnSyscall handles SYSCALL inline; execution continues after it
-	// returns. The 20-bit code selects the service; arguments are in
-	// registers per the millicode convention.
-	OnSyscall func(s *Sim, code uint32)
-
-	// StoreTrace, when non-nil, observes every halfword store into the
-	// TNS data region (byte address, halfword value); the fidelity tests
-	// compare it with the interpreter's trace.
-	StoreTrace func(addr uint32, value uint16)
-
-	// OnInstr, when non-nil, is called with the PC of every counted
-	// instruction (after Instrs is incremented, so hook calls equal the
-	// Instrs total exactly). Nil costs one comparison per step.
-	OnInstr func(pc uint32)
-
-	// ProtectedLo/ProtectedHi, when Hi > Lo, fence [Lo, Hi) of data
-	// memory against simulated stores: the host lays the packed
-	// PMap/EMap runtime tables there, and damaged translated code must
-	// not be able to rewrite the structures the recovery path depends
-	// on. A store into the range raises TrapProtected. Host-side writes
-	// (WriteWord and friends) bypass the fence.
-	ProtectedLo uint32
-	ProtectedHi uint32
 
 	cfg     Config
 	icache  *cache
@@ -152,8 +120,10 @@ type Sim struct {
 // bytes, and timing config.
 func NewSim(code []uint32, memBytes int, cfg Config) *Sim {
 	return &Sim{
-		Code:    code,
-		Mem:     make([]byte, memBytes),
+		CPU: backend.CPU{
+			Code: code,
+			Mem:  make([]byte, memBytes),
+		},
 		cfg:     cfg,
 		icache:  newCache(cfg.ICache),
 		dcache:  newCache(cfg.DCache),
@@ -381,7 +351,7 @@ func (s *Sim) step() {
 		R[in.Rd] = s.LO
 	case SYSCALL:
 		if s.OnSyscall != nil {
-			s.OnSyscall(s, in.Target)
+			s.OnSyscall(&s.CPU, in.Target)
 		}
 	case BREAK:
 		s.BreakCode = in.Target
@@ -513,23 +483,4 @@ func b2u(b bool) uint32 {
 		return 1
 	}
 	return 0
-}
-
-// ReadHalf reads a big-endian halfword from data memory (host convenience).
-func (s *Sim) ReadHalf(addr uint32) uint16 {
-	return uint16(s.Mem[addr])<<8 | uint16(s.Mem[addr+1])
-}
-
-// WriteHalf writes a big-endian halfword to data memory (host convenience).
-func (s *Sim) WriteHalf(addr uint32, v uint16) {
-	s.Mem[addr] = byte(v >> 8)
-	s.Mem[addr+1] = byte(v)
-}
-
-// WriteWord writes a big-endian word to data memory (host convenience).
-func (s *Sim) WriteWord(addr uint32, v uint32) {
-	s.Mem[addr] = byte(v >> 24)
-	s.Mem[addr+1] = byte(v >> 16)
-	s.Mem[addr+2] = byte(v >> 8)
-	s.Mem[addr+3] = byte(v)
 }

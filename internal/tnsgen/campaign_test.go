@@ -3,8 +3,25 @@ package tnsgen
 import (
 	"testing"
 
+	"tnsr/internal/backend"
 	"tnsr/internal/obs"
 )
+
+// oracleBackends resolves every target the cross-backend campaigns sweep.
+// Resolution goes through the registry by name, so a backend that fails to
+// register is a test failure, not a silently narrower sweep.
+func oracleBackends(t *testing.T) []backend.Backend {
+	t.Helper()
+	var out []backend.Backend
+	for _, name := range []string{"mips", "ob0"} {
+		be, ok := backend.ByName(name)
+		if !ok {
+			t.Fatalf("backend %q not registered", name)
+		}
+		out = append(out, be)
+	}
+	return out
+}
 
 // TestGuaranteeCoverage is the fidelity guarantee made executable: a
 // steered campaign must reach run-time coverage of every escape-reason
@@ -40,17 +57,20 @@ func TestGuaranteeCoverage(t *testing.T) {
 		res.Passes, res.BPHits, res.ChaosMutants, res.Coverage.String())
 }
 
-// TestEscapeInvariantSweep runs a wide unsteered sweep. Every program's
-// oracle already enforces the accounting invariants (escape totals match
-// runner interlude counts, per-procedure sums, EscapeUnknown == 0), so the
-// assertion here is simply that no program in a broad random sample trips
-// them.
+// TestEscapeInvariantSweep runs a wide unsteered sweep across every
+// backend. Every program's oracle already enforces the fidelity and
+// accounting invariants (halt/trap/console/memory identity per target,
+// escape totals match runner interlude counts, per-procedure sums,
+// EscapeUnknown == 0), so the assertion here is simply that no program in
+// a broad random sample trips them on any target.
 func TestEscapeInvariantSweep(t *testing.T) {
 	n := 200
 	if testing.Short() {
 		n = 40
 	}
-	c := &Campaign{Seed: 10_000, N: n, Oracle: DefaultOracle()}
+	opts := DefaultOracle()
+	opts.Backends = oracleBackends(t)
+	c := &Campaign{Seed: 10_000, N: n, Oracle: opts}
 	res := c.Run()
 	for _, f := range res.Failures {
 		t.Errorf("FAIL %s (seed %d, config %+v): %s", f.Name, f.Seed, f.Config, f.Err)

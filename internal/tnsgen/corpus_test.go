@@ -49,9 +49,10 @@ func TestScenarioRoundTrip(t *testing.T) {
 }
 
 // TestScenarioCorpus replays every banked scenario: each must pass the
-// full oracle and still exercise the escape class it was minimized to pin.
-// This is the regression fence around past generator findings — later
-// translator or performance work must keep it green.
+// full oracle — on every registered backend — and still exercise the
+// escape class it was minimized to pin. This is the regression fence
+// around past generator findings — later translator or performance work
+// must keep it green.
 func TestScenarioCorpus(t *testing.T) {
 	scenarios, err := LoadCorpus("corpus")
 	if err != nil {
@@ -60,10 +61,12 @@ func TestScenarioCorpus(t *testing.T) {
 	if len(scenarios) < 5 {
 		t.Fatalf("corpus holds %d scenarios, want at least 5 (regenerate with TNSGEN_REGEN=1)", len(scenarios))
 	}
+	opts := DefaultOracle()
+	opts.Backends = oracleBackends(t)
 	for _, s := range scenarios {
 		s := s
 		t.Run(s.Name, func(t *testing.T) {
-			res, err := RunOracle(s.Subject(), DefaultOracle())
+			res, err := RunOracle(s.Subject(), opts)
 			if err != nil {
 				t.Fatalf("scenario (from seed %d): %v", s.Seed, err)
 			}

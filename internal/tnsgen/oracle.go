@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"tnsr/internal/backend"
 	"tnsr/internal/chaos"
 	"tnsr/internal/codefile"
 	"tnsr/internal/core"
@@ -41,6 +42,12 @@ func (p *Program) Subject() *Subject {
 type OracleOptions struct {
 	// Levels are the acceleration levels to test; default all three.
 	Levels []codefile.AccelLevel
+	// Backends are the RISC targets to hold to the reference; nil means
+	// the default target only. Every level (and the selective and
+	// breakpointed variants) runs once per backend, so a generated
+	// program that exposes a target-specific lowering bug fails naming
+	// the backend it diverged on.
+	Backends []backend.Backend
 	// Workers is the translator worker count (0 = serial).
 	Workers int
 	// InterpBudget and RunBudget bound the reference and accelerated runs.
@@ -124,19 +131,29 @@ func RunOracle(s *Subject, o OracleOptions) (res *Result, err error) {
 		return res, fmt.Errorf("reference run did not halt within %d instructions", o.InterpBudget)
 	}
 
-	for _, lvl := range o.Levels {
-		if err := o.pass(s, m, lvl, nil, false, res); err != nil {
-			return res, fmt.Errorf("level %s: %w", lvl, err)
+	backends := o.Backends
+	if len(backends) == 0 {
+		backends = []backend.Backend{nil} // the core's default target
+	}
+	for _, be := range backends {
+		name := "default"
+		if be != nil {
+			name = be.Name()
 		}
-		if len(s.Cold) > 0 {
-			sel := selectWarm(ref, s.Cold)
-			if err := o.pass(s, m, lvl, sel, false, res); err != nil {
-				return res, fmt.Errorf("level %s (selective): %w", lvl, err)
+		for _, lvl := range o.Levels {
+			if err := o.pass(s, m, lvl, be, nil, false, res); err != nil {
+				return res, fmt.Errorf("backend %s level %s: %w", name, lvl, err)
 			}
-		}
-		if s.WantBreak {
-			if err := o.pass(s, m, lvl, nil, true, res); err != nil {
-				return res, fmt.Errorf("level %s (breakpointed): %w", lvl, err)
+			if len(s.Cold) > 0 {
+				sel := selectWarm(ref, s.Cold)
+				if err := o.pass(s, m, lvl, be, sel, false, res); err != nil {
+					return res, fmt.Errorf("backend %s level %s (selective): %w", name, lvl, err)
+				}
+			}
+			if s.WantBreak {
+				if err := o.pass(s, m, lvl, be, nil, true, res); err != nil {
+					return res, fmt.Errorf("backend %s level %s (breakpointed): %w", name, lvl, err)
+				}
 			}
 		}
 	}
@@ -189,7 +206,7 @@ func selectWarm(user *codefile.File, cold []string) map[string]bool {
 // pass runs one accelerated configuration and compares it against the
 // reference machine.
 func (o *OracleOptions) pass(s *Subject, m *interp.Machine, lvl codefile.AccelLevel,
-	sel map[string]bool, withBreak bool, res *Result) error {
+	be backend.Backend, sel map[string]bool, withBreak bool, res *Result) error {
 
 	user, lib, libSummaries, err := o.assemble(s)
 	if err != nil {
@@ -197,13 +214,13 @@ func (o *OracleOptions) pass(s *Subject, m *interp.Machine, lvl codefile.AccelLe
 	}
 	rec := obs.NewRecorder()
 	if lib != nil {
-		libOpts := core.Options{Level: lvl, Workers: o.Workers,
+		libOpts := core.Options{Level: lvl, Workers: o.Workers, Backend: be,
 			CodeBase: millicode.LibCodeBase, Space: 1, Obs: rec}
 		if err := core.Accelerate(lib, libOpts); err != nil {
 			return fmt.Errorf("accelerate lib: %w", err)
 		}
 	}
-	opts := core.Options{Level: lvl, Workers: o.Workers,
+	opts := core.Options{Level: lvl, Workers: o.Workers, Backend: be,
 		LibSummaries: libSummaries, SelectProcs: sel, Obs: rec}
 	if err := core.Accelerate(user, opts); err != nil {
 		return fmt.Errorf("accelerate: %w", err)

@@ -12,6 +12,9 @@ import (
 	"fmt"
 	"sort"
 
+	"tnsr/internal/backend"
+	"tnsr/internal/backend/mips"
+	_ "tnsr/internal/backend/ob0" // register the second target for ByID/ByName
 	"tnsr/internal/codefile"
 	"tnsr/internal/interp"
 	"tnsr/internal/machine"
@@ -37,7 +40,10 @@ type Runner struct {
 	User *codefile.File
 	Lib  *codefile.File
 
-	Sim *risc.Sim
+	// Sim is the shared simulator state (registers, memory, code image,
+	// stop/breakpoint protocol) of whichever backend the accelerated
+	// sections were encoded for; sim is the backend simulator driving it.
+	Sim *backend.CPU
 	Int *interp.Machine
 
 	// Mode accounting.
@@ -103,6 +109,8 @@ type Runner struct {
 	inRISC  bool
 	skipBP  bool
 	cfg     risc.Config
+	be      backend.Backend
+	sim     backend.Sim
 	noEnter obs.EscapeReason // why the last enterRISCIfMapped refused
 }
 
@@ -137,7 +145,37 @@ func New(user, lib *codefile.File, cfg risc.Config) (*Runner, error) {
 		}
 	}
 
-	milli, _ := millicode.Build()
+	// Resolve the target backend from the sections' identity tags. A
+	// section for an unregistered target is refused exactly like one
+	// that fails structural verification; when user and library name
+	// different targets the library is dropped (one simulator drives
+	// both spaces). With no accelerated sections the MIPS default
+	// stands, timing-configured by cfg.
+	for space, i := range map[string]int{"user": 0, "lib": 1} {
+		a := r.accel[i]
+		if a == nil {
+			continue
+		}
+		if _, ok := backend.ByID(a.BackendID); !ok {
+			r.setDegraded(space, fmt.Errorf("xrun: unknown backend ID %d", a.BackendID))
+			r.accel[i] = nil
+		}
+	}
+	if r.accel[0] != nil && r.accel[1] != nil &&
+		r.accel[0].BackendID != r.accel[1].BackendID {
+		r.setDegraded("lib", fmt.Errorf("xrun: backend mismatch: user ID %d, lib ID %d",
+			r.accel[0].BackendID, r.accel[1].BackendID))
+		r.accel[1] = nil
+	}
+	r.be = mips.New(cfg)
+	for i := 0; i < 2; i++ {
+		if r.accel[i] != nil && r.accel[i].BackendID != mips.BackendID {
+			r.be, _ = backend.ByID(r.accel[i].BackendID)
+			break
+		}
+	}
+
+	milli, _ := r.be.Millicode()
 	codeLen := millicode.UserCodeBase
 	if r.accel[0] != nil {
 		codeLen = millicode.UserCodeBase + len(r.accel[0].RISC)
@@ -154,7 +192,8 @@ func New(user, lib *codefile.File, cfg risc.Config) (*Runner, error) {
 		copy(code[millicode.LibCodeBase:], r.accel[1].RISC)
 	}
 
-	r.Sim = risc.NewSim(code, millicode.MemBytes, cfg)
+	r.sim = r.be.NewSim(code, millicode.MemBytes)
+	r.Sim = r.sim.Core()
 	r.Int = interp.New(user, lib)
 	r.Sim.OnSyscall = r.onSyscall
 
@@ -194,6 +233,16 @@ func New(user, lib *codefile.File, cfg risc.Config) (*Runner, error) {
 	r.inRISC = false
 	return r, nil
 }
+
+// Backend returns the target the runner resolved from the acceleration
+// sections' identity tags (the MIPS default when nothing is accelerated).
+func (r *Runner) Backend() backend.Backend { return r.be }
+
+// BackendSim returns the backend simulator driving r.Sim. Callers wanting
+// target-specific pipeline detail (stall and cache counters, special
+// registers) type-assert its concrete type; everything target-independent
+// is on r.Sim itself.
+func (r *Runner) BackendSim() backend.Sim { return r.sim }
 
 // setDegraded records a failed section verification; the space runs
 // interpreted for the whole run.
@@ -303,7 +352,7 @@ func (r *Runner) enterRISCIfMapped() bool {
 	r.entryConsole = r.Int.Console.Len()
 
 	r.loadSimFromInt()
-	r.Sim.ResumeAt(uint32(idx))
+	r.sim.ResumeAt(uint32(idx))
 	r.Sim.Cycles += SwitchPenalty
 	r.Switches++
 	r.inRISC = true
@@ -395,7 +444,7 @@ func (r *Runner) Continue(maxInstrs int64) error {
 	if r.BPHit {
 		r.BPHit = false
 		if r.inRISC {
-			r.Sim.ResumeAt(r.Sim.PC)
+			r.sim.ResumeAt(r.Sim.PC)
 		} else {
 			r.skipBP = true
 		}
@@ -439,7 +488,7 @@ func (r *Runner) runRISC(maxInstrs int64) error {
 	if maxInstrs > 0 {
 		budget = maxInstrs - r.Sim.Instrs - r.InterludeProf.Instrs + 16
 	}
-	if err := r.Sim.Run(budget); err != nil {
+	if err := r.sim.Run(budget); err != nil {
 		return err
 	}
 	s := r.Sim
@@ -657,7 +706,7 @@ func (r *Runner) runInterp(maxInstrs int64) {
 	}
 }
 
-func (r *Runner) onSyscall(s *risc.Sim, code uint32) {
+func (r *Runner) onSyscall(s *backend.CPU, code uint32) {
 	m := r.Int
 	switch uint8(code) {
 	case tns.SvcHalt:
